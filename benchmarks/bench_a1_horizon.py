@@ -1,0 +1,30 @@
+"""A1 — ablation: the horizon parameter's latency/buffer trade-off.
+
+Paper sections 2 and 4.1: larger horizons let links transmit early
+traffic sooner — better average latency and utilisation — at the cost
+of more reserved buffer space downstream.  Sweeps h on the slot
+simulator and pairs each point with the analytic buffer bound.
+"""
+
+from conftest import fmt_table
+
+from repro.experiments import horizon_tradeoff
+
+
+def test_a1_horizon_tradeoff(benchmark, report):
+    points = benchmark.pedantic(horizon_tradeoff, rounds=1, iterations=1)
+
+    rows = [[p.horizon, f"{p.mean_latency_ticks:.1f}",
+             p.buffers_per_connection] for p in points]
+    report("a1_horizon_tradeoff", fmt_table(
+        ["horizon h", "mean latency (ticks)", "buffers/connection"], rows,
+    ))
+
+    latencies = [p.mean_latency_ticks for p in points]
+    buffers = [p.buffers_per_connection for p in points]
+    # Shape: latency falls (weakly) as h grows; buffer demand rises.
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+    assert all(a <= b for a, b in zip(buffers, buffers[1:]))
+    # And the effect is real at the extremes.
+    assert latencies[0] > latencies[-1]
+    assert buffers[-1] > buffers[0]

@@ -1,0 +1,73 @@
+"""A2/A5 — ablation: scheduler implementation alternatives.
+
+Section 5.1 discusses the comparator tree's cost and two ways to tame
+it: sharing comparator logic between leaves, and (section 7)
+approximate scheduling algorithms.  This bench sweeps both knobs and
+reports cost vs. scheduling-rate/precision, plus how the full-tree
+cost scales with the number of packet slots.
+"""
+
+from conftest import fmt_table
+
+from repro.core import RouterParams, estimate_cost
+from repro.core.comparator_tree import SchedulerPipeline
+from repro.extensions import cost_comparison, design_space
+
+
+def sweep() -> dict:
+    tree_scaling = []
+    for slots in (64, 128, 256, 512, 1024):
+        cost = estimate_cost(RouterParams(tc_packet_slots=slots))
+        tree_scaling.append((slots, cost.scheduling_transistors,
+                             cost.transistors))
+    shared = design_space(RouterParams())
+    approx = [cost_comparison(RouterParams(), bins=bins, bin_width=4)
+              for bins in (16, 32, 64, 128)]
+    pipelines = []
+    for stages in (1, 2, 3, 4, 5):
+        params = RouterParams(pipeline_stages=stages)
+        from repro.core.comparator_tree import ComparatorTree
+        from repro.core.leaf_state import LeafArray
+        pipeline = SchedulerPipeline(
+            params, ComparatorTree(params, LeafArray(params)))
+        pipelines.append((stages, pipeline.latency,
+                          pipeline.initiation_interval))
+    return {"tree": tree_scaling, "shared": shared, "approx": approx,
+            "pipelines": pipelines}
+
+
+def test_a2_scheduler_scaling(benchmark, report):
+    data = benchmark(sweep)
+
+    lines = ["Full-tree cost vs. packet slots:"]
+    lines += fmt_table(["slots", "scheduling T", "total T"], [
+        [s, f"{sched:,}", f"{total:,}"]
+        for s, sched, total in data["tree"]
+    ])
+    lines += ["", "Shared-leaf designs (section 5.1):"]
+    lines += fmt_table(
+        ["leaves/module", "comparators", "interval (cyc)", "meets rate"],
+        [[d.group, d.comparator_count, d.decision_interval_cycles,
+          "yes" if d.meets_rate() else "no"] for d in data["shared"]],
+    )
+    lines += ["", "Approximate (calendar-queue) scheduler (section 7):"]
+    lines += fmt_table(
+        ["bins", "selectors", "exact comparators", "tardiness bound"],
+        [[p.bins, p.approx_selectors, p.exact_comparators,
+          p.tardiness_bound] for p in data["approx"]],
+    )
+    lines += ["", "Pipeline depth vs. decision timing:"]
+    lines += fmt_table(["stages", "latency (cyc)", "interval (cyc)"],
+                       [list(row) for row in data["pipelines"]])
+    report("a2_scheduler_scaling", lines)
+
+    # Shapes: scheduling cost grows ~linearly with slots; sharing and
+    # binning both cut comparator counts by the expected factors.
+    tree = data["tree"]
+    assert tree[-1][1] > 3 * tree[0][1]
+    full, *_, most_shared = data["shared"]
+    assert most_shared.comparator_count < full.comparator_count / 8
+    assert all(p.comparator_savings > 0.4 for p in data["approx"])
+    # The paper's two-stage pipeline meets the 4-cycle budget; deeper
+    # pipelines do not change the initiation interval in this model.
+    assert data["pipelines"][1][2] <= 4

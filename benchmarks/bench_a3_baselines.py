@@ -1,0 +1,50 @@
+"""A3 — comparison: real-time router vs. section 6's alternatives.
+
+Runs a deadline-diverse workload at rising load through the real-time
+channel discipline, FIFO, the priority-forwarding model and a
+VC-priority model.  Expected shape: the deadline-driven design misses
+nothing at any admitted load; the deadline-blind designs start missing
+as load rises, FIFO first.
+"""
+
+from conftest import fmt_table
+
+from repro.experiments import discipline_comparison
+
+LOADS = [1, 2, 3]
+
+
+def run_all():
+    return {scale: discipline_comparison(bulk_channels=scale)
+            for scale in LOADS}
+
+
+def test_a3_baseline_comparison(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for scale in LOADS:
+        for name, outcome in results[scale].items():
+            rows.append([
+                f"{scale * 25}%", name, outcome.delivered,
+                outcome.deadline_misses, f"{outcome.mean_latency:.1f}",
+            ])
+    report("a3_baseline_comparison", fmt_table(
+        ["bulk load", "discipline", "delivered", "misses",
+         "mean latency (ticks)"], rows,
+    ))
+
+    for scale in LOADS:
+        assert results[scale]["real-time"].deadline_misses == 0
+    # Deadline-blind FIFO loses the tight deadlines at high load.
+    assert results[LOADS[-1]]["fifo"].deadline_misses > 0
+    # Static deadline-monotonic priorities do better than FIFO but the
+    # real-time discipline never does worse than either.
+    heaviest = results[LOADS[-1]]
+    assert (heaviest["priority-forwarding"].deadline_misses
+            <= heaviest["fifo"].deadline_misses)
+    assert heaviest["real-time"].deadline_misses <= min(
+        heaviest["fifo"].deadline_misses,
+        heaviest["priority-forwarding"].deadline_misses,
+        heaviest["vc-priority"].deadline_misses,
+    )

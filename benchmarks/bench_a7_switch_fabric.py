@@ -1,0 +1,43 @@
+"""A7 — extension: the chip as a building block for QoS switches.
+
+Paper section 7's closing question: can the router serve "as a
+building block for constructing large, high-speed switches that
+support the quality-of-service requirements of real-time and
+multimedia applications"?  Builds 4- and 6-port switches from router
+chips, provisions guaranteed media flows, floods datagram
+cross-traffic, and checks the guarantees hold at every size.
+"""
+
+from conftest import fmt_table
+
+from repro.extensions import multimedia_switch_demo
+
+PORT_COUNTS = [4, 6]
+
+
+def run_demo():
+    return {ports: multimedia_switch_demo(ports=ports, rounds=12)
+            for ports in PORT_COUNTS}
+
+
+def test_a7_switch_fabric(benchmark, report):
+    results = benchmark.pedantic(run_demo, rounds=1, iterations=1)
+
+    rows = []
+    for ports in PORT_COUNTS:
+        outcome = results[ports]
+        rows.append([
+            ports, 2 * ports, outcome.guaranteed_delivered,
+            outcome.deadline_misses, outcome.datagrams_delivered,
+            f"{outcome.mean_guaranteed_latency:.0f}",
+        ])
+    report("a7_switch_fabric", fmt_table(
+        ["switch ports", "router chips", "guaranteed delivered",
+         "misses", "datagrams", "mean latency (cyc)"], rows,
+    ))
+
+    for ports in PORT_COUNTS:
+        outcome = results[ports]
+        assert outcome.deadline_misses == 0
+        assert outcome.guaranteed_delivered == ports * 12
+        assert outcome.datagrams_delivered == ports * 6

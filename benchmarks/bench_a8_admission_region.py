@@ -1,0 +1,74 @@
+"""A8 — admission region: connections per link vs. deadline tightness.
+
+The real-time channel model's selling point over simpler disciplines
+(§1, §2) is that separate delay and bandwidth parameters let the link
+carry *many* loose-deadline connections or *few* tight ones.  This
+bench maps that region: identical connections admitted on one link as
+the local deadline and message spacing vary.
+"""
+
+from conftest import fmt_table
+
+from repro.channels.admission import (
+    AdmissionController,
+    AdmissionError,
+    HopDescriptor,
+)
+from repro.channels.spec import FlowRequirements, TrafficSpec
+
+I_MINS = [4, 8, 16, 32]
+DEADLINE_FRACTIONS = [(1, 4), (1, 2), (1, 1)]   # of i_min
+
+
+def admitted_count(i_min: int, deadline: int) -> int:
+    controller = AdmissionController(hop_overhead=0)
+    spec = TrafficSpec(i_min=i_min)
+    count = 0
+    for _ in range(200):
+        try:
+            controller.admit(
+                [HopDescriptor(node="L", out_port=0)], spec,
+                FlowRequirements(deadline=deadline),
+            )
+            count += 1
+        except AdmissionError:
+            break
+    return count
+
+
+def sweep():
+    grid = {}
+    for i_min in I_MINS:
+        for num, den in DEADLINE_FRACTIONS:
+            deadline = max(1, i_min * num // den)
+            grid[(i_min, deadline)] = admitted_count(i_min, deadline)
+    return grid
+
+
+def test_a8_admission_region(benchmark, report):
+    grid = benchmark(sweep)
+
+    rows = []
+    for i_min in I_MINS:
+        row = [i_min]
+        for num, den in DEADLINE_FRACTIONS:
+            deadline = max(1, i_min * num // den)
+            row.append(grid[(i_min, deadline)])
+        rows.append(row)
+    report("a8_admission_region", fmt_table(
+        ["i_min (ticks)", "d = i_min/4", "d = i_min/2", "d = i_min"],
+        rows,
+    ))
+
+    for i_min in I_MINS:
+        counts = [grid[(i_min, max(1, i_min * n // d))]
+                  for n, d in DEADLINE_FRACTIONS]
+        # Looser deadlines never admit fewer connections...
+        assert counts == sorted(counts)
+        # ...and at d = i_min admission reaches the utilisation bound
+        # (the busy-period test conservatively stops one connection
+        # short of exactly U = 1.0).
+        assert counts[-1] >= i_min - 1
+    # Tight deadlines cap admission below the utilisation bound (the
+    # deadline-crunch effect the EDF demand test captures).
+    assert grid[(32, 8)] == 8 < 32

@@ -1,0 +1,89 @@
+"""A9 — best-effort latency vs. offered load on the mesh.
+
+The classic interconnect evaluation the paper defers to its network
+simulator (section 7: "larger network configurations and more diverse
+traffic patterns"): average wormhole latency as the injection rate
+rises, with and without reserved time-constrained traffic sharing the
+links.  Expected shape: latency grows with load, and reserving
+bandwidth for time-constrained channels shifts the best-effort curve
+up without ever breaking the reservations.
+"""
+
+import random
+
+from conftest import fmt_table
+
+from repro import TrafficSpec, build_mesh_network
+
+RATES = [0.002, 0.006, 0.012]      # packets per node per cycle
+MESH = (3, 3)
+RUN_TICKS = 400
+BE_BYTES = 28
+
+
+def run_point(rate: float, with_channels: bool, seed: int = 4):
+    rng = random.Random(seed)
+    net = build_mesh_network(*MESH)
+    channels = []
+    if with_channels:
+        for src, dst in [((0, 0), (2, 2)), ((2, 0), (0, 2))]:
+            channels.append(net.establish_channel(
+                src, dst, TrafficSpec(i_min=8), deadline=60,
+            ))
+    nodes = list(net.mesh.nodes())
+    slot = net.params.slot_cycles
+    for tick in range(RUN_TICKS):
+        for channel in channels:
+            if tick % 8 == 0:
+                net.send_message(channel)
+        for node in nodes:
+            if rng.random() < rate * slot:
+                dst = rng.choice([n for n in nodes if n != node])
+                net.send_best_effort(node, dst,
+                                     payload=bytes(BE_BYTES - 4))
+        net.run_ticks(1)
+    net.drain(max_cycles=2_000_000)
+    be = net.log.latency_summary("BE")
+    return {
+        "mean_latency": be.mean,
+        "delivered": be.count,
+        "misses": net.log.deadline_misses,
+        "tc": net.log.tc_delivered,
+    }
+
+
+def run_sweep():
+    table = {}
+    for rate in RATES:
+        table[(rate, False)] = run_point(rate, with_channels=False)
+        table[(rate, True)] = run_point(rate, with_channels=True)
+    return table
+
+
+def test_a9_load_latency(benchmark, report):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for rate in RATES:
+        plain = table[(rate, False)]
+        shared = table[(rate, True)]
+        rows.append([
+            f"{rate:.3f}", plain["delivered"],
+            f"{plain['mean_latency']:.0f}",
+            shared["delivered"], f"{shared['mean_latency']:.0f}",
+            shared["misses"],
+        ])
+    report("a9_load_latency", fmt_table(
+        ["inject rate (pkt/node/cyc)", "BE delivered (idle)",
+         "BE latency (idle)", "BE delivered (reserved)",
+         "BE latency (reserved)", "TC misses"], rows,
+    ))
+
+    # Shapes: latency non-decreasing with load; reservations cost the
+    # best-effort class some latency; guarantees never break.
+    idle = [table[(rate, False)]["mean_latency"] for rate in RATES]
+    shared = [table[(rate, True)]["mean_latency"] for rate in RATES]
+    assert idle[-1] >= idle[0]
+    assert shared[-1] >= idle[-1] * 0.9  # reserved fabric is no faster
+    for rate in RATES:
+        assert table[(rate, True)]["misses"] == 0

@@ -1,0 +1,29 @@
+"""E1 — section 5.2 wormhole baseline: 30 + b cycle loopback latency.
+
+Paper: "a b byte wormhole packet incurs an end-to-end latency of
+30 + b cycles" over the injection -> +x -> (-x) -> +y -> (-y) ->
+reception loop on a single chip.  We regenerate the sweep and check
+the measured constant (this model: 31 cycles; see EXPERIMENTS.md).
+"""
+
+from conftest import fmt_table
+
+from repro.experiments import DEFAULT_SIZES, wormhole_baseline
+
+
+def test_e1_wormhole_baseline(benchmark, report):
+    result = benchmark.pedantic(wormhole_baseline, rounds=1, iterations=1)
+
+    rows = [[size, 30 + size, latency, latency - size]
+            for size, latency in result.latencies.items()]
+    report("e1_wormhole_baseline", fmt_table(
+        ["bytes", "paper (30+b)", "measured", "overhead"], rows,
+    ))
+
+    # Shape: latency strictly linear in packet size (constant overhead)
+    # and the constant lands on the paper's ~30 cycles.
+    assert sorted(result.latencies) == DEFAULT_SIZES
+    constant = result.constant_overhead
+    assert constant is not None, \
+        f"overhead not constant: {result.overheads()}"
+    assert 25 <= constant <= 35

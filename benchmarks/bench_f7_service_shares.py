@@ -1,0 +1,78 @@
+"""F7 — Figure 7: per-connection link service with best-effort filler.
+
+Paper: three backlogged time-constrained connections share one link
+(h = 0) with a best-effort backlog; each receives service proportional
+to its reserved throughput 1/I_min, every packet meets its deadline,
+and best-effort flits consume the remaining bandwidth.
+
+The paper's exact (d, I_min) values are corrupted in the available
+text; we use (4,4), (8,8), (16,16) slots — proportionally spread — as
+documented in DESIGN.md.
+"""
+
+import pytest
+from conftest import fmt_table
+
+from repro.network import LinkConnection, SingleLinkHarness
+
+RUN_CYCLES = 10_000  # matches the figure's x axis
+
+
+def run_experiment() -> SingleLinkHarness:
+    harness = SingleLinkHarness([
+        LinkConnection("connection 1", delay=4, i_min=4, packets=10_000),
+        LinkConnection("connection 2", delay=8, i_min=8, packets=10_000),
+        LinkConnection("connection 3", delay=16, i_min=16, packets=10_000),
+    ], horizon=0)
+    harness.run(RUN_CYCLES)
+    return harness
+
+
+def test_f7_service_shares(benchmark, report):
+    harness = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for row in harness.service_table(sample_every=2000):
+        rows.append([
+            row["cycle"],
+            row.get("connection 1", 0),
+            row.get("connection 2", 0),
+            row.get("connection 3", 0),
+            row.get("best-effort", 0),
+        ])
+    from repro.reporting import line_chart, write_series_csv
+
+    series = {label: [(float(c), float(v)) for c, v in values]
+              for label, values in harness.trace.series.items()}
+    chart = line_chart(series, width=64, height=16,
+                       title="Figure 7: cumulative link service",
+                       x_label="time (clock cycles)",
+                       y_label="connection service (bytes)")
+    write_series_csv("benchmarks/results/f7_service_shares.csv", series,
+                     x_name="cycle")
+    report("f7_service_shares", fmt_table(
+        ["cycle", "conn1 (I=4)", "conn2 (I=8)", "conn3 (I=16)",
+         "best-effort"],
+        rows,
+    ) + [""] + chart)
+
+    ticks = RUN_CYCLES / harness.params.slot_cycles
+    c1 = harness.service_bytes("connection 1")
+    c2 = harness.service_bytes("connection 2")
+    c3 = harness.service_bytes("connection 3")
+    be = harness.service_bytes("best-effort")
+
+    # Service proportional to reserved throughput (1/4 : 1/8 : 1/16).
+    assert c1 == pytest.approx(ticks / 4 * 20, rel=0.05)
+    assert c2 == pytest.approx(ticks / 8 * 20, rel=0.05)
+    assert c3 == pytest.approx(ticks / 16 * 20, rel=0.05)
+    assert c1 == pytest.approx(2 * c2, rel=0.1)
+    assert c2 == pytest.approx(2 * c3, rel=0.1)
+
+    # Every packet transmitted by its deadline.
+    assert harness.deadline_misses == 0
+
+    # Best-effort consumes essentially all remaining bandwidth.
+    reserved_fraction = 1 / 4 + 1 / 8 + 1 / 16
+    expected_be = RUN_CYCLES * (1 - reserved_fraction)
+    assert be == pytest.approx(expected_be, rel=0.05)

@@ -1,0 +1,53 @@
+"""M1 — section 1's motivation: software scheduling cannot keep up.
+
+"Implementing deadline-based scheduling in software would impose a
+significant burden on the processing resources at each node and would
+prove too slow to serve multiple high-speed links."  Quantifies the
+claim with the software-EDF cost model against the chip's five
+full-rate ports.
+"""
+
+from conftest import fmt_table
+
+from repro.baselines import (
+    SoftwareSchedulerModel,
+    hardware_packet_rate,
+    software_shortfall,
+)
+
+
+def build_table():
+    rows = []
+    link_rate = hardware_packet_rate()          # 2.5 M packets/s/port
+    for cpu_mhz in (50, 200, 1000):
+        model = SoftwareSchedulerModel(cpu_hz=cpu_mhz * 1e6)
+        shortfall = software_shortfall(model, links=5, backlog=256)
+        links = model.max_links_served(link_rate, backlog=256)
+        share_1 = model.cpu_share_for(1, link_rate, backlog=256)
+        rows.append([
+            f"{cpu_mhz} MHz", f"{shortfall:.1f}x", links,
+            f"{share_1 * 100:.0f}%",
+        ])
+    return rows, link_rate
+
+
+def test_m1_software_vs_hardware(benchmark, report):
+    rows, link_rate = benchmark(build_table)
+    report("m1_software_vs_hardware", [
+        f"per-port packet rate at 50 MHz, 20-byte packets: "
+        f"{link_rate / 1e6:.2f} M packets/s",
+        "",
+        *fmt_table(
+            ["CPU", "5-link shortfall", "links serveable",
+             "CPU share for 1 link"], rows,
+        ),
+        "",
+        "(shortfall > 1 means software EDF cannot schedule the chip's",
+        " five ports at line rate; the 50 MHz row is the paper's era)",
+    ])
+
+    # The paper-era CPU (same clock as the chip) is far too slow for
+    # five ports and cannot even serve one link for free.
+    paper_era = SoftwareSchedulerModel(cpu_hz=50e6)
+    assert software_shortfall(paper_era) > 5
+    assert paper_era.max_links_served(link_rate, 256) == 0

@@ -1,0 +1,43 @@
+"""T3 — Table 3: the control interface's write commands.
+
+Programs a full connection table through the four-write protocol plus
+horizon writes, verifying the command structure and measuring the
+programming throughput (the establishment-time cost the paper pushes
+off-chip).
+"""
+
+from conftest import fmt_table
+
+from repro.core import ControlInterface, RouterParams
+from repro.core.ports import port_mask
+
+
+def program_full_table() -> ControlInterface:
+    control = ControlInterface(RouterParams())
+    for cid in range(256):
+        control.select_entry(cid)                    # write 1
+        control.write_outgoing_id((cid + 1) % 256)   # write 2
+        control.write_delay(cid % 120 + 3)           # write 3
+        control.write_port_mask((cid % 31) + 1)      # write 4
+    control.write_horizon(port_mask(0, 1, 2, 3, 4), 12)
+    return control
+
+
+def test_t3_control_interface(benchmark, report):
+    control = benchmark(program_full_table)
+
+    assert len(control.table.programmed_ids()) == 256
+    entry = control.table.lookup(7)
+    rows = [
+        ["Connection parameters", "outgoing connection id",
+         entry.outgoing_id],
+        ["", "local delay bound d", entry.delay],
+        ["", "bit-mask of output ports", bin(entry.port_mask)],
+        ["(row select)", "incoming connection id", 7],
+        ["Horizon parameter", "bit-mask of output ports", bin(0b11111)],
+        ["", "horizon value h", control.horizons[0]],
+    ]
+    report("t3_control_interface", fmt_table(
+        ["write command", "field", "value"], rows,
+    ))
+    assert control.horizons == [12] * 5

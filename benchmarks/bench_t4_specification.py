@@ -1,0 +1,50 @@
+"""T4 — Table 4: router specification and chip complexity.
+
+Regenerates both halves of the paper's Table 4 from the architectural
+parameters and the analytic hardware-cost model, and checks the
+qualitative area claims of section 5.1.
+"""
+
+from conftest import fmt_table
+
+from repro.core import PAPER_PARAMS, estimate_cost
+from repro.core.cost import (
+    MEMORY_BLOCKS,
+    PAPER_AREA_MM2,
+    PAPER_POWER_W,
+    PAPER_TRANSISTORS,
+    SCHEDULING_BLOCKS,
+)
+
+
+def run_model():
+    return estimate_cost(PAPER_PARAMS)
+
+
+def test_t4_specification(benchmark, report):
+    cost = benchmark(run_model)
+
+    table_a = fmt_table(["parameter", "value"], [
+        ["Connections", PAPER_PARAMS.connections],
+        ["Time-constrained packets", PAPER_PARAMS.tc_packet_slots],
+        ["Clock (sorting key) bits",
+         f"{PAPER_PARAMS.clock_bits} ({PAPER_PARAMS.key_bits})"],
+        ["Comparator tree pipeline",
+         f"{PAPER_PARAMS.pipeline_stages} stages"],
+        ["Flit input buffer", f"{PAPER_PARAMS.flit_buffer_bytes} bytes"],
+    ])
+    table_b = fmt_table(["quantity", "paper", "model"], [
+        ["Transistors", f"{PAPER_TRANSISTORS:,}", f"{cost.transistors:,}"],
+        ["Area (mm^2)", f"{PAPER_AREA_MM2:.1f}", f"{cost.area_mm2:.1f}"],
+        ["Power (W)", f"{PAPER_POWER_W:.1f}", f"{cost.power_w:.1f}"],
+        ["Scheduling area share", "majority",
+         f"{cost.area_share(SCHEDULING_BLOCKS) * 100:.0f}%"],
+        ["Packet-memory area share", "much of rest",
+         f"{cost.area_share(MEMORY_BLOCKS) * 100:.0f}%"],
+    ])
+    report("t4_specification",
+           ["Table 4(a): architectural parameters", *table_a, "",
+            "Table 4(b): chip complexity", *table_b])
+
+    assert abs(cost.transistors - PAPER_TRANSISTORS) / PAPER_TRANSISTORS < 0.05
+    assert cost.area_share(SCHEDULING_BLOCKS) > 0.5

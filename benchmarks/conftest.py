@@ -1,0 +1,41 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+``report`` fixture writes the regenerated artefact under
+``benchmarks/results/`` so the numbers survive the pytest run, and
+echoes them to stdout for interactive runs (``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write a named experiment artefact and echo it."""
+    def write(name: str, lines: list[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n--- {name} ---")
+        print(text)
+    return write
+
+
+def fmt_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Simple fixed-width table formatting for artefact files."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    return [line(headers), line(["-" * w for w in widths])] + [
+        line(row) for row in rendered
+    ]

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Adaptive wormhole routing around reserved bandwidth (paper §3.3).
+
+The paper's baseline routes best-effort packets in strict dimension
+order, and notes that "adaptive routing would enable best-effort
+packets to circumvent links with a heavy load of time-constrained
+traffic".  This example runs the same traffic twice — once per routing
+policy — and prints the comparison.
+
+Run:  python examples/adaptive_routing.py
+"""
+
+import random
+
+from repro import TrafficSpec, build_mesh_network
+
+
+def run(policy: str) -> dict:
+    rng = random.Random(17)
+    net = build_mesh_network(3, 3, be_routing=policy)
+
+    # Reserve heavy time-constrained bandwidth along row 0.
+    channel = net.establish_channel((0, 0), (2, 0), TrafficSpec(i_min=4),
+                                    deadline=16, adaptive=False,
+                                    label="row-0-load")
+    for round_index in range(12):
+        for _ in range(3):
+            net.send_message(channel)
+        # Diagonal best-effort probes that dimension order would push
+        # through the loaded row.
+        net.send_best_effort((0, 0), (2, 2),
+                             payload=bytes(rng.randrange(20, 60)))
+        net.run_ticks(12)
+    net.drain(max_cycles=1_000_000)
+    be = net.log.latency_summary("BE")
+    return {"latency": be.mean, "delivered": be.count,
+            "misses": net.log.deadline_misses}
+
+
+def main() -> None:
+    print("policy        BE delivered  BE mean latency  TC misses")
+    results = {}
+    for policy in ("dimension", "west-first"):
+        results[policy] = run(policy)
+        row = results[policy]
+        print(f"{policy:<13}{row['delivered']:>12}"
+              f"{row['latency']:>15.0f}cy{row['misses']:>9}")
+    assert all(r["misses"] == 0 for r in results.values())
+    saved = (results["dimension"]["latency"]
+             - results["west-first"]["latency"])
+    print(f"\nadaptive routing saved {saved:.0f} cycles of mean "
+          "best-effort latency\nwhile the reserved channel kept every "
+          "deadline under both policies.")
+
+
+if __name__ == "__main__":
+    main()

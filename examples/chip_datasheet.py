@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Print a Table-4-style datasheet for a router configuration.
+
+Reproduces the shape of the paper's Table 4 from the analytic hardware
+model, then shows how the cost scales if you grow the design — the
+discussion of section 5.1 (more packets, more ports, shared leaves).
+
+Run:  python examples/chip_datasheet.py [--slots N] [--connections N]
+"""
+
+import argparse
+
+from repro.core import RouterParams, estimate_cost
+from repro.core.cost import MEMORY_BLOCKS, SCHEDULING_BLOCKS
+from repro.extensions import design_space
+
+
+def datasheet(params: RouterParams) -> None:
+    cost = estimate_cost(params)
+    print("architectural parameters (cf. paper Table 4a)")
+    print(f"  connections               {params.connections}")
+    print(f"  time-constrained packets  {params.tc_packet_slots}")
+    print(f"  clock (sorting key)       {params.clock_bits} "
+          f"({params.key_bits}) bits")
+    print(f"  comparator tree pipeline  {params.pipeline_stages} stages")
+    print(f"  flit input buffer         {params.flit_buffer_bytes} bytes")
+    print()
+    print("estimated complexity (cf. paper Table 4b)")
+    print(f"  transistors               {cost.transistors:,}")
+    print(f"  area                      {cost.area_mm2:.1f} mm^2")
+    print(f"  power @ 50 MHz            {cost.power_w:.1f} W")
+    print(f"  scheduling-logic area     "
+          f"{cost.area_share(SCHEDULING_BLOCKS) * 100:.0f}%")
+    print(f"  packet-memory area        "
+          f"{cost.area_share(MEMORY_BLOCKS) * 100:.0f}%")
+    print()
+    print("block breakdown (transistors)")
+    for block in sorted(cost.blocks, key=lambda b: -b.transistors):
+        print(f"  {block.name:<24}{block.transistors:>10,}")
+
+
+def scaling(params: RouterParams) -> None:
+    print("\nscaling: packet slots vs. cost")
+    for slots in (64, 128, 256, 512, 1024):
+        cost = estimate_cost(RouterParams(
+            connections=params.connections, tc_packet_slots=slots,
+        ))
+        print(f"  {slots:>5} slots -> {cost.transistors:>9,} T, "
+              f"{cost.area_mm2:5.1f} mm^2")
+
+    print("\nshared-leaf variants (section 5.1): cost vs. decision rate")
+    for design in design_space(params):
+        verdict = "meets 5-port rate" if design.meets_rate() else "TOO SLOW"
+        print(f"  {design.group:>2} leaves/module: "
+              f"{design.comparator_count:>4} comparators, "
+              f"decision every {design.decision_interval_cycles} cycles "
+              f"({verdict})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=256)
+    parser.add_argument("--connections", type=int, default=256)
+    args = parser.parse_args()
+    params = RouterParams(connections=args.connections,
+                          tc_packet_slots=args.slots)
+    datasheet(params)
+    scaling(params)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fault recovery: rerouting a real-time channel around a dead link.
+
+The paper's introduction argues for multi-hop topologies partly on
+resilience grounds: "multi-hop networks often have several disjoint
+routes between each pair of processing nodes, improving the
+application's resilience to link and node failures."  This example
+shows the whole recovery story: a channel carries periodic traffic, a
+link on its path fails, the protocol software re-admits the channel on
+the shortest surviving path (table-driven routing is not limited to
+dimension order), and the traffic contract — including logical-arrival
+spacing — survives the move.
+
+Run:  python examples/fault_recovery.py
+"""
+
+from repro import TrafficSpec, build_mesh_network
+from repro.core.ports import EAST
+
+
+def describe(channel) -> str:
+    hops = [f"{hop.node}:{hop.out_port}"
+            for hop in channel.reservation.hops]
+    return " -> ".join(hops)
+
+
+def main() -> None:
+    net = build_mesh_network(3, 3)
+    channel = net.establish_channel(
+        (0, 0), (2, 0), TrafficSpec(i_min=10), deadline=80,
+        adaptive=False, label="pressure-feed",
+    )
+    print("established on:", describe(channel))
+
+    # Phase 1: healthy operation.
+    for _ in range(4):
+        net.send_message(channel, b"p=1.3bar")
+        net.run_ticks(10)
+    net.run_ticks(40)
+    healthy = net.log.tc_delivered
+    print(f"healthy phase: {healthy} delivered, "
+          f"{net.log.deadline_misses} misses")
+
+    # Phase 2: the first link of the route dies.
+    net.fail_link((0, 0), EAST)
+    print("\nlink (0,0) -> east FAILED")
+
+    # Protocol software re-establishes on a surviving path.
+    channel = net.recover_channel(channel)
+    print("recovered on: ", describe(channel))
+
+    for _ in range(4):
+        net.send_message(channel, b"p=1.3bar")
+        net.run_ticks(10)
+    net.drain(max_cycles=300_000)
+    print(f"\nafter recovery: {net.log.tc_delivered} delivered in total, "
+          f"{net.log.deadline_misses} misses")
+    assert net.log.tc_delivered == 8
+    assert net.log.deadline_misses == 0
+    print("all messages met their deadlines across the failure.")
+
+
+if __name__ == "__main__":
+    main()

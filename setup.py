@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package installed.
+
+``pip install -e . --no-build-isolation`` falls back to this legacy
+path when PEP 517 builds are unavailable; the real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Analytical results of the real-time channel model (paper section 2, 4.3)."""
+
+from repro.analysis.delay_bounds import (
+    HopBound,
+    end_to_end_bound,
+    hop_bounds,
+    horizon_buffer_tradeoff,
+    worst_case_backlog,
+)
+from repro.analysis.netcalc import (
+    ArrivalCurve,
+    ServiceCurve,
+    TokenBucket,
+    backlog_bound,
+    channel_backlog_bound,
+    channel_delay_bound,
+    delay_bound,
+    residual_service,
+)
+from repro.analysis.rollover import (
+    RolloverWindow,
+    classify,
+    is_safe,
+    live_window,
+    required_clock_bits,
+)
+from repro.analysis.utilization import (
+    UtilisationReport,
+    admissible_count,
+    summarise,
+    utilisation_of,
+)
+
+__all__ = [
+    "ArrivalCurve",
+    "HopBound",
+    "RolloverWindow",
+    "ServiceCurve",
+    "TokenBucket",
+    "UtilisationReport",
+    "admissible_count",
+    "backlog_bound",
+    "channel_backlog_bound",
+    "channel_delay_bound",
+    "classify",
+    "delay_bound",
+    "end_to_end_bound",
+    "hop_bounds",
+    "horizon_buffer_tradeoff",
+    "is_safe",
+    "live_window",
+    "required_clock_bits",
+    "residual_service",
+    "summarise",
+    "utilisation_of",
+    "worst_case_backlog",
+]

@@ -1,0 +1,88 @@
+"""Delay- and buffer-bound algebra of the real-time channel model.
+
+Closed-form results from paper section 2 that the simulators are
+validated against:
+
+* end-to-end bound: a message with source logical arrival time ``l0``
+  reaches its destination by ``l0 + sum(d_j)``;
+* earliest possible arrival at hop ``j``:
+  ``l_j - (h_{j-1} + d_{j-1})`` (horizon plus upstream delay bound);
+* per-connection buffer demand at hop ``j``:
+  ``ceil((h_{j-1} + d_{j-1} + d_j) / i_min)`` messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.channels.spec import TrafficSpec
+
+
+@dataclass(frozen=True)
+class HopBound:
+    """Derived timing window of one hop."""
+
+    logical_arrival_offset: int   # l_j - l0
+    earliest_offset: int          # earliest physical arrival - l0
+    deadline_offset: int          # local deadline - l0
+    buffers: int                  # packet buffers needed at this hop
+
+
+def hop_bounds(spec: TrafficSpec, local_delays: list[int],
+               horizons: list[int] | None = None) -> list[HopBound]:
+    """Timing windows and buffer demands along a route.
+
+    ``horizons[j]`` is the horizon of the link *at hop j* (used by the
+    downstream hop's earliest-arrival window).  Defaults to all zeros.
+    """
+    count = len(local_delays)
+    if horizons is None:
+        horizons = [0] * count
+    if len(horizons) != count:
+        raise ValueError("one horizon per hop required")
+    bounds = []
+    arrival_offset = 0
+    for j, delay in enumerate(local_delays):
+        prev_h = horizons[j - 1] if j > 0 else 0
+        prev_d = local_delays[j - 1] if j > 0 else 0
+        earliest = arrival_offset - (prev_h + prev_d)
+        window = prev_h + prev_d + delay
+        buffers = (max(1, math.ceil(window / spec.i_min))
+                   + (spec.b_max - 1)) * spec.packets_per_message
+        bounds.append(HopBound(
+            logical_arrival_offset=arrival_offset,
+            earliest_offset=earliest,
+            deadline_offset=arrival_offset + delay,
+            buffers=buffers,
+        ))
+        arrival_offset += delay
+    return bounds
+
+
+def end_to_end_bound(local_delays: list[int]) -> int:
+    """Worst-case delivery offset from the source logical arrival."""
+    return sum(local_delays)
+
+
+def worst_case_backlog(spec: TrafficSpec, window: int) -> int:
+    """Maximum packets of one connection inside a time window."""
+    return spec.max_messages(window) * spec.packets_per_message
+
+
+def horizon_buffer_tradeoff(spec: TrafficSpec, upstream_delay: int,
+                            local_delay: int,
+                            horizons: list[int]) -> list[tuple[int, int]]:
+    """Buffer demand as a function of the upstream horizon (ablation A1).
+
+    Returns ``(horizon, buffers)`` pairs: larger horizons admit earlier
+    transmission (better latency and utilisation) at the cost of more
+    reserved buffers downstream — the paper's central horizon trade-off.
+    """
+    rows = []
+    for horizon in horizons:
+        window = horizon + upstream_delay + local_delay
+        buffers = (max(1, math.ceil(window / spec.i_min))
+                   + (spec.b_max - 1)) * spec.packets_per_message
+        rows.append((horizon, buffers))
+    return rows

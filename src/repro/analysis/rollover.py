@@ -1,0 +1,59 @@
+"""Clock-rollover correctness conditions (paper section 4.3).
+
+With an n-bit clock ticking once per packet time, logical arrival
+times at link ``j`` of any live packet lie in::
+
+    [t - d_j,  t + (h_{j-1} + d_{j-1})]
+
+so the router decodes them correctly iff both ``d_j`` and
+``h_{j-1} + d_{j-1}`` stay below half the clock range.  These helpers
+state and check that window, and compute the minimum clock width a set
+of connection parameters requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RolloverWindow:
+    """The live window of logical arrival times around current time."""
+
+    behind: int   # packets may have l as far as this behind t
+    ahead: int    # ... and this far ahead of t
+
+    @property
+    def span(self) -> int:
+        return self.behind + self.ahead + 1
+
+
+def live_window(local_delay: int, upstream_delay: int,
+                upstream_horizon: int) -> RolloverWindow:
+    """Paper section 4.3: l_j(m) in [t - d_j, t + h_{j-1} + d_{j-1}]."""
+    return RolloverWindow(behind=local_delay,
+                          ahead=upstream_horizon + upstream_delay)
+
+
+def is_safe(clock_bits: int, local_delay: int, upstream_delay: int,
+            upstream_horizon: int) -> bool:
+    """Whether the half-range condition holds for a connection."""
+    half = (1 << clock_bits) // 2
+    return (local_delay < half
+            and upstream_horizon + upstream_delay < half)
+
+
+def required_clock_bits(max_delay: int, max_horizon: int) -> int:
+    """Smallest clock width decoding all delays/horizons correctly."""
+    worst = max(max_delay, max_horizon + max_delay)
+    return max(2, math.ceil(math.log2(worst + 1)) + 1)
+
+
+def classify(clock_bits: int, now: int, logical_arrival: int) -> str:
+    """Early/on-time decision as the hardware makes it (Figure 6)."""
+    mask = (1 << clock_bits) - 1
+    half = (1 << clock_bits) // 2
+    if (now - logical_arrival) & mask < half:
+        return "on-time"
+    return "early"

@@ -1,0 +1,51 @@
+"""Link-utilisation and schedulability accounting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.channels.admission import ConnectionLoad
+from repro.channels.spec import TrafficSpec
+
+
+@dataclass(frozen=True)
+class UtilisationReport:
+    """Summary of one link's reserved load."""
+
+    connections: int
+    utilisation: float
+    peak_burst_slots: int
+
+    @property
+    def headroom(self) -> float:
+        return max(0.0, 1.0 - self.utilisation)
+
+
+def summarise(loads: Iterable[ConnectionLoad]) -> UtilisationReport:
+    """Aggregate a link's reserved loads into a utilisation report."""
+    loads = list(loads)
+    return UtilisationReport(
+        connections=len(loads),
+        utilisation=sum(l.utilisation for l in loads),
+        peak_burst_slots=sum(l.packets * l.b_max for l in loads),
+    )
+
+
+def utilisation_of(spec: TrafficSpec) -> float:
+    """Long-run packet-slot demand of one connection."""
+    return spec.utilisation
+
+
+def admissible_count(spec: TrafficSpec, local_deadline: int) -> int:
+    """How many identical connections one link can carry.
+
+    Under EDF with demand bound, identical connections with per-message
+    cost C, spacing I and local deadline d fit while both the
+    utilisation bound ``k*C/I <= 1`` and the deadline-crunch bound
+    ``k*C*b <= d`` hold (all bursts due simultaneously).
+    """
+    cost = spec.packets_per_message
+    by_utilisation = spec.i_min // cost
+    by_deadline = max(0, local_deadline // (cost * spec.b_max))
+    return min(by_utilisation, by_deadline)

@@ -1,0 +1,31 @@
+"""Baseline designs the paper compares against (section 6)."""
+
+from repro.baselines.comparison import (
+    DisciplineResult,
+    WorkloadChannel,
+    compare_disciplines,
+)
+from repro.baselines.fifo_router import FifoLinkScheduler
+from repro.baselines.priority_forwarding import (
+    DEFAULT_QUEUE_DEPTH,
+    PriorityForwardingScheduler,
+)
+from repro.baselines.software_edf import (
+    SoftwareSchedulerModel,
+    hardware_packet_rate,
+    software_shortfall,
+)
+from repro.baselines.vc_priority import VcPriorityScheduler
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "DisciplineResult",
+    "FifoLinkScheduler",
+    "PriorityForwardingScheduler",
+    "SoftwareSchedulerModel",
+    "VcPriorityScheduler",
+    "WorkloadChannel",
+    "compare_disciplines",
+    "hardware_packet_rate",
+    "software_shortfall",
+]

@@ -1,0 +1,143 @@
+"""Head-to-head comparison harness for link-scheduling disciplines.
+
+Runs an identical real-time workload through the real-time channel
+scheduler and each baseline (FIFO, priority forwarding, virtual-channel
+priorities) on the slot simulator, and reports deadline misses and
+latency — the experiment behind the section 6 comparison (bench A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.baselines.fifo_router import FifoLinkScheduler
+from repro.baselines.priority_forwarding import PriorityForwardingScheduler
+from repro.baselines.vc_priority import VcPriorityScheduler
+from repro.channels.spec import TrafficSpec
+from repro.model.slotsim import SlotSimulator
+
+
+@dataclass(frozen=True)
+class WorkloadChannel:
+    """One connection of a comparison workload."""
+
+    label: str
+    spec: TrafficSpec
+    local_delays: list[int]    # per hop; deadline = sum
+    messages: int
+    phase: int = 0             # first logical arrival tick
+    links: Optional[list[object]] = None   # defaults to a shared chain
+
+    def arrivals(self) -> list[int]:
+        return [self.phase + i * self.spec.i_min
+                for i in range(self.messages)]
+
+
+@dataclass(frozen=True)
+class DisciplineResult:
+    """Outcome of one discipline on one workload."""
+
+    name: str
+    delivered: int
+    deadline_misses: int
+    mean_latency: float
+    max_latency: int
+
+    @property
+    def miss_rate(self) -> float:
+        if self.delivered == 0:
+            return 0.0
+        return self.deadline_misses / self.delivered
+
+
+def _run(name: str, channels: list[WorkloadChannel],
+         factory, horizons=None,
+         max_ticks: int = 200_000) -> DisciplineResult:
+    sim = SlotSimulator(horizons=horizons, scheduler_factory=factory)
+    for channel in channels:
+        links = channel.links or [f"link{j}"
+                                  for j in range(len(channel.local_delays))]
+        sim.add_channel(channel.label, links, channel.local_delays,
+                        channel.arrivals())
+    sim.run_until_drained(max_ticks=max_ticks)
+    done = sim.delivered()
+    latencies = [p.delivered_tick - p.l0 for p in done]
+    return DisciplineResult(
+        name=name,
+        delivered=len(done),
+        deadline_misses=sim.deadline_misses(),
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        max_latency=max(latencies) if latencies else 0,
+    )
+
+
+def compare_disciplines(
+    channels: list[WorkloadChannel],
+    *,
+    horizon: int = 0,
+    vc_levels: int = 2,
+    priority_of: Optional[Callable[[str], int]] = None,
+    include_approximate: bool = False,
+    approx_bin_width: int = 4,
+    max_ticks: int = 200_000,
+) -> dict[str, DisciplineResult]:
+    """Run the workload under every discipline.
+
+    ``priority_of`` maps a channel label to a static priority for the
+    priority-forwarding and VC baselines; by default, tighter deadlines
+    get higher priority (deadline-monotonic assignment — the best
+    static policy available to those designs).
+    """
+    deadline_by_label = {c.label: sum(c.local_delays) for c in channels}
+    if priority_of is None:
+        def priority_of(label: str) -> int:
+            return 10_000 - deadline_by_label[label]
+
+    def packet_priority(packet) -> int:
+        # Slot-simulator payloads are (SlotPacket, hop index) pairs.
+        slot_packet, __ = packet.payload
+        return priority_of(slot_packet.label)
+
+    ranked = sorted(deadline_by_label, key=lambda l: -priority_of(l))
+
+    def packet_class(packet) -> int:
+        # Highest priority -> class 0; clamp into the VC count.
+        slot_packet, __ = packet.payload
+        rank = ranked.index(slot_packet.label)
+        return min(vc_levels - 1,
+                   rank * vc_levels // max(1, len(ranked)))
+
+    all_links = {
+        link
+        for c in channels
+        for link in (c.links or [f"link{j}"
+                                 for j in range(len(c.local_delays))])
+    }
+    horizons = {link: horizon for link in all_links}
+    results = {
+        "real-time": _run("real-time", channels, None, horizons=horizons,
+                          max_ticks=max_ticks),
+        "fifo": _run("fifo", channels,
+                     lambda link: FifoLinkScheduler(), max_ticks=max_ticks),
+        "priority-forwarding": _run(
+            "priority-forwarding", channels,
+            lambda link: PriorityForwardingScheduler(packet_priority),
+            max_ticks=max_ticks,
+        ),
+        "vc-priority": _run(
+            "vc-priority", channels,
+            lambda link: VcPriorityScheduler(vc_levels, packet_class),
+            max_ticks=max_ticks,
+        ),
+    }
+    if include_approximate:
+        from repro.extensions.approx_scheduler import ApproximateEdfScheduler
+
+        results["approximate-edf"] = _run(
+            "approximate-edf", channels,
+            lambda link: ApproximateEdfScheduler(
+                horizon=horizon, bin_width=approx_bin_width),
+            max_ticks=max_ticks,
+        )
+    return results

@@ -1,0 +1,57 @@
+"""FIFO link scheduling — the conventional packet-switched baseline.
+
+A router without deadline awareness serves buffered packets in arrival
+order.  It is work-conserving (no logical-arrival gating), so it gives
+*better average latency* than the real-time discipline at light load —
+but it cannot differentiate urgencies, so deadline misses appear as
+soon as queues build (paper section 1's critique of existing parallel
+machines).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.core.link_scheduler import ScheduledPacket
+
+
+class FifoLinkScheduler:
+    """Drop-in baseline for the slot simulator's link discipline."""
+
+    def __init__(self) -> None:
+        self._tc: deque[ScheduledPacket] = deque()
+        self._be: deque[Any] = deque()
+        self.tc_served = 0
+        self.be_served = 0
+
+    def add_tc(self, packet: ScheduledPacket, now: int) -> None:
+        self._tc.append(packet)
+
+    def add_be(self, item: Any) -> None:
+        self._be.append(item)
+
+    def has_on_time(self, now: int) -> bool:
+        # Work-conserving: any queued packet is served immediately, so
+        # it always outranks a standing best-effort backlog.
+        return bool(self._tc)
+
+    def has_work(self, now: int) -> bool:
+        return bool(self._tc or self._be)
+
+    def pick(self, now: int) -> Optional[tuple[str, Any]]:
+        if self._tc:
+            self.tc_served += 1
+            return ("TC", self._tc.popleft())
+        if self._be:
+            self.be_served += 1
+            return ("BE", self._be.popleft())
+        return None
+
+    @property
+    def tc_backlog(self) -> int:
+        return len(self._tc)
+
+    @property
+    def be_backlog(self) -> int:
+        return len(self._be)

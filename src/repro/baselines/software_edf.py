@@ -1,0 +1,77 @@
+"""Cost model of *software* deadline scheduling (paper section 1).
+
+The paper motivates on-chip scheduling hardware by arguing that doing
+the deadline sort in protocol software "would impose a significant
+burden on the processing resources at each node and would prove too
+slow to serve multiple high-speed links".  This module quantifies that
+claim: given a processor's instruction rate and a heap-based sorter, it
+computes the maximum link rate software scheduling can sustain and the
+CPU share it steals from application tasks — the numbers behind the
+hardware/software trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SoftwareSchedulerModel:
+    """A node's CPU doing per-packet EDF scheduling in software.
+
+    ``instructions_per_op`` is the cost of one heap operation step
+    (compare + swap + bookkeeping); a packet needs one insert and one
+    extract, each ``log2(backlog)`` steps deep, plus fixed per-packet
+    overhead (interrupt, header parse, enqueue on the device).
+    """
+
+    cpu_hz: float = 50e6
+    instructions_per_op: int = 12
+    fixed_instructions_per_packet: int = 120
+
+    def instructions_per_packet(self, backlog: int) -> int:
+        depth = max(1, math.ceil(math.log2(max(2, backlog))))
+        return self.fixed_instructions_per_packet + (
+            2 * depth * self.instructions_per_op
+        )
+
+    def packet_time_s(self, backlog: int) -> float:
+        return self.instructions_per_packet(backlog) / self.cpu_hz
+
+    def max_packets_per_second(self, backlog: int) -> float:
+        return self.cpu_hz / self.instructions_per_packet(backlog)
+
+    def max_links_served(self, link_packets_per_second: float,
+                         backlog: int,
+                         cpu_share: float = 1.0) -> int:
+        """Links one CPU can schedule at the given per-link rate."""
+        if not 0 < cpu_share <= 1:
+            raise ValueError("cpu_share must be in (0, 1]")
+        budget = self.max_packets_per_second(backlog) * cpu_share
+        return int(budget // link_packets_per_second)
+
+    def cpu_share_for(self, links: int, link_packets_per_second: float,
+                      backlog: int) -> float:
+        """CPU fraction consumed scheduling ``links`` full links."""
+        need = links * link_packets_per_second
+        return need / self.max_packets_per_second(backlog)
+
+
+def hardware_packet_rate(link_hz: float = 50e6,
+                         packet_bytes: int = 20) -> float:
+    """Packets per second one link sustains at one byte per cycle."""
+    return link_hz / packet_bytes
+
+
+def software_shortfall(model: SoftwareSchedulerModel, links: int = 5,
+                       backlog: int = 256) -> float:
+    """How many times too slow software is for the paper's chip.
+
+    The chip schedules five output ports at full rate; this returns the
+    ratio of required to achievable packet-scheduling throughput for a
+    same-speed CPU (values above 1 mean software cannot keep up).
+    """
+    required = links * hardware_packet_rate()
+    achievable = model.max_packets_per_second(backlog)
+    return required / achievable

@@ -1,0 +1,68 @@
+"""Virtual-channel priority scheduling (the wormhole-priority baseline).
+
+Section 6's middle ground: a wormhole router that partitions traffic
+onto a handful of virtual channels with priority arbitration between
+them.  Priority resolution is *tied to the number of virtual channels*
+— a few coarse classes, FIFO within each — so two connections with
+different deadlines but the same class are indistinguishable.  The
+model exposes exactly that limitation: it maps each packet to one of
+``levels`` classes via a caller-supplied function and serves the
+highest non-empty class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.core.link_scheduler import ScheduledPacket
+
+
+class VcPriorityScheduler:
+    """Fixed-priority classes with FIFO service inside each class."""
+
+    def __init__(self, levels: int,
+                 class_of: Callable[[ScheduledPacket], int]) -> None:
+        if levels < 1:
+            raise ValueError("need at least one virtual-channel class")
+        self.levels = levels
+        self.class_of = class_of
+        self._classes: list[deque[ScheduledPacket]] = [
+            deque() for _ in range(levels)
+        ]
+        self._be: deque[Any] = deque()
+        self.tc_served = 0
+        self.be_served = 0
+
+    def add_tc(self, packet: ScheduledPacket, now: int) -> None:
+        level = self.class_of(packet)
+        if not 0 <= level < self.levels:
+            raise ValueError(f"class {level} outside 0..{self.levels - 1}")
+        self._classes[level].append(packet)
+
+    def add_be(self, item: Any) -> None:
+        self._be.append(item)
+
+    def has_on_time(self, now: int) -> bool:
+        return any(self._classes)
+
+    def has_work(self, now: int) -> bool:
+        return any(self._classes) or bool(self._be)
+
+    def pick(self, now: int) -> Optional[tuple[str, Any]]:
+        for queue in self._classes:  # class 0 is the highest priority
+            if queue:
+                self.tc_served += 1
+                return ("TC", queue.popleft())
+        if self._be:
+            self.be_served += 1
+            return ("BE", self._be.popleft())
+        return None
+
+    @property
+    def tc_backlog(self) -> int:
+        return sum(len(q) for q in self._classes)
+
+    @property
+    def be_backlog(self) -> int:
+        return len(self._be)

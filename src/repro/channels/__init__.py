@@ -1,0 +1,59 @@
+"""Real-time channels: traffic contracts, admission, and establishment.
+
+This package is the paper's section 2 and section 4.1 — the protocol
+software side of the system.  :class:`TrafficSpec` and
+:class:`FlowRequirements` describe a connection;
+:class:`AdmissionController` decides whether the network can carry it;
+:class:`ChannelManager` programs the routers and hands back a
+:class:`RealTimeChannel` for sending messages.
+"""
+
+from repro.channels.admission import (
+    AdmissionController,
+    AdmissionError,
+    ConnectionLoad,
+    HopDescriptor,
+    LinkSchedule,
+    NodeBuffers,
+    Reservation,
+    buffer_bound,
+)
+from repro.channels.arrival import LogicalArrivalClock, hop_arrival_times
+from repro.channels.manager import ChannelManager, RealTimeChannel
+from repro.channels.policing import SourceRegulator, conformance_violations
+from repro.channels.routing import (
+    dimension_ordered_route,
+    least_loaded_route,
+    minimal_routes,
+    multicast_tree,
+    route_length,
+    tree_parents,
+    y_first_route,
+)
+from repro.channels.spec import FlowRequirements, TrafficSpec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "ChannelManager",
+    "ConnectionLoad",
+    "FlowRequirements",
+    "HopDescriptor",
+    "LinkSchedule",
+    "LogicalArrivalClock",
+    "NodeBuffers",
+    "RealTimeChannel",
+    "Reservation",
+    "SourceRegulator",
+    "TrafficSpec",
+    "buffer_bound",
+    "conformance_violations",
+    "dimension_ordered_route",
+    "hop_arrival_times",
+    "least_loaded_route",
+    "minimal_routes",
+    "multicast_tree",
+    "route_length",
+    "tree_parents",
+    "y_first_route",
+]

@@ -1,0 +1,62 @@
+"""Logical arrival times (paper section 2).
+
+A message generated at time ``t_i`` has logical arrival time::
+
+    l0(m_i) = t_i                                   if i == 0
+    l0(m_i) = max(l0(m_{i-1}) + I_min, t_i)         if i > 0
+
+Basing guarantees on logical rather than actual arrival times limits
+the influence an ill-behaved or malicious source can have on other
+traffic: a source that generates faster than its contract only pushes
+its *own* logical arrival times (and hence deadlines) into the future.
+
+Downstream, ``l_j(m_i) = l_{j-1}(m_i) + d_{j-1}`` — each hop's deadline
+is the next hop's logical arrival time, which is how the router chip
+carries the value in the packet header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class LogicalArrivalClock:
+    """Source-side generator of logical arrival times (unwrapped ticks)."""
+
+    i_min: int
+    _last: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.i_min < 1:
+            raise ValueError("i_min must be at least one tick")
+
+    def stamp(self, generated_at: int) -> int:
+        """Logical arrival time for a message generated at this tick."""
+        if self._last is None:
+            arrival = generated_at
+        else:
+            arrival = max(self._last + self.i_min, generated_at)
+        self._last = arrival
+        return arrival
+
+    @property
+    def last(self) -> Optional[int]:
+        return self._last
+
+    def reset(self) -> None:
+        self._last = None
+
+
+def hop_arrival_times(l0: int, local_delays: list[int]) -> list[int]:
+    """Logical arrival times at every hop given the source value.
+
+    Returns ``[l_0, l_1, ..., l_H]`` where ``l_j = l_{j-1} + d_{j-1}``;
+    the final entry is the end-to-end deadline when the decomposition
+    saturates the budget.
+    """
+    arrivals = [l0]
+    for delay in local_delays:
+        arrivals.append(arrivals[-1] + delay)
+    return arrivals

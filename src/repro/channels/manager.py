@@ -1,0 +1,424 @@
+"""The protocol software that establishes real-time channels.
+
+The chip deliberately leaves admission control, route selection and
+table programming to software (paper section 4.1).  The
+:class:`ChannelManager` is that software: given the routers of a
+fabric, it selects routes, runs admission control, allocates
+connection identifiers, decomposes deadlines, and drives each router's
+four-write control interface.  The returned :class:`RealTimeChannel`
+is the application-facing handle used to stamp and send messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.channels.admission import (
+    AdmissionController,
+    AdmissionError,
+    HopDescriptor,
+    Reservation,
+)
+from repro.channels.arrival import LogicalArrivalClock
+from repro.channels.policing import SourceRegulator
+from repro.channels.routing import (
+    Hop,
+    Node,
+    dimension_ordered_route,
+    least_loaded_route,
+    multicast_tree,
+    tree_parents,
+)
+from repro.channels.spec import FlowRequirements, TrafficSpec
+from repro.core.packet import PacketMeta, TimeConstrainedPacket
+from repro.core.params import TC_PAYLOAD_BYTES, RouterParams
+from repro.core.ports import RECEPTION
+
+_channel_labels = itertools.count()
+
+
+@dataclass
+class RealTimeChannel:
+    """An established real-time channel (application handle).
+
+    ``source_connection_id`` is the identifier the host stamps on
+    injected packets; the routers rewrite it hop by hop.  ``deadline``
+    is the effective end-to-end bound: the sum of per-hop delay bounds
+    along the deepest path, which is at most the requested ``D``.
+    """
+
+    label: str
+    source: Node
+    destinations: tuple[Node, ...]
+    spec: TrafficSpec
+    requirements: FlowRequirements
+    source_connection_id: int
+    local_delays: list[int]
+    deadline: int
+    reservation: Reservation
+    regulator: SourceRegulator
+    table_entries: list[tuple[Node, int]]  # (node, connection id) programmed
+    _sequence: int = 0
+
+    @property
+    def jitter_bound(self) -> int:
+        """Worst-case delivery-time jitter in ticks.
+
+        A message can arrive as early as its final logical arrival time
+        minus the last link's horizon window, and as late as the
+        deadline, so the spread is bounded by the final hop's
+        ``d + h_prev + d_prev`` (paper section 2's window, applied to
+        the destination).  With zero horizons this is the last two
+        delay bounds combined; single-hop channels jitter by ``d``.
+        """
+        hops = self.reservation.hops
+        delays = self.reservation.local_delays
+        last = len(delays) - 1
+        prev_h = hops[last - 1].horizon if last > 0 else 0
+        prev_d = delays[last - 1] if last > 0 else 0
+        return delays[last] + prev_h + prev_d
+
+    def make_message(
+        self, payload: bytes, now_tick: int,
+    ) -> tuple[list[TimeConstrainedPacket], int, int]:
+        """Package one application message for injection.
+
+        Returns ``(packets, logical_arrival, release_tick)``.  The
+        message is fragmented into fixed-size packets sharing the same
+        logical arrival time and end-to-end deadline; ``release_tick``
+        is the earliest tick the source may inject (rate-based source
+        flow control).
+        """
+        if len(payload) > self.spec.s_max:
+            raise ValueError(
+                f"message of {len(payload)} bytes exceeds the channel's "
+                f"S_max = {self.spec.s_max}"
+            )
+        arrival, release = self.regulator.admit(now_tick)
+        packets: list[TimeConstrainedPacket] = []
+        for offset in range(0, max(1, len(payload)), TC_PAYLOAD_BYTES):
+            fragment = payload[offset:offset + TC_PAYLOAD_BYTES]
+            fragment = fragment.ljust(TC_PAYLOAD_BYTES, b"\x00")
+            meta = PacketMeta(
+                source=self.source,
+                destination=self.destinations[0],
+                absolute_deadline=arrival + self.deadline,
+                connection_label=self.label,
+                sequence=self._sequence,
+            )
+            packets.append(TimeConstrainedPacket(
+                connection_id=self.source_connection_id,
+                header_deadline=arrival,  # wrapped by serialisation
+                payload=fragment,
+                meta=meta,
+            ))
+            self._sequence += 1
+        return packets, arrival, release
+
+
+class ChannelManager:
+    """Connection establishment over a fabric of real-time routers."""
+
+    def __init__(
+        self,
+        routers: Mapping[Node, object],
+        admission: Optional[AdmissionController] = None,
+        params: Optional[RouterParams] = None,
+    ) -> None:
+        self.routers = routers
+        self.params = params or RouterParams()
+        self.admission = admission or AdmissionController(self.params)
+        self._used_ids: dict[Node, set[int]] = {
+            node: set() for node in routers
+        }
+        self.channels: list[RealTimeChannel] = []
+
+    # -- identifier allocation ---------------------------------------------
+
+    def _allocate_id(self, node: Node) -> int:
+        used = self._used_ids[node]
+        for cid in range(self.params.connections):
+            if cid not in used:
+                used.add(cid)
+                return cid
+        raise AdmissionError(f"router {node!r} has no free connection ids")
+
+    def _allocate_common_id(self, nodes: Sequence[Node]) -> int:
+        for cid in range(self.params.connections):
+            if all(cid not in self._used_ids[node] for node in nodes):
+                for node in nodes:
+                    self._used_ids[node].add(cid)
+                return cid
+        raise AdmissionError("no connection id free at every tree node")
+
+    # -- establishment --------------------------------------------------------
+
+    def establish(
+        self,
+        source: Node,
+        destination: Node | Sequence[Node],
+        spec: TrafficSpec,
+        deadline: int,
+        *,
+        route: Optional[list[Hop]] = None,
+        label: Optional[str] = None,
+        adaptive: bool = True,
+    ) -> RealTimeChannel:
+        """Create a real-time channel or raise :class:`AdmissionError`.
+
+        ``destination`` may be a single node or a sequence of nodes
+        (multicast).  ``route`` overrides route selection for unicast
+        channels; by default the least-loaded of the two dimension
+        orders is chosen (``adaptive=False`` forces dimension order).
+        """
+        requirements = FlowRequirements(deadline=deadline)
+        if label is None:
+            label = f"channel-{next(_channel_labels)}"
+        if isinstance(destination, tuple) and len(destination) == 2 and all(
+                isinstance(c, int) for c in destination):
+            destinations: tuple[Node, ...] = (destination,)
+        else:
+            destinations = tuple(destination)
+        if len(destinations) == 1:
+            return self._establish_unicast(
+                source, destinations[0], spec, requirements,
+                route=route, label=label, adaptive=adaptive,
+            )
+        if route is not None:
+            raise ValueError("explicit routes only apply to unicast")
+        return self._establish_multicast(
+            source, destinations, spec, requirements, label=label,
+        )
+
+    def _hop_descriptors(self, route: list[Hop]) -> list[HopDescriptor]:
+        hops = []
+        for node, port in route:
+            router = self.routers[node]
+            horizon = router.control.horizons[port]
+            hops.append(HopDescriptor(node=node, out_port=port,
+                                      horizon=horizon))
+        return hops
+
+    def _establish_unicast(
+        self, source: Node, destination: Node, spec: TrafficSpec,
+        requirements: FlowRequirements, *, route: Optional[list[Hop]],
+        label: str, adaptive: bool,
+    ) -> RealTimeChannel:
+        if route is None:
+            if adaptive:
+                route = least_loaded_route(self.admission, source,
+                                           destination)
+            else:
+                route = dimension_ordered_route(source, destination)
+        for node, __ in route:
+            if node not in self.routers:
+                raise ValueError(f"route visits unknown node {node!r}")
+        hops = self._hop_descriptors(route)
+        reservation = self.admission.admit(hops, spec, requirements)
+        delays = reservation.local_delays
+
+        # Allocate one id per node and chain them.
+        nodes = [node for node, __ in route]
+        ids = [self._allocate_id(node) for node in nodes]
+        entries: list[tuple[Node, int]] = []
+        for index, (node, port) in enumerate(route):
+            outgoing = ids[index + 1] if index + 1 < len(ids) else 0
+            self.routers[node].control.program_connection(
+                incoming_id=ids[index], outgoing_id=outgoing,
+                delay=delays[index], port_mask=1 << port,
+            )
+            entries.append((node, ids[index]))
+        channel = RealTimeChannel(
+            label=label, source=source, destinations=(destination,),
+            spec=spec, requirements=requirements,
+            source_connection_id=ids[0], local_delays=list(delays),
+            deadline=sum(delays), reservation=reservation,
+            regulator=SourceRegulator(spec),
+            table_entries=entries,
+        )
+        self.channels.append(channel)
+        return channel
+
+    def _establish_multicast(
+        self, source: Node, destinations: tuple[Node, ...],
+        spec: TrafficSpec, requirements: FlowRequirements, *, label: str,
+    ) -> RealTimeChannel:
+        ports_by_node, order = multicast_tree(source, list(destinations))
+        for node in order:
+            if node not in self.routers:
+                raise ValueError(f"tree visits unknown node {node!r}")
+        parents_map = tree_parents(ports_by_node, order)
+
+        # One hop per (node, out port); all hops at a node share the
+        # node's delay bound (hardware stores a single d per entry).
+        hops: list[HopDescriptor] = []
+        hop_parent: list[int] = []
+        node_first_hop: dict[Node, int] = {}
+        for node in order:
+            for port in sorted(ports_by_node[node]):
+                router = self.routers[node]
+                descriptor = HopDescriptor(
+                    node=node, out_port=port,
+                    horizon=router.control.horizons[port],
+                )
+                parent_node = parents_map[node]
+                parent_index = (
+                    node_first_hop[parent_node]
+                    if parent_node is not None else -1
+                )
+                node_first_hop.setdefault(node, len(hops))
+                hops.append(descriptor)
+                hop_parent.append(parent_index)
+
+        depth = self._tree_depth(order, parents_map)
+        d_min = self.admission.hop_overhead + 1
+        d_cap = min(spec.i_min, self.params.half_range - 1)
+        uniform = min(d_cap, requirements.deadline // depth)
+        if uniform < d_min:
+            raise AdmissionError(
+                f"deadline {requirements.deadline} too tight for a "
+                f"depth-{depth} multicast tree"
+            )
+        delays = [uniform] * len(hops)
+        reservation = self.admission.admit(
+            hops, spec, requirements, local_delays=delays,
+            parents=hop_parent,
+        )
+
+        common_id = self._allocate_common_id(order)
+        entries: list[tuple[Node, int]] = []
+        for node in order:
+            mask = 0
+            for port in ports_by_node[node]:
+                mask |= 1 << port
+            self.routers[node].control.program_connection(
+                incoming_id=common_id, outgoing_id=common_id,
+                delay=uniform, port_mask=mask,
+            )
+            entries.append((node, common_id))
+        channel = RealTimeChannel(
+            label=label, source=source, destinations=destinations,
+            spec=spec, requirements=requirements,
+            source_connection_id=common_id,
+            local_delays=[uniform] * depth, deadline=uniform * depth,
+            reservation=reservation, regulator=SourceRegulator(spec),
+            table_entries=entries,
+        )
+        self.channels.append(channel)
+        return channel
+
+    @staticmethod
+    def _tree_depth(order: list[Node],
+                    parents_map: dict[Node, Optional[Node]]) -> int:
+        depth: dict[Node, int] = {}
+        for node in order:
+            parent = parents_map[node]
+            depth[node] = 1 if parent is None else depth[parent] + 1
+        # A packet is delayed once per node on its path (by the link
+        # port at interior nodes, by the reception port at leaves), so
+        # the deepest delay chain equals the deepest node depth.
+        return max(depth.values()) if depth else 1
+
+    # -- horizon management ---------------------------------------------------------
+
+    def reduce_horizon(self, node: Node, port: int, horizon: int) -> int:
+        """Lower one output port's horizon register, freeing buffers.
+
+        Paper section 4.1: "the protocol software could reduce a
+        port's horizon parameter as more connections are established,
+        to free downstream buffer space for reservation by the new
+        connections."  Reducing a horizon only ever shrinks the window
+        ``h + d_prev + d`` of every connection crossing the link, so
+        the change is always safe; this method updates the register,
+        recomputes every affected reservation's buffer demand at the
+        downstream hop, and releases the difference.  Returns the
+        number of packet buffers freed.
+        """
+        router = self.routers[node]
+        current = router.control.horizons[port]
+        if horizon > current:
+            raise ValueError(
+                "reduce_horizon only lowers a horizon; raising one "
+                "requires re-admitting the affected connections"
+            )
+        if horizon == current:
+            return 0
+        router.control.write_horizon(1 << port, horizon)
+
+        freed = 0
+        from repro.channels.admission import buffer_bound
+
+        for channel in self.channels:
+            reservation = channel.reservation
+            if reservation.spec is None or reservation.parents is None:
+                continue
+            for index, hop in enumerate(reservation.hops):
+                parent = reservation.parents[index]
+                if parent < 0:
+                    continue
+                upstream = reservation.hops[parent]
+                if upstream.node != node or upstream.out_port != port:
+                    continue
+                old = reservation.buffers[index][2]
+                new = buffer_bound(
+                    reservation.spec, horizon,
+                    reservation.local_delays[parent],
+                    reservation.local_delays[index],
+                )
+                if new < old:
+                    self.admission.node(hop.node).release(
+                        hop.out_port, old - new)
+                    reservation.buffers[index] = (
+                        hop.node, hop.out_port, new)
+                    freed += old - new
+                # Track the new horizon in the descriptor so later
+                # recomputations start from the right value.
+                reservation.hops[parent] = HopDescriptor(
+                    node=upstream.node, out_port=upstream.out_port,
+                    horizon=horizon,
+                )
+        return freed
+
+    # -- fault recovery -----------------------------------------------------------
+
+    def reroute(self, channel: RealTimeChannel, route: list[Hop],
+                ) -> RealTimeChannel:
+        """Re-establish a channel on an explicit replacement route.
+
+        Fault recovery after a link failure: the old reservations and
+        table entries are torn down, the channel is admitted on the new
+        route, and a fresh handle (same label, spec, requirements, and
+        regulator state so logical arrival times stay monotone) is
+        returned.  If the new route cannot be admitted the old channel
+        is left intact and the AdmissionError propagates.
+        """
+        if channel not in self.channels:
+            raise ValueError("channel is not managed by this manager")
+        if len(channel.destinations) != 1:
+            raise ValueError("rerouting is supported for unicast channels")
+        replacement = self._establish_unicast(
+            channel.source, channel.destinations[0], channel.spec,
+            channel.requirements, route=route,
+            label=channel.label, adaptive=False,
+        )
+        # Only after the replacement is safely admitted, retire the old
+        # path — and carry the regulator so spacing guarantees persist.
+        replacement.regulator = channel.regulator
+        replacement._sequence = channel._sequence
+        self.teardown(channel)
+        return replacement
+
+    # -- teardown ----------------------------------------------------------------
+
+    def teardown(self, channel: RealTimeChannel) -> None:
+        """Release a channel: tables invalidated, resources freed."""
+        if channel not in self.channels:
+            raise ValueError("channel is not managed by this manager")
+        for node, cid in channel.table_entries:
+            self.routers[node].control.table.invalidate(cid)
+            self._used_ids[node].discard(cid)
+        self.admission.release(channel.reservation)
+        self.channels.remove(channel)

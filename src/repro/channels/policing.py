@@ -1,0 +1,77 @@
+"""Source traffic policing and regulation for real-time channels.
+
+The network's guarantees assume each source honours its linear bounded
+arrival process.  Two tools enforce and check that contract:
+
+* :class:`SourceRegulator` — the protocol-software shaper at the
+  source: it stamps messages with logical arrival times and computes
+  the earliest *injection* instant at which a message may enter the
+  network without exceeding the reserved buffer space downstream
+  (rate-based flow control, paper Table 2).
+* :func:`conformance_violations` — an offline checker that reports
+  where a trace of generation times exceeds the contract, used by
+  tests and by the misbehaving-source isolation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.channels.arrival import LogicalArrivalClock
+from repro.channels.spec import TrafficSpec
+
+
+@dataclass
+class SourceRegulator:
+    """Shapes one connection's injections to its traffic contract.
+
+    A message with logical arrival time ``l0`` may be released into the
+    network at ``l0 - horizon`` at the earliest (releasing any earlier
+    could exceed the downstream buffer reservation).  Sources that only
+    inject *at or after* each message's logical arrival time never need
+    shaping; bursty sources are held back.
+    """
+
+    spec: TrafficSpec
+    horizon: int = 0
+    clock: LogicalArrivalClock = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        self.clock = LogicalArrivalClock(self.spec.i_min)
+
+    def admit(self, generated_at: int) -> tuple[int, int]:
+        """Stamp one message.
+
+        Returns ``(logical_arrival, release_at)``: the message's
+        logical arrival time and the earliest tick the source may hand
+        it to the router's injection port.
+        """
+        arrival = self.clock.stamp(generated_at)
+        release_at = max(generated_at, arrival - self.horizon)
+        return arrival, release_at
+
+
+def conformance_violations(
+    generation_times: Iterable[int], spec: TrafficSpec,
+) -> list[int]:
+    """Indices of messages that exceed the linear bounded arrival process.
+
+    A trace conforms when every closed window ``[t_j, t_i]`` holds at
+    most ``b_max + (t_i - t_j) / i_min`` messages; message ``i`` is a
+    violation when some earlier window ending at it overflows.  The
+    check is quadratic in the trace length, which is fine for the test
+    and experiment traces it serves.
+    """
+    times = sorted(generation_times)
+    violations: list[int] = []
+    for i in range(len(times)):
+        for j in range(i):
+            count = i - j + 1
+            span = times[i] - times[j]
+            if span < (count - spec.b_max) * spec.i_min:
+                violations.append(i)
+                break
+    return violations

@@ -1,0 +1,85 @@
+"""Traffic specification of a real-time channel (paper section 2).
+
+A real-time channel is a unidirectional virtual connection described by
+a *linear bounded arrival process*: the minimum temporal spacing
+between messages ``I_min``, the maximum message size ``S_max``, and a
+burst allowance ``B_max`` of messages that may exceed the periodic
+restriction.  Time is counted in scheduler *ticks* — one tick is one
+packet transmission time (20 byte-cycles in the chip).
+
+``S_max`` is in bytes of application payload; because the router uses
+fixed 20-byte packets with an 18-byte payload, a message occupies
+``packets_per_message`` consecutive packets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import TC_PAYLOAD_BYTES
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Linear-bounded-arrival-process description of a connection.
+
+    ``i_min``
+        Minimum spacing between message logical arrival times, ticks.
+    ``s_max``
+        Maximum message size in payload bytes.
+    ``b_max``
+        Maximum burst: messages that may arrive closer than ``i_min``
+        (1 means strictly periodic traffic).
+    """
+
+    i_min: int
+    s_max: int = TC_PAYLOAD_BYTES
+    b_max: int = 1
+
+    def __post_init__(self) -> None:
+        if self.i_min < 1:
+            raise ValueError("i_min must be at least one tick")
+        if self.s_max < 1:
+            raise ValueError("s_max must be at least one byte")
+        if self.b_max < 1:
+            raise ValueError("b_max must be at least one message")
+
+    @property
+    def packets_per_message(self) -> int:
+        """Fixed-size packets needed to carry one maximum-size message."""
+        return math.ceil(self.s_max / TC_PAYLOAD_BYTES)
+
+    @property
+    def utilisation(self) -> float:
+        """Long-run link-slot demand: packet slots per tick."""
+        return self.packets_per_message / self.i_min
+
+    def max_messages(self, interval: int) -> int:
+        """Upper bound on messages generated in any ``interval`` ticks.
+
+        The linear bounded arrival process admits at most
+        ``b_max + floor(interval / i_min)`` message logical arrivals in
+        any half-open window of ``interval`` ticks.
+        """
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if interval == 0:
+            return 0
+        return self.b_max + interval // self.i_min
+
+
+@dataclass(frozen=True)
+class FlowRequirements:
+    """Performance requirements of a connection.
+
+    ``deadline``
+        End-to-end delay bound ``D`` in ticks, measured from a
+        message's logical arrival time at the source.
+    """
+
+    deadline: int
+
+    def __post_init__(self) -> None:
+        if self.deadline < 1:
+            raise ValueError("deadline must be at least one tick")

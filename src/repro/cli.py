@@ -1,0 +1,249 @@
+"""Command-line interface: run experiments and simulations from a shell.
+
+Subcommands::
+
+    repro-router datasheet   [--slots N] [--connections N]
+    repro-router experiment  {e1,f7,a1,a3,a4}
+    repro-router simulate    [--width W] [--height H] [--channels N]
+                             [--ticks T] [--seed S] [--csv PATH]
+
+``datasheet`` prints the Table-4-style chip summary; ``experiment``
+regenerates one of the paper's results; ``simulate`` runs a random
+admitted workload on a mesh and reports delivery statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+from repro.core import RouterParams, estimate_cost
+from repro.reporting import format_kv, format_table
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    params = RouterParams(connections=args.connections,
+                          tc_packet_slots=args.slots)
+    cost = estimate_cost(params)
+    print("\n".join(format_kv([
+        ("connections", params.connections),
+        ("time-constrained packets", params.tc_packet_slots),
+        ("clock (sorting key) bits",
+         f"{params.clock_bits} ({params.key_bits})"),
+        ("comparator tree pipeline", f"{params.pipeline_stages} stages"),
+        ("flit input buffer", f"{params.flit_buffer_bytes} bytes"),
+        ("transistors", f"{cost.transistors:,}"),
+        ("area", f"{cost.area_mm2:.1f} mm^2"),
+        ("power @ 50 MHz", f"{cost.power_w:.1f} W"),
+    ])))
+    return 0
+
+
+def _experiment_e1() -> int:
+    from repro.experiments import wormhole_baseline
+
+    result = wormhole_baseline()
+    rows = [[size, 30 + size, latency, latency - size]
+            for size, latency in result.latencies.items()]
+    print("\n".join(format_table(
+        ["bytes", "paper (30+b)", "measured", "overhead"], rows)))
+    return 0
+
+
+def _experiment_f7() -> int:
+    from repro.experiments import figure7
+    from repro.reporting import line_chart
+
+    result = figure7()
+    series = {label: [(float(c), float(v)) for c, v in values]
+              for label, values in result.series.items()}
+    print("\n".join(line_chart(
+        series, width=64, height=16,
+        title="Figure 7: cumulative link service",
+        x_label="time (clock cycles)")))
+    print(f"deadline misses: {result.deadline_misses}")
+    return 0
+
+
+def _experiment_a1() -> int:
+    from repro.experiments import horizon_tradeoff
+
+    rows = [[p.horizon, f"{p.mean_latency_ticks:.1f}",
+             p.buffers_per_connection] for p in horizon_tradeoff()]
+    print("\n".join(format_table(
+        ["horizon", "mean latency (ticks)", "buffers/conn"], rows)))
+    return 0
+
+
+def _experiment_a3() -> int:
+    from repro.experiments import discipline_comparison
+
+    rows = []
+    for name, outcome in discipline_comparison().items():
+        rows.append([name, outcome.delivered, outcome.deadline_misses,
+                     f"{outcome.mean_latency:.1f}"])
+    print("\n".join(format_table(
+        ["discipline", "delivered", "misses", "mean latency"], rows)))
+    return 0
+
+
+def _experiment_a4() -> int:
+    from repro.experiments import cut_through_sweep
+
+    rows = [[result.hops, f"{result.store_and_forward_cycles:.0f}",
+             f"{result.cut_through_cycles:.0f}",
+             f"{result.speedup:.2f}x"]
+            for result in cut_through_sweep()]
+    print("\n".join(format_table(
+        ["nodes", "store-and-forward", "cut-through", "speedup"], rows)))
+    return 0
+
+
+_EXPERIMENTS = {
+    "e1": _experiment_e1,
+    "f7": _experiment_f7,
+    "a1": _experiment_a1,
+    "a3": _experiment_a3,
+    "a4": _experiment_a4,
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    return _EXPERIMENTS[args.name]()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import TrafficSpec, build_mesh_network
+    from repro.channels import AdmissionError
+
+    rng = random.Random(args.seed)
+    net = build_mesh_network(args.width, args.height)
+    nodes = list(net.mesh.nodes())
+    channels = []
+    for _ in range(args.channels):
+        src, dst = rng.sample(nodes, 2)
+        i_min = rng.choice([6, 10, 16, 24])
+        deadline = i_min * (net.mesh.hop_distance(src, dst) + 1) + 10
+        try:
+            channels.append((net.establish_channel(
+                src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
+            ), i_min))
+        except AdmissionError:
+            continue
+    print(f"admitted {len(channels)} of {args.channels} channels")
+    for tick in range(0, args.ticks, 2):
+        for channel, i_min in channels:
+            if tick % i_min == 0:
+                net.send_message(channel)
+        if rng.random() < 0.25:
+            src, dst = rng.sample(nodes, 2)
+            net.send_best_effort(src, dst,
+                                 payload=bytes(rng.randrange(8, 100)))
+        net.run_ticks(2)
+    net.drain(max_cycles=2_000_000)
+    tc = net.log.latency_summary("TC")
+    be = net.log.latency_summary("BE")
+    print("\n".join(format_kv([
+        ("time-constrained delivered", tc.count),
+        ("deadline misses", net.log.deadline_misses),
+        ("TC mean latency (cycles)", f"{tc.mean:.0f}"),
+        ("best-effort delivered", be.count),
+        ("BE mean latency (cycles)", f"{be.mean:.0f}"),
+    ])))
+    if args.csv:
+        from repro.reporting import write_log_csv
+        path = write_log_csv(args.csv, net.log)
+        print(f"wrote {path}")
+    return 0 if net.log.deadline_misses == 0 else 1
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    from repro.traffic import generate_random_trace
+
+    trace = generate_random_trace(
+        args.width, args.height, channels=args.channels,
+        ticks=args.ticks, datagram_rate=args.datagram_rate,
+        seed=args.seed,
+    )
+    path = trace.save(args.output)
+    print(f"wrote {len(trace.channels)} channels, "
+          f"{len(trace.events)} events to {path}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro import build_mesh_network
+    from repro.traffic import TrafficTrace, replay_trace
+
+    trace = TrafficTrace.load(args.trace)
+    net = build_mesh_network(args.width, args.height)
+    log = replay_trace(net, trace)
+    print("\n".join(format_kv([
+        ("channels", len(trace.channels)),
+        ("events replayed", len(trace.events)),
+        ("time-constrained delivered", log.tc_delivered),
+        ("deadline misses", log.deadline_misses),
+        ("best-effort delivered", log.be_delivered),
+    ])))
+    return 0 if log.deadline_misses == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-router",
+        description="Real-time router reproduction (Rexford/Hall/Shin, "
+                    "ISCA 1996)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    datasheet = commands.add_parser(
+        "datasheet", help="print the chip's Table-4-style datasheet")
+    datasheet.add_argument("--slots", type=int, default=256)
+    datasheet.add_argument("--connections", type=int, default=256)
+    datasheet.set_defaults(func=_cmd_datasheet)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one of the paper's results")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a random admitted workload on a mesh")
+    simulate.add_argument("--width", type=int, default=4)
+    simulate.add_argument("--height", type=int, default=4)
+    simulate.add_argument("--channels", type=int, default=8)
+    simulate.add_argument("--ticks", type=int, default=100)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--csv", default=None)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    generate = commands.add_parser(
+        "generate-trace", help="write a seeded random workload trace")
+    generate.add_argument("output")
+    generate.add_argument("--width", type=int, default=4)
+    generate.add_argument("--height", type=int, default=4)
+    generate.add_argument("--channels", type=int, default=4)
+    generate.add_argument("--ticks", type=int, default=100)
+    generate.add_argument("--datagram-rate", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate_trace)
+
+    replay = commands.add_parser(
+        "replay", help="replay a workload trace on a fresh mesh")
+    replay.add_argument("trace")
+    replay.add_argument("--width", type=int, default=4)
+    replay.add_argument("--height", type=int, default=4)
+    replay.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Arbitration primitives used throughout the router.
+
+The chip uses two arbitration styles (paper section 3.2): round-robin
+among input links for the wormhole virtual channel, and strict priority
+between the virtual channels sharing a physical link (on-time
+time-constrained traffic preempts best-effort at flit granularity,
+best-effort goes ahead of early time-constrained traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter over a fixed set of requesters."""
+
+    def __init__(self, requesters: int) -> None:
+        if requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.requesters = requesters
+        self._next = 0
+        self.grants = [0] * requesters
+
+    def grant(self, requesting: Sequence[bool]) -> Optional[int]:
+        """Pick the next requester at or after the rotating pointer.
+
+        The pointer advances past the winner so persistent requesters
+        share the resource fairly.  Returns None when nobody requests.
+        """
+        if len(requesting) != self.requesters:
+            raise ValueError("request vector length mismatch")
+        for offset in range(self.requesters):
+            idx = (self._next + offset) % self.requesters
+            if requesting[idx]:
+                self._next = (idx + 1) % self.requesters
+                self.grants[idx] += 1
+                return idx
+        return None
+
+
+class PriorityArbiter:
+    """Strict fixed-priority arbiter (lower index wins)."""
+
+    def __init__(self, levels: int) -> None:
+        if levels < 1:
+            raise ValueError("arbiter needs at least one priority level")
+        self.levels = levels
+        self.grants = [0] * levels
+
+    def grant(self, requesting: Sequence[bool]) -> Optional[int]:
+        if len(requesting) != self.levels:
+            raise ValueError("request vector length mismatch")
+        for level, wants in enumerate(requesting):
+            if wants:
+                self.grants[level] += 1
+                return level
+        return None

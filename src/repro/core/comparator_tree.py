@@ -1,0 +1,186 @@
+"""The shared comparator tree that schedules time-constrained packets.
+
+Rather than keeping packets sorted, the router runs a tournament over
+all packet leaves every time an output port needs a transmission
+decision (paper section 4.2 and Figure 5).  The base of the tree
+computes each leaf's 9-bit key relative to the current time (so plain
+unsigned comparisons work across clock rollover); interior comparator
+levels propagate the minimum; a final comparator at the top applies the
+port's horizon check to early winners.
+
+All five output ports share one tree.  The hardware pipelines the tree
+in two stages so decisions overlap packet transmission;
+:class:`SchedulerPipeline` models that cadence (initiation interval and
+latency) on top of the combinational :class:`ComparatorTree`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.clock import RolloverClock
+from repro.core.leaf_state import LeafArray
+from repro.core.params import RouterParams
+from repro.core.sorting_key import SortingKey, compute_key, within_horizon
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The tree's answer to one scheduling request."""
+
+    leaf_index: int
+    key: SortingKey
+    transmissible: bool     # on-time, or early within the port horizon
+
+
+class ComparatorTree:
+    """Combinational min-key tournament over the leaf array.
+
+    ``select_for_port`` is the functional contract of the hardware tree:
+    among leaves whose port mask includes ``port``, return the one with
+    the smallest key at the clock's current time.  Comparator count and
+    depth (for the cost model and the pipeline cadence) follow the
+    binary-tournament structure of Figure 5.
+    """
+
+    def __init__(self, params: RouterParams, leaves: LeafArray) -> None:
+        self.params = params
+        self.leaves = leaves
+        #: Number of scheduling tournaments evaluated (instrumentation).
+        self.evaluations = 0
+
+    # -- structural properties (used by the hardware cost model) --------
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def comparator_count(self) -> int:
+        """Interior comparators of a binary tournament (n - 1), plus the
+        horizon comparator at the top."""
+        return max(0, self.leaf_count - 1) + 1
+
+    @property
+    def depth(self) -> int:
+        """Comparator levels from leaves to the root."""
+        levels = 0
+        width = self.leaf_count
+        while width > 1:
+            width = -(-width // 2)
+            levels += 1
+        return levels
+
+    # -- scheduling -------------------------------------------------------
+
+    def select_for_port(
+        self, port: int, clock: RolloverClock, horizon: int,
+    ) -> Optional[Selection]:
+        """Tournament for one output port at the current time.
+
+        Returns None when no leaf is eligible for the port.  Ties break
+        toward the lower leaf index, matching a left-biased comparator
+        tree.
+        """
+        self.evaluations += 1
+        best_index = -1
+        best_key: Optional[SortingKey] = None
+        for index in self.leaves.occupied_indices():
+            leaf = self.leaves[index]
+            if not leaf.eligible_for(port):
+                continue
+            key = compute_key(clock, leaf.arrival, leaf.deadline)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        if best_key is None:
+            return None
+        return Selection(
+            leaf_index=best_index,
+            key=best_key,
+            transmissible=within_horizon(clock, best_key, horizon),
+        )
+
+    def select_all_ports(
+        self, clock: RolloverClock, horizons: list[int],
+    ) -> list[Optional[Selection]]:
+        """One tournament per output port (testing convenience)."""
+        return [self.select_for_port(port, clock, horizons[port])
+                for port in range(len(horizons))]
+
+
+@dataclass
+class _PipelineJob:
+    port: int
+    ready_cycle: int
+    result: Optional[Selection] = None
+
+
+class SchedulerPipeline:
+    """Timing wrapper: the tree as a two-stage shared pipeline.
+
+    Ports submit requests; the pipeline starts at most one tournament
+    every ``initiation_interval`` cycles and delivers each result
+    ``latency`` cycles after it starts, in request order (round-robin
+    fairness falls out of the FIFO request queue because every port has
+    at most one request outstanding).
+
+    The *result is evaluated at completion time*, not at request time —
+    the real pipeline's final stage latches the winner computed from
+    leaf state as the keys flow through, so a model that snapshots any
+    earlier would be more stale than the hardware, and one that consults
+    the leaves at grant time matches the freshest the chip can be.
+    """
+
+    #: Chip stage delay: ~50 ns per stage at a 20 ns cycle -> 3 cycles.
+    STAGE_CYCLES = 3
+
+    def __init__(self, params: RouterParams, tree: ComparatorTree) -> None:
+        self.params = params
+        self.tree = tree
+        self.latency = params.pipeline_stages * self.STAGE_CYCLES
+        self.initiation_interval = self.STAGE_CYCLES
+        self._queue: deque[_PipelineJob] = deque()
+        self._inflight: deque[_PipelineJob] = deque()
+        self._ports_waiting: set[int] = set()
+        self._next_start_cycle = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether any request is queued or in flight."""
+        return bool(self._queue or self._inflight)
+
+    def request(self, port: int) -> bool:
+        """Enqueue a scheduling request; one outstanding per port."""
+        if port in self._ports_waiting:
+            return False
+        self._ports_waiting.add(port)
+        self._queue.append(_PipelineJob(port=port, ready_cycle=-1))
+        return True
+
+    def has_request(self, port: int) -> bool:
+        return port in self._ports_waiting
+
+    def step(self, cycle: int, clock: RolloverClock,
+             horizons: list[int]) -> list[tuple[int, Optional[Selection]]]:
+        """Advance one router cycle; return completed (port, selection).
+
+        Starts a new tournament when the initiation interval allows,
+        and completes tournaments whose latency has elapsed.
+        """
+        completed: list[tuple[int, Optional[Selection]]] = []
+        while self._inflight and self._inflight[0].ready_cycle <= cycle:
+            job = self._inflight.popleft()
+            job.result = self.tree.select_for_port(
+                job.port, clock, horizons[job.port]
+            )
+            self._ports_waiting.discard(job.port)
+            completed.append((job.port, job.result))
+        if self._queue and cycle >= self._next_start_cycle:
+            job = self._queue.popleft()
+            job.ready_cycle = cycle + self.latency
+            self._inflight.append(job)
+            self._next_start_cycle = cycle + self.initiation_interval
+        return completed

@@ -1,0 +1,177 @@
+"""Analytic hardware-cost model for the router chip (paper Table 4b).
+
+The paper reports chip complexity from the Epoch silicon compiler:
+905,104 transistors on 8.1 mm x 8.7 mm in a 0.5 um 3-metal CMOS process
+at 2.3 W / 50 MHz, with the link-scheduling logic occupying the majority
+of the area and the packet memory much of the rest.
+
+We cannot run a silicon compiler, so this module rebuilds the cost
+*analytically*: each architectural block is sized in bits/comparators
+from the :class:`~repro.core.params.RouterParams`, converted to
+transistors with standard-cell factors, and scaled by a single
+calibration overhead (clock distribution, test logic, glue) chosen so
+the paper's configuration lands near the published totals.  What the
+model is for is the *scaling* story — how cost grows with packet slots,
+connections, key width and pipeline depth — which the paper's
+section 5.1 discusses qualitatively (e.g. sharing comparators between
+leaves to cut the tree cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.params import MESH_LINKS, OUTPUT_PORTS, RouterParams
+
+# Standard-cell transistor factors (typical 0.5 um library values).
+SRAM_T_PER_BIT = 6          # 6T SRAM cell
+LATCH_T_PER_BIT = 10        # latch + write enable
+ADDER_T_PER_BIT = 30        # full adder incl. carry chain
+COMPARATOR_T_PER_BIT = 22   # unsigned magnitude comparator slice
+MUX_T_PER_BIT = 8           # 2:1 mux slice in the winner-index path
+BUFFER_T_PER_LEAF = 40      # fanout buffer tree to the leaf bus
+PORT_CONTROL_T = 2_800      # per-port framing/sync/chunking control
+WORMHOLE_PATH_T = 30_000    # routing, round-robin arbiters, crossbar
+CONTROL_INTERFACE_T = 20_000
+
+#: Calibration: clocking, scan/test, pad ring and compiler glue, chosen
+#: so the default parameters land near the paper's transistor count.
+OVERHEAD_FRACTION = 0.35
+
+# Published Table 4(b) figures used as calibration anchors.
+PAPER_TRANSISTORS = 905_104
+PAPER_AREA_MM2 = 8.1 * 8.7
+PAPER_POWER_W = 2.3
+
+#: SRAM packs roughly three times denser than random logic.
+_SRAM_DENSITY_ADVANTAGE = 3.0
+
+#: Block names making up the link-scheduling logic.
+SCHEDULING_BLOCKS = frozenset({
+    "leaf state", "key units", "comparator tree",
+    "pipeline latches", "leaf fanout buffers",
+})
+
+#: Block names making up the packet-buffer memory.
+MEMORY_BLOCKS = frozenset({"packet memory", "idle-address fifo"})
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Transistor count of one architectural block."""
+
+    name: str
+    transistors: int
+    is_sram: bool = False
+
+    @property
+    def area_weight(self) -> float:
+        density = _SRAM_DENSITY_ADVANTAGE if self.is_sram else 1.0
+        return self.transistors / density
+
+
+@dataclass(frozen=True)
+class ChipCost:
+    """Full chip complexity estimate (reproduces Table 4b's shape)."""
+
+    blocks: tuple[BlockCost, ...]
+    transistors: int
+    area_mm2: float
+    power_w: float
+
+    def block(self, name: str) -> BlockCost:
+        for blk in self.blocks:
+            if blk.name == name:
+                return blk
+        raise KeyError(name)
+
+    @property
+    def scheduling_transistors(self) -> int:
+        return sum(b.transistors for b in self.blocks
+                   if b.name in SCHEDULING_BLOCKS)
+
+    @property
+    def memory_transistors(self) -> int:
+        return sum(b.transistors for b in self.blocks
+                   if b.name in MEMORY_BLOCKS)
+
+    def area_share(self, block_names: frozenset[str] | set[str]) -> float:
+        """Area fraction of a set of blocks, honouring SRAM density."""
+        total = sum(b.area_weight for b in self.blocks)
+        part = sum(b.area_weight for b in self.blocks
+                   if b.name in block_names)
+        return part / total
+
+
+def _id_bits(count: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, count))))
+
+
+def _blocks(params: RouterParams) -> tuple[BlockCost, ...]:
+    """Size every architectural block from the configuration."""
+    slots = params.tc_packet_slots
+    conns = params.connections
+    cbits = params.clock_bits
+    kbits = params.key_bits
+    idx_bits = _id_bits(slots)
+    conn_bits = _id_bits(conns)
+
+    # Per-connection state: outgoing id, delay bound, port mask.
+    conn_entry_bits = conn_bits + cbits + OUTPUT_PORTS
+    # Per-leaf state: arrival, deadline, port mask.
+    leaf_bits = 2 * cbits + OUTPUT_PORTS
+
+    return (
+        BlockCost("packet memory",
+                  slots * params.tc_packet_bytes * 8 * SRAM_T_PER_BIT,
+                  is_sram=True),
+        BlockCost("idle-address fifo",
+                  slots * idx_bits * SRAM_T_PER_BIT, is_sram=True),
+        BlockCost("connection table",
+                  conns * conn_entry_bits * SRAM_T_PER_BIT, is_sram=True),
+        BlockCost("leaf state", slots * leaf_bits * LATCH_T_PER_BIT),
+        # Two subtractors per leaf (l - t and (l + d) - t) plus the
+        # early/on-time half-range test.
+        BlockCost("key units",
+                  slots * (2 * cbits * ADDER_T_PER_BIT
+                           + cbits * COMPARATOR_T_PER_BIT // 2)),
+        # Binary tournament: (slots - 1) comparators over kbits, the
+        # winner-index mux path, and the horizon comparator at the top.
+        BlockCost("comparator tree",
+                  (slots - 1) * (kbits * COMPARATOR_T_PER_BIT
+                                 + idx_bits * MUX_T_PER_BIT)
+                  + cbits * COMPARATOR_T_PER_BIT),
+        # One latch row per internal pipeline boundary; the widest
+        # possible row conservatively bounds each boundary's width.
+        BlockCost("pipeline latches",
+                  max(0, params.pipeline_stages - 1)
+                  * (slots // 2) * (kbits + idx_bits) * LATCH_T_PER_BIT),
+        BlockCost("leaf fanout buffers", slots * BUFFER_T_PER_LEAF),
+        BlockCost("flit buffers",
+                  (MESH_LINKS + 1) * params.flit_buffer_bytes * 8
+                  * LATCH_T_PER_BIT),
+        BlockCost("port control", 2 * OUTPUT_PORTS * PORT_CONTROL_T),
+        BlockCost("wormhole path", WORMHOLE_PATH_T),
+        BlockCost("control interface", CONTROL_INTERFACE_T),
+    )
+
+
+@lru_cache(maxsize=1)
+def _paper_area_weight() -> float:
+    """Area weight of the paper's default configuration."""
+    return sum(b.area_weight for b in _blocks(RouterParams()))
+
+
+def estimate_cost(params: RouterParams) -> ChipCost:
+    """Estimate chip complexity for a router configuration."""
+    blocks = _blocks(params)
+    raw = sum(b.transistors for b in blocks)
+    total = round(raw * (1.0 + OVERHEAD_FRACTION))
+    area = PAPER_AREA_MM2 * (
+        sum(b.area_weight for b in blocks) / _paper_area_weight()
+    )
+    power = PAPER_POWER_W * total / PAPER_TRANSISTORS
+    return ChipCost(blocks=blocks, transistors=total,
+                    area_mm2=area, power_w=power)

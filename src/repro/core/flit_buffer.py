@@ -1,0 +1,86 @@
+"""Flit buffers and acknowledgement-based flow control for wormhole traffic.
+
+Blocked best-effort packets stall *in the network*: each input link has
+a small flit buffer (10 bytes in the chip) and inter-node flow control
+stops the upstream transmitter when that buffer is full (paper
+sections 3.1 and 3.4).  The mechanism is credit-like: the receiver
+returns one acknowledgement bit per byte it drains, and the sender
+tracks outstanding (unacknowledged) bytes, never letting them exceed
+the downstream buffer size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.packet import Phit
+
+
+class FlitBuffer:
+    """A bounded FIFO of best-effort phits at one input port."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("flit buffer capacity must be positive")
+        self.capacity = capacity
+        self._fifo: deque[Phit] = deque()
+        self.overflows = 0
+
+    def push(self, phit: Phit) -> None:
+        if len(self._fifo) >= self.capacity:
+            # The flow-control protocol is supposed to make this
+            # impossible; count and raise so tests catch any violation.
+            self.overflows += 1
+            raise OverflowError("flit buffer overrun — flow control broken")
+        self._fifo.append(phit)
+
+    def pop(self) -> Phit:
+        return self._fifo.popleft()
+
+    def peek(self) -> Optional[Phit]:
+        return self._fifo[0] if self._fifo else None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._fifo)
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+
+@dataclass
+class CreditCounter:
+    """Sender-side view of the downstream flit buffer.
+
+    ``credits`` starts at the downstream buffer capacity; sending a
+    best-effort byte consumes one credit and each returned ack restores
+    one.  The sender may transmit only while credits remain, which
+    bounds downstream occupancy by construction.
+    """
+
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("credit capacity must be positive")
+        self.credits = self.capacity
+
+    @property
+    def can_send(self) -> bool:
+        return self.credits > 0
+
+    def consume(self) -> None:
+        if self.credits <= 0:
+            raise RuntimeError("sent a best-effort byte without credit")
+        self.credits -= 1
+
+    def acknowledge(self, count: int = 1) -> None:
+        self.credits += count
+        if self.credits > self.capacity:
+            raise RuntimeError("more acks than bytes sent")

@@ -1,0 +1,125 @@
+"""Structural invariant checking for the cycle-accurate router.
+
+The chip model holds redundant state (leaf masks vs. memory
+allocation vs. eligibility counters vs. credit counters); these checks
+assert the cross-component consistency conditions after any cycle.
+They are deliberately O(state) — meant for tests and debugging soaks,
+not for the inner loop of big simulations.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import MESH_LINKS, OUTPUT_PORTS
+from repro.core.router import RealTimeRouter
+
+
+class InvariantViolation(AssertionError):
+    """A router structural invariant failed."""
+
+
+def check_router_invariants(router: RealTimeRouter) -> None:
+    """Raise :class:`InvariantViolation` on any inconsistency."""
+    _check_memory_leaves(router)
+    _check_eligibility_counters(router)
+    _check_readers(router)
+    _check_credits(router)
+    _check_flit_buffers(router)
+    _check_streams(router)
+
+
+def _fail(message: str) -> None:
+    raise InvariantViolation(message)
+
+
+def _check_memory_leaves(router: RealTimeRouter) -> None:
+    """An occupied leaf implies an allocated memory slot."""
+    for index in router.leaves.occupied_indices():
+        if not router.memory.idle_fifo.is_allocated(index):
+            _fail(f"leaf {index} occupied but memory slot is free")
+    # Allocated slots are either leaf-occupied, still being written
+    # (bus backlog), or being read by an in-flight transmission.
+    writes_pending = router.bus.pending() > 0
+    for slot in range(router.params.tc_packet_slots):
+        if not router.memory.idle_fifo.is_allocated(slot):
+            continue
+        if router.leaves[slot].occupied:
+            continue
+        if router._slot_readers[slot] > 0 or writes_pending:
+            continue
+        _fail(f"memory slot {slot} allocated but unreachable")
+
+
+def _check_eligibility_counters(router: RealTimeRouter) -> None:
+    """The per-port counters match the leaf masks exactly."""
+    for port in range(OUTPUT_PORTS):
+        actual = sum(
+            1 for index in router.leaves.occupied_indices()
+            if router.leaves[index].eligible_for(port)
+        )
+        if actual != router._eligible_count[port]:
+            _fail(
+                f"eligible_count[{port}] = "
+                f"{router._eligible_count[port]} but {actual} leaves "
+                "are eligible"
+            )
+
+
+def _check_readers(router: RealTimeRouter) -> None:
+    """Reader refcounts equal the in-flight streams per slot."""
+    streams: dict[int, int] = {}
+    for output in router._outputs:
+        stream = output.tc_stream
+        if stream is not None and stream.slot >= 0:
+            streams[stream.slot] = streams.get(stream.slot, 0) + 1
+    for slot in range(router.params.tc_packet_slots):
+        expected = streams.get(slot, 0)
+        if router._slot_readers[slot] != expected:
+            _fail(
+                f"slot {slot} readers = {router._slot_readers[slot]}, "
+                f"but {expected} active streams reference it"
+            )
+        if router._slot_readers[slot] < 0:
+            _fail(f"slot {slot} has negative readers")
+
+
+def _check_credits(router: RealTimeRouter) -> None:
+    for direction in range(MESH_LINKS):
+        credits = router._outputs[direction].credits
+        if not 0 <= credits.credits <= credits.capacity:
+            _fail(
+                f"credits on link {direction} out of range: "
+                f"{credits.credits}/{credits.capacity}"
+            )
+
+
+def _check_flit_buffers(router: RealTimeRouter) -> None:
+    for port, state in enumerate(router._be_inputs):
+        if state.buffer.occupancy > state.buffer.capacity:
+            _fail(f"flit buffer {port} over capacity")
+        if state.transferred < 0:
+            _fail(f"input {port} transferred byte count negative")
+        if state.bound and state.out_port is None:
+            _fail(f"input {port} bound without a routing decision")
+
+
+def _check_streams(router: RealTimeRouter) -> None:
+    for port, output in enumerate(router._outputs):
+        stream = output.tc_stream
+        if stream is None:
+            continue
+        if stream.sent > router.params.tc_packet_bytes:
+            _fail(f"stream on port {port} sent too many bytes")
+        if stream.sent + len(stream.staging) > router.params.tc_packet_bytes:
+            _fail(f"stream on port {port} staged beyond packet size")
+
+
+class CheckedRouter(RealTimeRouter):
+    """A router that verifies its invariants after every cycle.
+
+    Drop-in replacement for :class:`RealTimeRouter` in tests and
+    debugging runs.
+    """
+
+    def step(self, cycle=None) -> None:  # type: ignore[override]
+        super().step(cycle)
+        check_router_invariants(self)

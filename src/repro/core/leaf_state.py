@@ -1,0 +1,81 @@
+"""Per-packet scheduling state held at the comparator-tree leaves.
+
+Each leaf corresponds to one packet-memory slot and stores the small
+amount of state the scheduler needs: the packet's logical arrival time
+``l(m)``, its local deadline ``l(m) + d``, and a bit mask of the output
+ports it must still be transmitted on (paper Figure 5).  A mask of zero
+means the leaf — and the matching memory slot — is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.params import OUTPUT_PORTS, RouterParams
+
+
+@dataclass
+class Leaf:
+    """One comparator-tree leaf (all times are wrapped clock values)."""
+
+    arrival: int = 0        # logical arrival time l(m)
+    deadline: int = 0       # local deadline l(m) + d
+    port_mask: int = 0      # remaining output ports (0 == empty slot)
+
+    @property
+    def occupied(self) -> bool:
+        return self.port_mask != 0
+
+    def eligible_for(self, port: int) -> bool:
+        return bool(self.port_mask & (1 << port))
+
+
+class LeafArray:
+    """The array of leaves, indexed by packet-memory slot address."""
+
+    def __init__(self, params: RouterParams) -> None:
+        self.params = params
+        self._leaves = [Leaf() for _ in range(params.tc_packet_slots)]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __getitem__(self, index: int) -> Leaf:
+        return self._leaves[index]
+
+    def install(self, index: int, arrival: int, deadline: int,
+                port_mask: int) -> None:
+        """Fill a leaf when a packet lands in the matching memory slot."""
+        leaf = self._leaves[index]
+        if leaf.occupied:
+            raise RuntimeError(f"leaf {index} installed while occupied")
+        if not 0 < port_mask < (1 << OUTPUT_PORTS):
+            raise ValueError("leaf port mask must select at least one port")
+        mask = self.params.clock_range - 1
+        leaf.arrival = arrival & mask
+        leaf.deadline = deadline & mask
+        leaf.port_mask = port_mask
+
+    def clear_port(self, index: int, port: int) -> bool:
+        """Drop one port from a leaf's mask; True when the slot frees.
+
+        Called when an output port commits to transmitting the packet;
+        the last port to transmit (multicast) empties the slot (paper
+        section 4.2).
+        """
+        leaf = self._leaves[index]
+        bit = 1 << port
+        if not leaf.port_mask & bit:
+            raise RuntimeError(
+                f"port {port} cleared on leaf {index} without holding it"
+            )
+        leaf.port_mask &= ~bit
+        return leaf.port_mask == 0
+
+    def occupied_indices(self) -> Iterator[int]:
+        return (i for i, leaf in enumerate(self._leaves) if leaf.occupied)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for leaf in self._leaves if leaf.occupied)

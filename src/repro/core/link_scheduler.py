@@ -1,0 +1,137 @@
+"""Reference link scheduler: the three-queue discipline of paper Table 1.
+
+This is the *model-level* (golden) implementation of real-time channel
+link scheduling, written with unwrapped integer times and explicit
+priority queues:
+
+1. **Queue 1** — on-time time-constrained packets, served earliest
+   deadline first (``l(m) + d``).
+2. **Queue 2** — best-effort packets, FIFO.
+3. **Queue 3** — early time-constrained packets, ordered by logical
+   arrival time ``l(m)``; served only within the link horizon ``h``,
+   and only when the first two queues are empty.
+
+The hardware comparator tree implements the same discipline without
+sorted storage; the test suite cross-checks the two against each other.
+This class is also the building block of the fast slot-level simulator
+(:mod:`repro.model.slotsim`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class ScheduledPacket:
+    """A time-constrained packet as the link scheduler sees it."""
+
+    arrival: int            # logical arrival time l(m), unwrapped
+    deadline: int           # local deadline l(m) + d, unwrapped
+    payload: Any = None     # opaque reference for the caller
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.arrival:
+            raise ValueError("deadline precedes logical arrival time")
+
+
+class ReferenceLinkScheduler:
+    """Three-queue link scheduler with deterministic tie-breaking.
+
+    Ties (equal deadlines in Queue 1, equal arrival times in Queue 3)
+    break in insertion order, matching the left-biased hardware tree
+    when packets fill leaves in arrival order.
+    """
+
+    def __init__(self, horizon: int = 0) -> None:
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        self.horizon = horizon
+        self._seq = itertools.count()
+        self._on_time: list[tuple[int, int, ScheduledPacket]] = []
+        self._early: list[tuple[int, int, ScheduledPacket]] = []
+        self._best_effort: list[Any] = []
+        self.tc_served = 0
+        self.be_served = 0
+        self.early_served = 0
+
+    # -- enqueue -----------------------------------------------------------
+
+    def add_tc(self, packet: ScheduledPacket, now: int) -> None:
+        """Queue a time-constrained packet (early or on-time by ``now``)."""
+        seq = next(self._seq)
+        if packet.arrival <= now:
+            heapq.heappush(self._on_time, (packet.deadline, seq, packet))
+        else:
+            heapq.heappush(self._early, (packet.arrival, seq, packet))
+
+    def add_be(self, item: Any) -> None:
+        """Queue a best-effort packet (FIFO)."""
+        self._best_effort.append(item)
+
+    # -- state -------------------------------------------------------------
+
+    def promote(self, now: int) -> None:
+        """Move packets whose logical arrival time has passed to Queue 1."""
+        while self._early and self._early[0][0] <= now:
+            __, seq, packet = heapq.heappop(self._early)
+            heapq.heappush(self._on_time, (packet.deadline, seq, packet))
+
+    @property
+    def tc_backlog(self) -> int:
+        return len(self._on_time) + len(self._early)
+
+    @property
+    def be_backlog(self) -> int:
+        return len(self._best_effort)
+
+    def has_on_time(self, now: int) -> bool:
+        """Whether Queue 1 holds a packet at time ``now``."""
+        self.promote(now)
+        return bool(self._on_time)
+
+    def has_work(self, now: int) -> bool:
+        """Whether :meth:`pick` would return a packet at time ``now``."""
+        self.promote(now)
+        if self._on_time or self._best_effort:
+            return True
+        return bool(self._early) and self._early[0][0] - now <= self.horizon
+
+    # -- service ------------------------------------------------------------
+
+    def pick(self, now: int) -> Optional[tuple[str, Any]]:
+        """Select the next packet to transmit at time ``now``.
+
+        Returns ``("TC", ScheduledPacket)`` or ``("BE", item)``, or None
+        when nothing is eligible.  Precedence: on-time TC, best-effort,
+        early TC within the horizon (paper Table 1 plus section 3.2's
+        rule that best-effort flits go ahead of early packets).
+        """
+        self.promote(now)
+        if self._on_time:
+            __, __, packet = heapq.heappop(self._on_time)
+            self.tc_served += 1
+            return ("TC", packet)
+        if self._best_effort:
+            self.be_served += 1
+            return ("BE", self._best_effort.pop(0))
+        if self._early and self._early[0][0] - now <= self.horizon:
+            __, __, packet = heapq.heappop(self._early)
+            self.tc_served += 1
+            self.early_served += 1
+            return ("TC", packet)
+        return None
+
+    def peek_class(self, now: int) -> Optional[str]:
+        """Which class :meth:`pick` would serve, without dequeueing."""
+        self.promote(now)
+        if self._on_time:
+            return "TC"
+        if self._best_effort:
+            return "BE"
+        if self._early and self._early[0][0] - now <= self.horizon:
+            return "TC"
+        return None

@@ -1,0 +1,216 @@
+"""Packet formats of the real-time router (paper Figure 3).
+
+Two wire formats share the physical links, distinguished by a one-bit
+virtual-channel tag on each byte:
+
+* **Time-constrained packets** (Figure 3a) are fixed-size (20 bytes by
+  default): a connection identifier, the packet's deadline at the
+  upstream node — which is, by construction, its logical arrival time
+  at this node — and payload data.
+* **Best-effort packets** (Figure 3b) are variable-size wormhole
+  packets: signed x and y offsets for dimension-ordered routing, a
+  payload length, and the payload.
+
+Both formats round-trip through real byte serialisation; the
+cycle-accurate router parses headers from the byte stream exactly as
+the chip would.  Simulation-only metadata (injection time, sequence
+numbers) lives outside the wire format.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.params import (
+    RouterParams,
+    TC_HEADER_BYTES,
+    TC_PACKET_BYTES,
+    TC_PAYLOAD_BYTES,
+)
+
+#: Best-effort wire header: x offset (1), y offset (1), length (2).
+BE_HEADER_BYTES = 4
+
+#: Maximum best-effort payload expressible in the 2-byte length field.
+BE_MAX_PAYLOAD = 0xFFFF
+
+_packet_ids = itertools.count()
+
+
+def _signed_byte(value: int) -> int:
+    """Encode a signed mesh offset into one two's-complement byte."""
+    if not -128 <= value <= 127:
+        raise ValueError(f"mesh offset {value} does not fit in a byte")
+    return value & 0xFF
+
+
+def _unsigned_to_signed(byte: int) -> int:
+    """Decode a two's-complement byte into a signed mesh offset."""
+    return byte - 256 if byte >= 128 else byte
+
+
+@dataclass
+class PacketMeta:
+    """Simulation-side bookkeeping that never touches the wire."""
+
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    source: Optional[tuple[int, int]] = None
+    destination: Optional[tuple[int, int]] = None
+    injected_cycle: Optional[int] = None
+    delivered_cycle: Optional[int] = None
+    #: End-to-end logical arrival time / deadline in *unwrapped* ticks,
+    #: recorded by the source for deadline-miss accounting.
+    absolute_deadline: Optional[int] = None
+    connection_label: Optional[str] = None
+    sequence: Optional[int] = None
+
+
+@dataclass
+class TimeConstrainedPacket:
+    """A fixed-size time-constrained packet (paper Figure 3a).
+
+    ``header_deadline`` carries ``l(m) + d`` assigned by the upstream
+    node; the receiving router reads it as the packet's logical arrival
+    time ``l(m)`` at this hop, then rewrites the field with its own
+    deadline before forwarding (paper section 4.1).
+    """
+
+    connection_id: int
+    header_deadline: int
+    payload: bytes = b"\x00" * TC_PAYLOAD_BYTES
+    meta: PacketMeta = field(default_factory=PacketMeta)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.connection_id < 65536:
+            raise ValueError("connection id out of range")
+        if len(self.payload) != TC_PAYLOAD_BYTES:
+            raise ValueError(
+                f"time-constrained payload must be exactly "
+                f"{TC_PAYLOAD_BYTES} bytes, got {len(self.payload)}"
+            )
+
+    @property
+    def size(self) -> int:
+        return TC_PACKET_BYTES
+
+    def to_bytes(self, params: RouterParams) -> bytes:
+        """Serialise to the fixed 20-byte wire format."""
+        if self.connection_id >= params.connections:
+            raise ValueError("connection id exceeds the connection table")
+        deadline = self.header_deadline & (params.clock_range - 1)
+        return bytes([self.connection_id & 0xFF, deadline]) + self.payload
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, params: RouterParams,
+        meta: Optional[PacketMeta] = None,
+    ) -> "TimeConstrainedPacket":
+        """Parse the fixed wire format back into a packet."""
+        if len(data) != params.tc_packet_bytes:
+            raise ValueError(
+                f"time-constrained packet must be {params.tc_packet_bytes} "
+                f"bytes, got {len(data)}"
+            )
+        packet = cls(connection_id=data[0], header_deadline=data[1],
+                     payload=bytes(data[TC_HEADER_BYTES:]))
+        if meta is not None:
+            packet.meta = meta
+        return packet
+
+
+@dataclass
+class BestEffortPacket:
+    """A variable-size wormhole packet (paper Figure 3b).
+
+    Offsets are the *remaining* signed hop counts in each dimension;
+    dimension-ordered routing moves the packet in x until ``x_offset``
+    reaches zero, then in y.  Each router it passes decrements the
+    magnitude of the offset it consumed, so the header always reflects
+    the remaining route.
+    """
+
+    x_offset: int
+    y_offset: int
+    payload: bytes = b""
+    meta: PacketMeta = field(default_factory=PacketMeta)
+
+    def __post_init__(self) -> None:
+        _signed_byte(self.x_offset)
+        _signed_byte(self.y_offset)
+        if len(self.payload) > BE_MAX_PAYLOAD:
+            raise ValueError("best-effort payload too large for length field")
+
+    @property
+    def size(self) -> int:
+        return BE_HEADER_BYTES + len(self.payload)
+
+    def to_bytes(self) -> bytes:
+        length = len(self.payload)
+        return bytes([
+            _signed_byte(self.x_offset),
+            _signed_byte(self.y_offset),
+            (length >> 8) & 0xFF,
+            length & 0xFF,
+        ]) + self.payload
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, meta: Optional[PacketMeta] = None,
+    ) -> "BestEffortPacket":
+        if len(data) < BE_HEADER_BYTES:
+            raise ValueError("truncated best-effort header")
+        length = (data[2] << 8) | data[3]
+        if len(data) != BE_HEADER_BYTES + length:
+            raise ValueError("best-effort length field does not match data")
+        packet = cls(
+            x_offset=_unsigned_to_signed(data[0]),
+            y_offset=_unsigned_to_signed(data[1]),
+            payload=bytes(data[BE_HEADER_BYTES:]),
+        )
+        if meta is not None:
+            packet.meta = meta
+        return packet
+
+    def with_offsets(self, x_offset: int, y_offset: int) -> "BestEffortPacket":
+        """Copy of this packet with rewritten routing offsets."""
+        return BestEffortPacket(x_offset=x_offset, y_offset=y_offset,
+                                payload=self.payload, meta=self.meta)
+
+
+@dataclass(frozen=True)
+class Phit:
+    """One physical transfer unit: a byte plus its virtual-channel tag.
+
+    ``TC`` phits belong to the packet-switched time-constrained virtual
+    channel; ``BE`` phits to the wormhole best-effort channel (paper
+    section 3.2: a single bit on each link differentiates the classes).
+    ``packet`` references the owning packet purely for instrumentation —
+    router logic must only look at ``byte`` and ``vc``.
+    """
+
+    vc: str                      # "TC" or "BE"
+    byte: int
+    packet: object = None        # owning packet, instrumentation only
+    index: int = 0               # byte index within the packet
+    last: bool = False           # tail byte of the packet
+
+    def __post_init__(self) -> None:
+        if self.vc not in ("TC", "BE"):
+            raise ValueError("virtual channel must be 'TC' or 'BE'")
+        if not 0 <= self.byte <= 0xFF:
+            raise ValueError("phit payload must be one byte")
+
+
+def phits_of(packet, params: RouterParams) -> list[Phit]:
+    """Explode a packet into its wire phits."""
+    if isinstance(packet, TimeConstrainedPacket):
+        data, vc = packet.to_bytes(params), "TC"
+    elif isinstance(packet, BestEffortPacket):
+        data, vc = packet.to_bytes(), "BE"
+    else:
+        raise TypeError(f"not a packet: {packet!r}")
+    tail = len(data) - 1
+    return [Phit(vc=vc, byte=b, packet=packet, index=i, last=(i == tail))
+            for i, b in enumerate(data)]

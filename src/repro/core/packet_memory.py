@@ -1,0 +1,186 @@
+"""Shared packet memory, idle-address FIFO and the internal chunk bus.
+
+The chip stores all buffered time-constrained packets in a single
+10-byte-wide, single-ported SRAM shared by the five input and five
+output ports (paper section 3.4).  Three pieces cooperate:
+
+* :class:`IdleAddressFifo` — hands unused slot addresses to arriving
+  packets and reclaims them on departure, exactly like the
+  shared-memory switches the paper cites.
+* :class:`PacketMemory` — the slot array itself, accessed in 10-byte
+  chunks, with allocation-state checking so tests can prove the memory
+  never double-allocates or leaks.
+* :class:`ChunkBus` — the single memory port.  It serves **one chunk
+  access per cycle** with demand-driven round-robin arbitration among
+  the ports, which exactly matches the aggregate bandwidth of the ten
+  byte-wide external ports (10 bytes/cycle in, 10 bytes/cycle of SRAM
+  bandwidth).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.params import MEMORY_CHUNK_BYTES, RouterParams
+
+
+class MemoryError_(RuntimeError):
+    """Packet-memory invariant violation (double free, overflow, ...)."""
+
+
+class IdleAddressFifo:
+    """FIFO of free packet-slot addresses (paper section 3.4)."""
+
+    def __init__(self, slots: int) -> None:
+        self._free: deque[int] = deque(range(slots))
+        self._allocated: set[int] = set()
+        self.slots = slots
+
+    def allocate(self) -> Optional[int]:
+        """Pop a free address, or None when the memory is full."""
+        if not self._free:
+            return None
+        address = self._free.popleft()
+        self._allocated.add(address)
+        return address
+
+    def release(self, address: int) -> None:
+        """Return a departed packet's slot to the idle pool."""
+        if address not in self._allocated:
+            raise MemoryError_(
+                f"slot {address} released while not allocated (double free?)"
+            )
+        self._allocated.discard(address)
+        self._free.append(address)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def is_allocated(self, address: int) -> bool:
+        return address in self._allocated
+
+
+class PacketMemory:
+    """The shared slot array, addressed by (slot, chunk)."""
+
+    def __init__(self, params: RouterParams) -> None:
+        self.params = params
+        self.idle_fifo = IdleAddressFifo(params.tc_packet_slots)
+        self._slots: list[bytearray] = [
+            bytearray(params.tc_packet_bytes)
+            for _ in range(params.tc_packet_slots)
+        ]
+        #: Peak concurrent occupancy, for buffer-bound experiments.
+        self.peak_occupancy = 0
+
+    def allocate(self) -> Optional[int]:
+        address = self.idle_fifo.allocate()
+        if address is not None:
+            self.peak_occupancy = max(
+                self.peak_occupancy, self.idle_fifo.allocated_count
+            )
+        return address
+
+    def free(self, address: int) -> None:
+        self.idle_fifo.release(address)
+
+    @property
+    def occupancy(self) -> int:
+        return self.idle_fifo.allocated_count
+
+    def _check(self, address: int, chunk: int) -> None:
+        if not 0 <= address < self.params.tc_packet_slots:
+            raise MemoryError_(f"slot address {address} out of range")
+        if not 0 <= chunk < self.params.chunks_per_packet:
+            raise MemoryError_(f"chunk index {chunk} out of range")
+        if not self.idle_fifo.is_allocated(address):
+            raise MemoryError_(f"access to unallocated slot {address}")
+
+    def write_chunk(self, address: int, chunk: int, data: bytes) -> None:
+        self._check(address, chunk)
+        start = chunk * MEMORY_CHUNK_BYTES
+        end = min(start + MEMORY_CHUNK_BYTES, self.params.tc_packet_bytes)
+        if len(data) != end - start:
+            raise MemoryError_(
+                f"chunk write of {len(data)} bytes, expected {end - start}"
+            )
+        self._slots[address][start:end] = data
+
+    def read_chunk(self, address: int, chunk: int) -> bytes:
+        self._check(address, chunk)
+        start = chunk * MEMORY_CHUNK_BYTES
+        end = min(start + MEMORY_CHUNK_BYTES, self.params.tc_packet_bytes)
+        return bytes(self._slots[address][start:end])
+
+    def read_packet(self, address: int) -> bytes:
+        """Whole-packet read (convenience for models and tests)."""
+        self._check(address, 0)
+        return bytes(self._slots[address])
+
+
+@dataclass
+class BusRequest:
+    """One queued chunk access: executed when the bus grants it."""
+
+    port: int
+    action: Callable[[], None]
+    label: str = ""
+
+
+class ChunkBus:
+    """Single-ported memory bus: one chunk access granted per cycle.
+
+    Ports enqueue :class:`BusRequest` objects; :meth:`grant` executes at
+    most one per cycle, scanning ports round-robin from just past the
+    last winner (demand-driven round-robin, paper section 3.4).  Each
+    port's requests stay FIFO relative to each other, preserving chunk
+    ordering within a packet.
+    """
+
+    def __init__(self, ports: int) -> None:
+        if ports < 1:
+            raise ValueError("bus needs at least one port")
+        self.ports = ports
+        self._queues: list[deque[BusRequest]] = [deque() for _ in range(ports)]
+        self._next = 0
+        self.grants = 0
+        self.busy_cycles = 0
+        self.total_cycles = 0
+
+    def request(self, req: BusRequest) -> None:
+        if not 0 <= req.port < self.ports:
+            raise ValueError("bus port out of range")
+        self._queues[req.port].append(req)
+
+    def pending(self, port: Optional[int] = None) -> int:
+        if port is not None:
+            return len(self._queues[port])
+        return sum(len(q) for q in self._queues)
+
+    def grant(self) -> Optional[BusRequest]:
+        """Advance one cycle: grant and execute at most one request."""
+        self.total_cycles += 1
+        for offset in range(self.ports):
+            port = (self._next + offset) % self.ports
+            queue = self._queues[port]
+            if queue:
+                req = queue.popleft()
+                self._next = (port + 1) % self.ports
+                req.action()
+                self.grants += 1
+                self.busy_cycles += 1
+                return req
+        return None
+
+    @property
+    def utilisation(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.total_cycles

@@ -1,0 +1,178 @@
+"""Architectural parameters of the real-time router (paper Table 4a).
+
+The original chip was built with a fixed configuration: 256 connections,
+256 time-constrained packet slots, an 8-bit scheduler clock with 9-bit
+sorting keys, a two-stage comparator-tree pipeline and 10-byte flit
+buffers.  ``RouterParams`` captures that configuration, validates the
+internal consistency constraints the paper relies on, and derives the
+secondary sizes (key width, slot time, memory geometry) that the rest of
+the model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Fixed time-constrained packet size in bytes (paper section 3.1).
+TC_PACKET_BYTES = 20
+
+#: Header bytes of a time-constrained packet: connection id + deadline
+#: (paper Figure 3a); the remaining bytes carry payload data.
+TC_HEADER_BYTES = 2
+
+#: Payload bytes carried by one time-constrained packet.
+TC_PAYLOAD_BYTES = TC_PACKET_BYTES - TC_HEADER_BYTES
+
+#: Width of the shared packet memory in bytes; packets are stored and
+#: moved in chunks of this size (paper section 3.4).
+MEMORY_CHUNK_BYTES = 10
+
+#: Number of mesh links on the router (2-D mesh: +x, -x, +y, -y).
+MESH_LINKS = 4
+
+#: Output ports sharing the scheduler: four links plus reception port.
+OUTPUT_PORTS = MESH_LINKS + 1
+
+#: Input ports feeding the time-constrained path: four links plus the
+#: time-constrained injection port.
+INPUT_PORTS = MESH_LINKS + 1
+
+
+@dataclass(frozen=True)
+class RouterParams:
+    """Configuration of one real-time router chip.
+
+    The defaults reproduce the paper's Table 4(a).  All sizes are
+    validated on construction; the validation mirrors the hardware
+    constraints the paper states (e.g. the sorting key must be one bit
+    wider than the clock, and the half-range rollover condition caps the
+    usable delay bounds).
+    """
+
+    #: Number of connection-table entries (distinct connection ids).
+    connections: int = 256
+
+    #: Number of time-constrained packet slots (packet memory slots and
+    #: comparator-tree leaves).
+    tc_packet_slots: int = 256
+
+    #: Width of the on-chip scheduler clock in bits.  The clock ticks
+    #: once per packet transmission time.
+    clock_bits: int = 8
+
+    #: Comparator-tree pipeline depth in stages.
+    pipeline_stages: int = 2
+
+    #: Bytes of flit buffering per best-effort input (paper Table 4a).
+    flit_buffer_bytes: int = 10
+
+    #: Bytes transferred per cycle on each link direction (the chip
+    #: moves one byte per port per 20 ns cycle).
+    link_bytes_per_cycle: int = 1
+
+    #: Fixed time-constrained packet size in bytes.
+    tc_packet_bytes: int = TC_PACKET_BYTES
+
+    #: Per-output-port horizon parameter defaults (writable at run time
+    #: through the control interface; see paper Table 3).
+    default_horizon: int = 0
+
+    #: Cycles an arriving link byte spends in the input synchroniser
+    #: before the router proper sees it (paper section 5.2 counts byte
+    #: synchronisation in the per-hop overhead).
+    input_sync_cycles: int = 2
+
+    #: Cycles of header processing before a wormhole packet may request
+    #: an output port (routing-decision latency, section 5.2).
+    be_route_cycles: int = 7
+
+    def __post_init__(self) -> None:
+        if self.connections < 1:
+            raise ValueError("connections must be positive")
+        if self.tc_packet_slots < 1:
+            raise ValueError("tc_packet_slots must be positive")
+        if not 2 <= self.clock_bits <= 32:
+            raise ValueError("clock_bits must be in [2, 32]")
+        if self.pipeline_stages < 1:
+            raise ValueError("pipeline_stages must be positive")
+        if self.tc_packet_bytes <= TC_HEADER_BYTES:
+            raise ValueError("tc_packet_bytes must exceed the header size")
+        if self.flit_buffer_bytes < 1:
+            raise ValueError("flit_buffer_bytes must be positive")
+        if self.link_bytes_per_cycle < 1:
+            raise ValueError("link_bytes_per_cycle must be positive")
+        if self.default_horizon >= self.half_range:
+            raise ValueError(
+                "default_horizon must respect the half-range rollover "
+                f"condition (< {self.half_range})"
+            )
+        if self.input_sync_cycles < 0:
+            raise ValueError("input_sync_cycles must be non-negative")
+        if self.be_route_cycles < 0:
+            raise ValueError("be_route_cycles must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def key_bits(self) -> int:
+        """Sorting-key width: early/on-time bit plus the clock field."""
+        return self.clock_bits + 1
+
+    @property
+    def clock_range(self) -> int:
+        """Number of distinct clock values (2^clock_bits)."""
+        return 1 << self.clock_bits
+
+    @property
+    def half_range(self) -> int:
+        """Half the clock range — the rollover-correctness limit.
+
+        A connection's ``h + d`` at the upstream link and ``d`` at this
+        link must both stay below this value (paper section 4.3).
+        """
+        return self.clock_range // 2
+
+    @property
+    def ineligible_key(self) -> int:
+        """Key value representing an ineligible leaf (leading 1 bit).
+
+        Strictly greater than every valid 9-bit key, so ineligible
+        leaves always lose the comparator tournament.
+        """
+        return 1 << self.key_bits
+
+    @property
+    def slot_cycles(self) -> int:
+        """Link cycles needed to transmit one time-constrained packet.
+
+        This is also the scheduler-clock period: the clock ticks once
+        per packet transmission time.
+        """
+        return -(-self.tc_packet_bytes // self.link_bytes_per_cycle)
+
+    @property
+    def chunks_per_packet(self) -> int:
+        """Memory chunks occupied by one time-constrained packet."""
+        return -(-self.tc_packet_bytes // MEMORY_CHUNK_BYTES)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total shared packet-memory capacity in bytes."""
+        return self.tc_packet_slots * self.tc_packet_bytes
+
+    def scheduling_budget_cycles(self, ports: int = OUTPUT_PORTS) -> int:
+        """Worst-case cycles available per scheduling decision.
+
+        With ``ports`` output ports sharing one comparator tree and one
+        packet transmitted per slot time per port, the tree must produce
+        a decision every ``slot_cycles / ports`` cycles (paper
+        section 4.2: 400 ns per decision for five ports at 50 MHz).
+        """
+        return max(1, self.slot_cycles // ports)
+
+
+#: The paper's published configuration (Table 4a).
+PAPER_PARAMS = RouterParams()

@@ -1,0 +1,933 @@
+"""Cycle-accurate model of the real-time router chip (paper Figure 2).
+
+This is the software equivalent of the paper's Verilog design.  Each
+:meth:`RealTimeRouter.step` call advances one 20 ns chip cycle, during
+which every external port can move one byte.  The model reproduces the
+microarchitecture rather than just its policy:
+
+* separate injection ports for the two classes, a shared reception
+  port, and four mesh links, each carrying a one-bit virtual-channel
+  tag plus an acknowledgement bit (section 3.2);
+* store-and-forward of fixed 20-byte time-constrained packets through
+  a shared single-ported packet memory accessed in 10-byte chunks with
+  demand round-robin bus arbitration (section 3.4);
+* the connection table and four-write control interface (section 4.1);
+* the shared, pipelined comparator tree with 9-bit rollover-safe keys
+  and per-port horizon registers (sections 4.2-4.3);
+* wormhole switching for best-effort packets: 10-byte input flit
+  buffers, acknowledgement (credit) flow control, dimension-ordered
+  routing by header offsets, round-robin arbitration among inputs, and
+  flit-level preemption by on-time time-constrained traffic.
+
+Best-effort bytes cross the router through the same internal bus in
+5-byte chunks (the paper's section 5.2 attributes part of the 30-cycle
+baseline overhead to "accumulating five-byte chunks for access to the
+router's internal bus").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.arbiter import RoundRobinArbiter
+from repro.core.clock import RolloverClock
+from repro.core.comparator_tree import ComparatorTree, SchedulerPipeline, Selection
+from repro.core.connection_table import ControlInterface
+from repro.core.flit_buffer import CreditCounter, FlitBuffer
+from repro.core.leaf_state import LeafArray
+from repro.core.packet import (
+    BE_HEADER_BYTES,
+    BestEffortPacket,
+    PacketMeta,
+    Phit,
+    TimeConstrainedPacket,
+    phits_of,
+)
+from repro.core.packet_memory import BusRequest, ChunkBus, PacketMemory
+from repro.core.params import (
+    MEMORY_CHUNK_BYTES,
+    MESH_LINKS,
+    OUTPUT_PORTS,
+    TC_HEADER_BYTES,
+    RouterParams,
+)
+from repro.core.ports import RECEPTION, dimension_ordered_port
+
+#: Best-effort data crosses the internal bus in half-width chunks.
+BE_CHUNK_BYTES = MEMORY_CHUNK_BYTES // 2
+
+
+class BufferOverflowError(RuntimeError):
+    """The shared packet memory overflowed — reservations were violated."""
+
+
+@dataclass
+class LinkSignal:
+    """What one link direction carries in one cycle."""
+
+    phit: Optional[Phit] = None
+    ack: bool = False
+
+
+@dataclass
+class _TCInput:
+    """Receive-side state of the time-constrained path at one input."""
+
+    rx_bytes: list[int] = field(default_factory=list)
+    rx_meta: Optional[PacketMeta] = None
+    # Virtual cut-through (paper section 7): when engaged, remaining
+    # bytes of the current packet stream straight to this output port,
+    # bypassing the packet memory and the comparator tree.
+    cut_port: Optional[int] = None
+
+
+class _BEInput:
+    """Wormhole state machine at one best-effort input port.
+
+    Header bytes are captured as phits are pushed into the flit buffer
+    (one header record per worm, so a tail and the next worm's head can
+    coexist in the buffer); data moves out only via internal-bus
+    transfers toward the bound output port.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.buffer = FlitBuffer(capacity)
+        self.headers: deque[list[int]] = deque()
+        self.metas: deque[Optional[PacketMeta]] = deque()
+        self.out_port: Optional[int] = None
+        self.bound = False
+        self.total_bytes: Optional[int] = None
+        self.transferred = 0          # bytes handed to bus transfers
+        self.xfer_pending = False     # one outstanding bus request
+        self.pending_acks = 0         # drained bytes not yet acknowledged
+        self.route_ready_cycle: Optional[int] = None  # header decode done
+
+    def push(self, phit: Phit) -> None:
+        self.buffer.push(phit)
+        if phit.index == 0:
+            self.headers.append([])
+            self.metas.append(None)
+        if self.headers and phit.index < BE_HEADER_BYTES:
+            self.headers[-1].append(phit.byte)
+        if self.metas and phit.packet is not None:
+            meta = getattr(phit.packet, "meta", None)
+            if meta is not None:
+                self.metas[-1] = meta
+
+    def active_meta(self) -> Optional[PacketMeta]:
+        return self.metas[0] if self.metas else None
+
+    def release_worm(self) -> None:
+        """Forget the finished worm (its tail crossed the bus)."""
+        if self.headers:
+            self.headers.popleft()
+        if self.metas:
+            self.metas.popleft()
+        self.out_port = None
+        self.bound = False
+        self.total_bytes = None
+        self.transferred = 0
+        self.route_ready_cycle = None
+
+
+@dataclass
+class _TCStream:
+    """An in-progress time-constrained transmission at an output port."""
+
+    slot: int
+    staging: deque[int] = field(default_factory=deque)
+    sent: int = 0
+    meta: Optional[PacketMeta] = None
+
+
+@dataclass
+class _StagedByte:
+    """One best-effort byte staged at an output port."""
+
+    byte: int
+    index: int
+    is_tail: bool
+    meta: Optional[PacketMeta] = None
+
+
+@dataclass
+class _Output:
+    """Per-output-port transmit state."""
+
+    tc_stream: Optional[_TCStream] = None
+    held: Optional[Selection] = None     # freshest scheduler decision
+    be_staging: deque[_StagedByte] = field(default_factory=deque)
+    bound_input: Optional[int] = None
+    credits: Optional[CreditCounter] = None  # None at the reception port
+    # Reception-side reassembly (only used at the reception port).
+    tc_rx: list[int] = field(default_factory=list)
+    tc_rx_meta: Optional[PacketMeta] = None
+    be_rx: list[int] = field(default_factory=list)
+    be_rx_meta: Optional[PacketMeta] = None
+    tc_bytes: int = 0                    # service accounting
+    be_bytes: int = 0
+
+
+class RealTimeRouter:
+    """One router chip, stepped one cycle at a time.
+
+    Drive the four mesh links by writing :attr:`link_in` before each
+    step and reading :attr:`link_out` after it; the network engine does
+    this wiring automatically.  Hosts use :meth:`inject_tc`,
+    :meth:`inject_be` and :meth:`take_delivered`.
+    """
+
+    def __init__(
+        self,
+        params: Optional[RouterParams] = None,
+        *,
+        router_id: object = None,
+        on_memory_full: str = "error",
+        cut_through: bool = False,
+        clock_skew_ticks: int = 0,
+        be_routing: str = "dimension",
+        service_hook: Optional[
+            Callable[[int, int, str, Optional[PacketMeta]], None]
+        ] = None,
+    ) -> None:
+        if on_memory_full not in ("error", "drop"):
+            raise ValueError("on_memory_full must be 'error' or 'drop'")
+        if be_routing not in ("dimension", "west-first"):
+            raise ValueError(
+                "be_routing must be 'dimension' or 'west-first'"
+            )
+        #: Best-effort routing policy.  "dimension" is the paper's
+        #: baseline (x then y).  "west-first" is the minimal adaptive
+        #: alternative section 3.3 sketches: all westward hops first
+        #: (no turns into west, so no cyclic channel dependency —
+        #: deadlock-free without extra virtual channels), then a free
+        #: choice among productive directions based on local load.
+        self.be_routing = be_routing
+        #: Offset of this chip's scheduler clock from global time, in
+        #: ticks.  The paper assumes "a common notion of time, within
+        #: some bounded clock skew" (section 4.1); a non-zero value
+        #: models one router's oscillator running ahead (+) or behind
+        #: (-) the rest of the machine.
+        self.clock_skew_ticks = clock_skew_ticks
+        #: Section 7 extension: let an arriving on-time packet proceed
+        #: directly to an idle output link when no buffered packet
+        #: could have a smaller sorting key there.
+        self.cut_through = cut_through
+        self.cut_through_count = 0
+        self.params = params or RouterParams()
+        if self.params.link_bytes_per_cycle != 1:
+            raise ValueError(
+                "the cycle-accurate router model is byte-serial; wider "
+                "links are supported by the analytical models only"
+            )
+        self.router_id = router_id
+        self.on_memory_full = on_memory_full
+        self.service_hook = service_hook
+
+        self.clock = RolloverClock(bits=self.params.clock_bits)
+        self.control = ControlInterface(self.params)
+        self.memory = PacketMemory(self.params)
+        self.leaves = LeafArray(self.params)
+        self.tree = ComparatorTree(self.params, self.leaves)
+        self.pipeline = SchedulerPipeline(self.params, self.tree)
+        # Ten bus requesters: five input ports then five output ports.
+        self.bus = ChunkBus(ports=2 * OUTPUT_PORTS)
+
+        self.link_in: list[LinkSignal] = [LinkSignal() for _ in range(MESH_LINKS)]
+        self.link_out: list[LinkSignal] = [LinkSignal() for _ in range(MESH_LINKS)]
+        # Input synchroniser: arriving bytes cross a short register
+        # chain before the router proper sees them.
+        self._sync_queues: list[deque[tuple[int, Phit]]] = [
+            deque() for _ in range(MESH_LINKS + 1)
+        ]
+
+        self._tc_inputs = [_TCInput() for _ in range(MESH_LINKS + 1)]
+        self._be_inputs = [_BEInput(self.params.flit_buffer_bytes)
+                           for _ in range(MESH_LINKS + 1)]
+        self._outputs = [
+            _Output(credits=(
+                CreditCounter(self.params.flit_buffer_bytes)
+                if port < MESH_LINKS else None
+            ))
+            for port in range(OUTPUT_PORTS)
+        ]
+        self._be_arbiters = [RoundRobinArbiter(MESH_LINKS + 1)
+                             for _ in range(OUTPUT_PORTS)]
+
+        # Host-side queues.
+        self._tc_inject_queue: deque[TimeConstrainedPacket] = deque()
+        self._tc_inject_phits: deque[Phit] = deque()
+        self._be_inject_queue: deque[BestEffortPacket] = deque()
+        self._be_inject_phits: deque[Phit] = deque()
+        self.delivered: list[object] = []
+
+        # Slot bookkeeping beyond the hardware state, for accounting.
+        self._slot_meta: list[Optional[PacketMeta]] = (
+            [None] * self.params.tc_packet_slots
+        )
+        self._slot_readers = [0] * self.params.tc_packet_slots
+        self._eligible_count = [0] * OUTPUT_PORTS
+
+        self.cycle = 0
+        self.tc_dropped = 0
+        self.tc_received = 0
+        self.tc_transmitted = 0
+        self.be_worms_routed = 0
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+
+    def inject_tc(self, packet: TimeConstrainedPacket) -> None:
+        """Queue a time-constrained packet at the injection port."""
+        self._tc_inject_queue.append(packet)
+
+    def inject_be(self, packet: BestEffortPacket) -> None:
+        """Queue a best-effort packet at the injection port."""
+        self._be_inject_queue.append(packet)
+
+    @property
+    def tc_inject_backlog(self) -> int:
+        return len(self._tc_inject_queue) + (1 if self._tc_inject_phits else 0)
+
+    @property
+    def be_inject_backlog(self) -> int:
+        return len(self._be_inject_queue) + (1 if self._be_inject_phits else 0)
+
+    def take_delivered(self) -> list[object]:
+        """Drain and return packets delivered to the local host."""
+        out, self.delivered = self.delivered, []
+        return out
+
+    # ------------------------------------------------------------------
+    # One chip cycle
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: Optional[int] = None) -> None:
+        """Advance one cycle.
+
+        Phase order within the cycle: capture link inputs, feed the
+        injection ports, finish time-constrained packet reception, make
+        wormhole routing/binding decisions and bus-transfer requests,
+        advance the scheduler pipeline, grant one internal-bus chunk
+        access, and finally let every output port drive one byte.
+        """
+        if cycle is not None:
+            self.cycle = cycle
+        # Fast path: a completely quiescent router (no input signals,
+        # nothing buffered or in flight) has no visible work this
+        # cycle.  Large meshes are mostly idle, so this matters.
+        if (not self._pipeline_busy()
+                and all(s.phit is None and not s.ack for s in self.link_in)
+                and self.idle):
+            for direction in range(MESH_LINKS):
+                self.link_out[direction] = LinkSignal()
+            self.cycle += 1
+            return
+        # The scheduler clock ticks once per packet transmission time.
+        self.clock.set(self.cycle // self.params.slot_cycles
+                       + self.clock_skew_ticks)
+
+        self._capture_link_inputs()
+        self._feed_injection_ports()
+        self._complete_tc_receptions()
+        self._wormhole_route_and_bind()
+        self._wormhole_bus_requests()
+        self._scheduler_decisions()
+        self.bus.grant()
+        self._transmit_outputs()
+        self._issue_scheduler_requests()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Step the router ``cycles`` times (standalone use)."""
+        for _ in range(cycles):
+            self.step()
+
+    def _pipeline_busy(self) -> bool:
+        return (self.pipeline.busy
+                or any(o.held is not None for o in self._outputs))
+
+    # ------------------------------------------------------------------
+    # Phase 1: link inputs
+    # ------------------------------------------------------------------
+
+    def _capture_link_inputs(self) -> None:
+        for direction in range(MESH_LINKS):
+            signal = self.link_in[direction]
+            if signal.ack:
+                self._outputs[direction].credits.acknowledge()
+            if signal.phit is not None:
+                self._sync_queues[direction].append(
+                    (self.cycle + self.params.input_sync_cycles,
+                     signal.phit)
+                )
+            # Consume the signal; the engine rewrites it next cycle.
+            self.link_in[direction] = LinkSignal()
+        for port in range(MESH_LINKS + 1):
+            queue = self._sync_queues[port]
+            while queue and queue[0][0] <= self.cycle:
+                __, phit = queue.popleft()
+                self._accept_phit(port, phit)
+
+    def _accept_phit(self, port: int, phit: Phit) -> None:
+        if phit.vc == "TC":
+            self._accept_tc_byte(port, phit)
+        else:
+            self._be_inputs[port].push(phit)
+
+    def _accept_tc_byte(self, port: int, phit: Phit) -> None:
+        state = self._tc_inputs[port]
+        if state.cut_port is not None:
+            self._cut_through_byte(state, phit)
+            return
+        if not state.rx_bytes and phit.packet is not None:
+            state.rx_meta = getattr(phit.packet, "meta", None)
+        state.rx_bytes.append(phit.byte)
+        if self.cut_through and len(state.rx_bytes) == TC_HEADER_BYTES:
+            self._try_cut_through(state)
+
+    def _try_cut_through(self, state: _TCInput) -> None:
+        """Engage virtual cut-through if the header qualifies.
+
+        Conditions (conservative reading of section 7): the connection
+        is programmed and unicast, the packet is already on-time, and
+        the target output port is completely idle on the
+        time-constrained side — no active stream, no held decision, and
+        no buffered packet eligible for it (so nothing could have a
+        smaller sorting key).
+        """
+        connection_id, arrival = state.rx_bytes[0], state.rx_bytes[1]
+        if not self.control.table.is_programmed(connection_id):
+            return  # the normal path will raise on completion
+        entry = self.control.table.lookup(connection_id)
+        ports = entry.ports()
+        if len(ports) != 1:
+            return
+        port = ports[0]
+        output = self._outputs[port]
+        if (output.tc_stream is not None or output.held is not None
+                or self.pipeline.has_request(port)
+                or self._eligible_count[port] > 0):
+            return
+        wrapped = self.clock.wrap(arrival)
+        if not self.clock.is_past(wrapped):
+            # Early packets may still cut through within the link's
+            # horizon — the same eligibility the scheduler itself
+            # applies — but never ahead of waiting best-effort flits.
+            remaining = self.clock.remaining_until(wrapped)
+            if (remaining > self.control.horizons[port]
+                    or self._be_waiting(port)):
+                return
+        deadline = self.clock.wrap(arrival + entry.delay)
+        stream = _TCStream(slot=-1, meta=state.rx_meta)
+        stream.staging.append(entry.outgoing_id)
+        stream.staging.append(deadline)
+        output.tc_stream = stream
+        state.cut_port = port
+        state.rx_bytes.clear()
+        self.tc_received += 1
+        self.cut_through_count += 1
+
+    def _cut_through_byte(self, state: _TCInput, phit: Phit) -> None:
+        output = self._outputs[state.cut_port]
+        stream = output.tc_stream
+        if stream is not None and stream.slot == -1:
+            stream.staging.append(phit.byte)
+        if phit.index == self.params.tc_packet_bytes - 1:
+            state.cut_port = None
+            state.rx_meta = None
+
+    # ------------------------------------------------------------------
+    # Phase 2: injection ports (one byte per cycle each)
+    # ------------------------------------------------------------------
+
+    def _feed_injection_ports(self) -> None:
+        if not self._tc_inject_phits and self._tc_inject_queue:
+            packet = self._tc_inject_queue.popleft()
+            self._tc_inject_phits.extend(phits_of(packet, self.params))
+        if self._tc_inject_phits:
+            self._accept_tc_byte(MESH_LINKS, self._tc_inject_phits.popleft())
+
+        if not self._be_inject_phits and self._be_inject_queue:
+            packet = self._be_inject_queue.popleft()
+            self._be_inject_phits.extend(phits_of(packet, self.params))
+        # The processor interface is synchronised like a link: injected
+        # bytes cross the same register chain before the flit buffer.
+        sync = self._sync_queues[MESH_LINKS]
+        pending_sync = len(sync)
+        if (self._be_inject_phits
+                and self._be_inputs[MESH_LINKS].buffer.free_space
+                > pending_sync):
+            sync.append((self.cycle + self.params.input_sync_cycles,
+                         self._be_inject_phits.popleft()))
+
+    # ------------------------------------------------------------------
+    # Phase 3: time-constrained packet reception
+    # ------------------------------------------------------------------
+
+    def _complete_tc_receptions(self) -> None:
+        for port in range(MESH_LINKS + 1):
+            state = self._tc_inputs[port]
+            if len(state.rx_bytes) < self.params.tc_packet_bytes:
+                continue
+            raw = bytes(state.rx_bytes[:self.params.tc_packet_bytes])
+            del state.rx_bytes[:self.params.tc_packet_bytes]
+            meta, state.rx_meta = state.rx_meta, None
+            self._admit_tc_packet(port, raw, meta)
+
+    def _admit_tc_packet(self, port: int, raw: bytes,
+                         meta: Optional[PacketMeta]) -> None:
+        """Look up the connection, rewrite the header, buffer the packet."""
+        self.tc_received += 1
+        connection_id = raw[0]
+        entry = self.control.table.lookup(connection_id)
+        # The upstream deadline in the header is this hop's logical
+        # arrival time (paper section 4.1).
+        arrival = raw[1]
+        deadline = self.clock.wrap(arrival + entry.delay)
+        slot = self.memory.allocate()
+        if slot is None:
+            if self.on_memory_full == "drop":
+                self.tc_dropped += 1
+                return
+            raise BufferOverflowError(
+                f"router {self.router_id}: packet memory full — "
+                "buffer reservations violated"
+            )
+        rewritten = bytes([entry.outgoing_id, deadline]) + raw[2:]
+        self._slot_meta[slot] = meta
+        chunks = self.params.chunks_per_packet
+        for chunk in range(chunks):
+            start = chunk * MEMORY_CHUNK_BYTES
+            end = min(start + MEMORY_CHUNK_BYTES, len(rewritten))
+            self.bus.request(BusRequest(
+                port=port,
+                action=self._make_tc_write(
+                    slot, chunk, rewritten[start:end], arrival, deadline,
+                    entry.port_mask, install=(chunk == chunks - 1),
+                ),
+                label=f"tc-write s{slot} c{chunk}",
+            ))
+
+    def _make_tc_write(self, slot: int, chunk: int, data: bytes,
+                       arrival: int, deadline: int, mask: int,
+                       install: bool) -> Callable[[], None]:
+        def action() -> None:
+            self.memory.write_chunk(slot, chunk, data)
+            if install:
+                self.leaves.install(slot, arrival, deadline, mask)
+                for port in range(OUTPUT_PORTS):
+                    if mask & (1 << port):
+                        self._eligible_count[port] += 1
+        return action
+
+    # ------------------------------------------------------------------
+    # Phase 4: wormhole routing and output binding
+    # ------------------------------------------------------------------
+
+    def _wormhole_route_and_bind(self) -> None:
+        requests: list[list[bool]] = [
+            [False] * (MESH_LINKS + 1) for _ in range(OUTPUT_PORTS)
+        ]
+        for port in range(MESH_LINKS + 1):
+            state = self._be_inputs[port]
+            self._update_worm_routing(state)
+            if state.out_port is not None and not state.bound:
+                requests[state.out_port][port] = True
+        for out_port in range(OUTPUT_PORTS):
+            output = self._outputs[out_port]
+            if output.bound_input is not None:
+                continue
+            winner = self._be_arbiters[out_port].grant(requests[out_port])
+            if winner is not None:
+                output.bound_input = winner
+                self._be_inputs[winner].bound = True
+                self.be_worms_routed += 1
+
+    def _update_worm_routing(self, state: _BEInput) -> None:
+        """Derive the routing decision for the head worm, if possible.
+
+        Header decode takes ``be_route_cycles`` cycles after the offset
+        bytes become visible at the head of the flit buffer.
+        """
+        if state.out_port is not None or not state.headers:
+            return
+        header = state.headers[0]
+        if len(header) < 2:
+            return
+        if state.route_ready_cycle is None:
+            state.route_ready_cycle = (self.cycle
+                                       + self.params.be_route_cycles)
+        if self.cycle < state.route_ready_cycle:
+            return
+        state.route_ready_cycle = None
+        x_offset = header[0] - 256 if header[0] >= 128 else header[0]
+        y_offset = header[1] - 256 if header[1] >= 128 else header[1]
+        if self.be_routing == "dimension":
+            state.out_port = dimension_ordered_port(x_offset, y_offset)
+        else:
+            state.out_port = self._west_first_port(x_offset, y_offset)
+
+    def _west_first_port(self, x_offset: int, y_offset: int) -> int:
+        """Minimal adaptive routing under the west-first turn model."""
+        from repro.core.ports import EAST, NORTH, SOUTH, WEST
+
+        if x_offset < 0:
+            return WEST  # all westward hops first (no turns into west)
+        candidates = []
+        if x_offset > 0:
+            candidates.append(EAST)
+        if y_offset > 0:
+            candidates.append(NORTH)
+        elif y_offset < 0:
+            candidates.append(SOUTH)
+        if not candidates:
+            return RECEPTION
+        if len(candidates) == 1:
+            return candidates[0]
+        # Free choice: pick the less-loaded productive direction.
+        return min(candidates, key=self._be_port_pressure)
+
+    def _be_port_pressure(self, port: int) -> tuple[int, int, int, int]:
+        """Local congestion estimate for adaptive routing choices.
+
+        Counts a bound worm, an in-progress (or imminent) time-
+        constrained transmission, and buffered time-constrained packets
+        eligible for the port — the paper's motivating case is exactly
+        "links with a heavy load of time-constrained traffic".
+        """
+        output = self._outputs[port]
+        busy = 0 if output.bound_input is None else 1
+        if output.tc_stream is not None or output.held is not None:
+            busy += 1
+        tc_backlog = self._eligible_count[port]
+        staged = len(output.be_staging)
+        credit_debt = (output.credits.capacity - output.credits.credits
+                       if output.credits is not None else 0)
+        return (busy + tc_backlog, staged, credit_debt, port)
+
+    # ------------------------------------------------------------------
+    # Phase 5: wormhole bus transfers (input buffer -> output staging)
+    # ------------------------------------------------------------------
+
+    def _wormhole_bus_requests(self) -> None:
+        for port in range(MESH_LINKS + 1):
+            state = self._be_inputs[port]
+            if not state.bound or state.out_port is None or state.xfer_pending:
+                continue
+            output = self._outputs[state.out_port]
+            # Keep the output staging shallow: at most two chunks deep.
+            if len(output.be_staging) > BE_CHUNK_BYTES:
+                continue
+            if state.total_bytes is None:
+                header = state.headers[0] if state.headers else []
+                if len(header) >= BE_HEADER_BYTES:
+                    length = (header[2] << 8) | header[3]
+                    state.total_bytes = BE_HEADER_BYTES + length
+                else:
+                    continue
+            available = state.buffer.occupancy
+            remaining = state.total_bytes - state.transferred
+            if available == 0 or remaining == 0:
+                continue
+            tail_here = available >= remaining
+            if available < BE_CHUNK_BYTES and not tail_here:
+                continue  # accumulate a full chunk before using the bus
+            count = min(BE_CHUNK_BYTES, available, remaining)
+            state.xfer_pending = True
+            self.bus.request(BusRequest(
+                port=port,
+                action=self._make_be_transfer(port, count),
+                label=f"be-xfer in{port}",
+            ))
+
+    def _make_be_transfer(self, port: int, count: int) -> Callable[[], None]:
+        def action() -> None:
+            state = self._be_inputs[port]
+            state.xfer_pending = False
+            output = self._outputs[state.out_port]
+            meta = state.active_meta()
+            tail_index = state.total_bytes - 1
+            finished = False
+            for _ in range(count):
+                phit = state.buffer.pop()
+                if port < MESH_LINKS:
+                    # Link inputs return one ack per drained byte; the
+                    # injection port is host-local and needs none.
+                    state.pending_acks += 1
+                state.transferred += 1
+                byte = self._rewrite_be_byte(state.out_port, phit)
+                is_tail = phit.index == tail_index
+                output.be_staging.append(_StagedByte(
+                    byte=byte, index=phit.index, is_tail=is_tail,
+                    meta=meta if is_tail else None,
+                ))
+                finished = finished or is_tail
+            if finished:
+                state.release_worm()
+        return action
+
+    @staticmethod
+    def _rewrite_be_byte(out_port: int, phit: Phit) -> int:
+        """Decrement the routing offset consumed by this hop."""
+        if phit.index == 0 and out_port in (0, 1):
+            x = phit.byte - 256 if phit.byte >= 128 else phit.byte
+            x -= 1 if x > 0 else -1
+            return x & 0xFF
+        if phit.index == 1 and out_port in (2, 3):
+            y = phit.byte - 256 if phit.byte >= 128 else phit.byte
+            y -= 1 if y > 0 else -1
+            return y & 0xFF
+        return phit.byte
+
+    # ------------------------------------------------------------------
+    # Phase 6: scheduler pipeline
+    # ------------------------------------------------------------------
+
+    def _scheduler_decisions(self) -> None:
+        completed = self.pipeline.step(
+            self.cycle, self.clock, self.control.horizons
+        )
+        for port, selection in completed:
+            if selection is not None:
+                self._outputs[port].held = selection
+
+    def _issue_scheduler_requests(self) -> None:
+        for port in range(OUTPUT_PORTS):
+            output = self._outputs[port]
+            if output.held is not None or self.pipeline.has_request(port):
+                continue
+            if self._eligible_count[port] <= 0:
+                continue
+            stream = output.tc_stream
+            if stream is not None:
+                # Overlap scheduling with transmission: request the next
+                # decision just early enough to land at the boundary.
+                remaining = self.params.tc_packet_bytes - stream.sent
+                lead = self.pipeline.latency + self.pipeline.initiation_interval
+                if remaining > lead:
+                    continue
+            self.pipeline.request(port)
+
+    # ------------------------------------------------------------------
+    # Phase 7: output transmission (one byte per port per cycle)
+    # ------------------------------------------------------------------
+
+    def _transmit_outputs(self) -> None:
+        for direction in range(MESH_LINKS):
+            self.link_out[direction] = LinkSignal()
+        # One acknowledgement per cycle per link for drained flits.
+        for port in range(MESH_LINKS):
+            state = self._be_inputs[port]
+            if state.pending_acks > 0:
+                state.pending_acks -= 1
+                self.link_out[port].ack = True
+        for port in range(OUTPUT_PORTS):
+            self._transmit_one(port)
+
+    def _transmit_one(self, port: int) -> None:
+        output = self._outputs[port]
+        self._maybe_start_tc(port, output)
+
+        # Priority 1: stream the active time-constrained packet.
+        stream = output.tc_stream
+        if stream is not None and stream.staging:
+            byte = stream.staging.popleft()
+            index = stream.sent
+            stream.sent += 1
+            last = stream.sent == self.params.tc_packet_bytes
+            carrier = _MetaCarrier(stream.meta) if stream.meta else None
+            self._drive_byte(port, Phit(vc="TC", byte=byte, packet=carrier,
+                                        index=index, last=last))
+            output.tc_bytes += 1
+            if self.service_hook is not None:
+                self.service_hook(self.cycle, port, "TC", stream.meta)
+            if last:
+                self._finish_tc_stream(port, stream)
+            return
+        # A committed stream whose data has not reached staging yet
+        # (bus latency) leaves the link free for best-effort bytes.
+
+        # Priority 2: best-effort flits.
+        self._send_be_byte(port)
+
+    def _maybe_start_tc(self, port: int, output: _Output) -> None:
+        """Commit the held scheduler decision if it may transmit now."""
+        if output.tc_stream is not None or output.held is None:
+            return
+        selection = output.held
+        leaf = self.leaves[selection.leaf_index]
+        if not leaf.eligible_for(port):
+            output.held = None
+            return
+        if self.clock.is_past(leaf.arrival):
+            # On-time: transmit regardless of best-effort backlog.
+            self._commit_tc(port, selection)
+            output.held = None
+            return
+        remaining = self.clock.remaining_until(leaf.arrival)
+        if (remaining <= self.control.horizons[port]
+                and not self._be_waiting(port)):
+            # Early but within the horizon, and the link is otherwise
+            # idle: transmit ahead of the logical arrival time.
+            self._commit_tc(port, selection)
+        # Early decisions that cannot start are dropped so the next
+        # tournament sees fresh state (the hardware pipeline similarly
+        # re-evaluates continuously).
+        output.held = None
+
+    def _be_waiting(self, port: int) -> bool:
+        """Whether any best-effort flit could use this output now."""
+        output = self._outputs[port]
+        if output.be_staging:
+            return True
+        if output.bound_input is not None:
+            bound = self._be_inputs[output.bound_input]
+            if bound.buffer.occupancy > 0:
+                return True
+        for state in self._be_inputs:
+            if state.out_port == port and not state.bound:
+                return True
+        return False
+
+    def _send_be_byte(self, port: int) -> bool:
+        output = self._outputs[port]
+        if not output.be_staging:
+            return False
+        if port < MESH_LINKS and not output.credits.can_send:
+            return False
+        staged = output.be_staging.popleft()
+        if port < MESH_LINKS:
+            output.credits.consume()
+        carrier = _MetaCarrier(staged.meta) if staged.meta else None
+        self._drive_byte(port, Phit(vc="BE", byte=staged.byte,
+                                    packet=carrier, index=staged.index,
+                                    last=staged.is_tail))
+        output.be_bytes += 1
+        if self.service_hook is not None:
+            self.service_hook(self.cycle, port, "BE", staged.meta)
+        if staged.is_tail:
+            output.bound_input = None
+        return True
+
+    # -- time-constrained transmit helpers --------------------------------
+
+    def _commit_tc(self, port: int, selection: Selection) -> None:
+        slot = selection.leaf_index
+        self.leaves.clear_port(slot, port)
+        self._eligible_count[port] -= 1
+        self._slot_readers[slot] += 1
+        output = self._outputs[port]
+        output.tc_stream = _TCStream(slot=slot, meta=self._slot_meta[slot])
+        for chunk in range(self.params.chunks_per_packet):
+            self.bus.request(BusRequest(
+                port=OUTPUT_PORTS + port,
+                action=self._make_tc_read(port, slot, chunk),
+                label=f"tc-read s{slot} c{chunk}",
+            ))
+
+    def _make_tc_read(self, port: int, slot: int,
+                      chunk: int) -> Callable[[], None]:
+        def action() -> None:
+            stream = self._outputs[port].tc_stream
+            if stream is None or stream.slot != slot:
+                return  # defensive: transmission already completed
+            stream.staging.extend(self.memory.read_chunk(slot, chunk))
+        return action
+
+    def _finish_tc_stream(self, port: int, stream: _TCStream) -> None:
+        output = self._outputs[port]
+        output.tc_stream = None
+        self.tc_transmitted += 1
+        slot = stream.slot
+        if slot < 0:
+            return  # cut-through stream: never touched the memory
+        self._slot_readers[slot] -= 1
+        if (self.leaves[slot].port_mask == 0
+                and self._slot_readers[slot] == 0):
+            self.memory.free(slot)
+            self._slot_meta[slot] = None
+
+    # -- byte delivery ------------------------------------------------------
+
+    def _drive_byte(self, port: int, phit: Phit) -> None:
+        if port < MESH_LINKS:
+            self.link_out[port].phit = phit
+        else:
+            self._receive_locally(phit)
+
+    def _receive_locally(self, phit: Phit) -> None:
+        """Reassemble packets arriving at the shared reception port."""
+        output = self._outputs[RECEPTION]
+        if phit.vc == "TC":
+            if not output.tc_rx and phit.packet is not None:
+                output.tc_rx_meta = getattr(phit.packet, "meta", None)
+            output.tc_rx.append(phit.byte)
+            if len(output.tc_rx) == self.params.tc_packet_bytes:
+                packet = TimeConstrainedPacket.from_bytes(
+                    bytes(output.tc_rx), self.params, meta=output.tc_rx_meta,
+                )
+                packet.meta.delivered_cycle = self.cycle
+                self.delivered.append(packet)
+                output.tc_rx.clear()
+                output.tc_rx_meta = None
+        else:
+            output.be_rx.append(phit.byte)
+            if phit.packet is not None:
+                meta = getattr(phit.packet, "meta", None)
+                if meta is not None:
+                    output.be_rx_meta = meta
+            if phit.last:
+                packet = BestEffortPacket.from_bytes(
+                    bytes(output.be_rx), meta=output.be_rx_meta,
+                )
+                packet.meta.delivered_cycle = self.cycle
+                self.delivered.append(packet)
+                output.be_rx.clear()
+                output.be_rx_meta = None
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, stats)
+    # ------------------------------------------------------------------
+
+    def output_service(self, port: int) -> tuple[int, int]:
+        """(time-constrained, best-effort) bytes sent on an output port."""
+        output = self._outputs[port]
+        return output.tc_bytes, output.be_bytes
+
+    @property
+    def idle(self) -> bool:
+        """True when no packet is anywhere inside the router."""
+        if self.memory.occupancy or self.bus.pending():
+            return False
+        if self.delivered:
+            return False  # the host has not collected these yet
+        if self._tc_inject_queue or self._tc_inject_phits:
+            return False
+        if self._be_inject_queue or self._be_inject_phits:
+            return False
+        if any(s.rx_bytes or s.cut_port is not None
+               for s in self._tc_inputs):
+            return False
+        if any(self._sync_queues):
+            return False
+        if any(s.buffer.occupancy or s.pending_acks for s in self._be_inputs):
+            return False
+        for output in self._outputs:
+            if output.tc_stream or output.be_staging:
+                return False
+            if output.tc_rx or output.be_rx:
+                return False
+        return True
+
+
+class _MetaCarrier:
+    """Minimal packet stand-in that carries metadata on wire phits."""
+
+    __slots__ = ("meta",)
+
+    def __init__(self, meta: PacketMeta) -> None:
+        self.meta = meta

@@ -1,0 +1,94 @@
+"""Sorting-key construction for the comparator tree (paper Figure 4).
+
+The base of the comparator tree computes a small unsigned key for every
+packet leaf from the packet state and the current time ``t``:
+
+====================  ===========================================
+On-time  (l <= t)      ``0 | 0 | (l + d - t) mod 2^n``  (laxity)
+Early    (l > t)       ``0 | 1 | (l - t)     mod 2^n``
+Ineligible             ``1 | --------------``
+====================  ===========================================
+
+Normalising relative to ``t`` lets the rest of the tree use plain
+unsigned comparisons even across clock rollover.  The early bit sits
+above the time field, so every on-time packet beats every early packet,
+on-time packets order by laxity (equivalently by deadline — earliest
+due date), and early packets order by logical arrival time.  The
+ineligible marker is strictly greater than every real key, so empty or
+mismatched leaves always lose the tournament.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clock import RolloverClock
+
+
+@dataclass(frozen=True)
+class SortingKey:
+    """A decoded sorting key, ordered exactly like its packed value."""
+
+    ineligible: bool
+    early: bool
+    time_field: int
+
+    def packed(self, clock_bits: int) -> int:
+        """Pack into the (clock_bits + 2)-bit comparator representation."""
+        if self.ineligible:
+            return 1 << (clock_bits + 1)
+        return (int(self.early) << clock_bits) | self.time_field
+
+    def __lt__(self, other: "SortingKey") -> bool:
+        return self._rank() < other._rank()
+
+    def __le__(self, other: "SortingKey") -> bool:
+        return self._rank() <= other._rank()
+
+    def _rank(self) -> tuple[int, int, int]:
+        return (int(self.ineligible), int(self.early), self.time_field)
+
+
+INELIGIBLE = SortingKey(ineligible=True, early=False, time_field=0)
+
+
+def compute_key(
+    clock: RolloverClock,
+    logical_arrival: int,
+    deadline: int,
+    *,
+    eligible: bool = True,
+) -> SortingKey:
+    """Compute a packet's sorting key at the clock's current time.
+
+    ``logical_arrival`` is the packet's logical arrival time ``l(m)`` at
+    this node and ``deadline`` its local deadline ``l(m) + d``, both as
+    wrapped n-bit timestamps.  The early/on-time decision uses the
+    half-range test of paper Figure 6.
+    """
+    if not eligible:
+        return INELIGIBLE
+    arrival = clock.wrap(logical_arrival)
+    due = clock.wrap(deadline)
+    if clock.is_past(arrival):
+        # On-time: key is the remaining laxity until the local deadline.
+        return SortingKey(ineligible=False, early=False,
+                          time_field=clock.remaining_until(due))
+    # Early: key is the time left before the logical arrival instant.
+    return SortingKey(ineligible=False, early=True,
+                      time_field=clock.remaining_until(arrival))
+
+
+def within_horizon(clock: RolloverClock, key: SortingKey, horizon: int) -> bool:
+    """Whether a winning key may be transmitted given the link horizon.
+
+    On-time packets are always transmissible; early packets only when
+    they are within ``horizon`` ticks of their logical arrival time
+    (paper sections 2 and 4.2 — the extra comparator at the top of the
+    tree).  Ineligible keys never transmit.
+    """
+    if key.ineligible:
+        return False
+    if not key.early:
+        return True
+    return key.time_field <= horizon

@@ -1,0 +1,27 @@
+"""The paper's future-work directions, built out (section 7, 5.1)."""
+
+from repro.extensions.approx_scheduler import (
+    ApproximateEdfScheduler,
+    ApproxCostPoint,
+    cost_comparison,
+)
+from repro.extensions.cut_through import CutThroughResult, measure_linear_path
+from repro.extensions.shared_leaf import SharedLeafDesign, design_space
+from repro.extensions.switch_fabric import (
+    SwitchFabric,
+    SwitchReport,
+    multimedia_switch_demo,
+)
+
+__all__ = [
+    "ApproxCostPoint",
+    "ApproximateEdfScheduler",
+    "CutThroughResult",
+    "SharedLeafDesign",
+    "SwitchFabric",
+    "SwitchReport",
+    "cost_comparison",
+    "design_space",
+    "measure_linear_path",
+    "multimedia_switch_demo",
+]

@@ -1,0 +1,137 @@
+"""Approximate link scheduling for scalability (paper section 7).
+
+The paper's second future-work item: alternate link-scheduling
+algorithms "with reduced implementation complexity ... to efficiently
+handle a larger number of time-constrained packets".  The standard
+technique is a *calendar queue*: quantise sorting keys into ``bins``
+FIFO bins and always serve the lowest non-empty bin.  Priority
+resolution drops from exact EDF to bin granularity, bounding extra
+tardiness by one bin width, while the selection hardware shrinks from
+``n - 1`` comparators to a ``bins``-input priority encoder.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.link_scheduler import ScheduledPacket
+from repro.core.params import RouterParams
+
+
+class ApproximateEdfScheduler:
+    """Calendar-queue variant of the three-queue link discipline.
+
+    Interface-compatible with
+    :class:`~repro.core.link_scheduler.ReferenceLinkScheduler` so the
+    slot simulator can swap it in.  On-time packets are binned by
+    deadline; early packets are binned by logical arrival time in a
+    second calendar.  Within a bin, service is FIFO.
+    """
+
+    def __init__(self, horizon: int = 0, bin_width: int = 4,
+                 bins: int = 64) -> None:
+        if bin_width < 1 or bins < 2:
+            raise ValueError("bin_width and bins must be positive")
+        self.horizon = horizon
+        self.bin_width = bin_width
+        self.bins = bins
+        self._on_time: list[deque[ScheduledPacket]] = [
+            deque() for _ in range(bins)
+        ]
+        self._early: list[tuple[int, ScheduledPacket]] = []
+        self._be: deque[Any] = deque()
+        self.tc_served = 0
+        self.be_served = 0
+
+    def _bin_of(self, deadline: int, now: int) -> int:
+        laxity = max(0, deadline - now)
+        return min(self.bins - 1, laxity // self.bin_width)
+
+    # -- enqueue ------------------------------------------------------------
+
+    def add_tc(self, packet: ScheduledPacket, now: int) -> None:
+        if packet.arrival <= now:
+            self._on_time[self._bin_of(packet.deadline, now)].append(packet)
+        else:
+            self._early.append((packet.arrival, packet))
+            self._early.sort(key=lambda pair: pair[0])
+
+    def add_be(self, item: Any) -> None:
+        self._be.append(item)
+
+    # -- service --------------------------------------------------------------
+
+    def _promote(self, now: int) -> None:
+        while self._early and self._early[0][0] <= now:
+            __, packet = self._early.pop(0)
+            self._on_time[self._bin_of(packet.deadline, now)].append(packet)
+
+    def has_on_time(self, now: int) -> bool:
+        self._promote(now)
+        return any(self._on_time)
+
+    def has_work(self, now: int) -> bool:
+        if self.has_on_time(now) or self._be:
+            return True
+        return bool(self._early) and self._early[0][0] - now <= self.horizon
+
+    def pick(self, now: int) -> Optional[tuple[str, Any]]:
+        self._promote(now)
+        for bin_queue in self._on_time:
+            if bin_queue:
+                self.tc_served += 1
+                return ("TC", bin_queue.popleft())
+        if self._be:
+            self.be_served += 1
+            return ("BE", self._be.popleft())
+        if self._early and self._early[0][0] - now <= self.horizon:
+            self.tc_served += 1
+            return ("TC", self._early.pop(0)[1])
+        return None
+
+    @property
+    def tc_backlog(self) -> int:
+        return sum(len(q) for q in self._on_time) + len(self._early)
+
+    @property
+    def be_backlog(self) -> int:
+        return len(self._be)
+
+
+@dataclass(frozen=True)
+class ApproxCostPoint:
+    """Hardware cost / accuracy point for the approximate scheduler."""
+
+    packets: int
+    bins: int
+    exact_comparators: int
+    approx_selectors: int
+    tardiness_bound: int
+
+    @property
+    def comparator_savings(self) -> float:
+        if self.exact_comparators == 0:
+            return 0.0
+        return 1.0 - self.approx_selectors / self.exact_comparators
+
+
+def cost_comparison(params: RouterParams, bins: int,
+                    bin_width: int) -> ApproxCostPoint:
+    """Exact tree vs. calendar queue selection-hardware comparison.
+
+    The calendar queue replaces the per-leaf comparator tournament with
+    a priority encoder over bins plus one insertion decoder; tardiness
+    grows by at most one bin width (keys within a bin are unordered).
+    """
+    exact = params.tc_packet_slots - 1
+    approx = bins + math.ceil(math.log2(bins))
+    return ApproxCostPoint(
+        packets=params.tc_packet_slots,
+        bins=bins,
+        exact_comparators=exact,
+        approx_selectors=approx,
+        tardiness_bound=bin_width,
+    )

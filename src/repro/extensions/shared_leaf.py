@@ -1,0 +1,85 @@
+"""Comparator sharing between tree leaves (paper section 5.1).
+
+The paper notes the comparator tree dominates chip area and sketches a
+cheaper variant: "combine several leaf units into a single module with
+a small memory to store the packets' deadlines and logical arrival
+times; the router could sequence through each module's packets to
+serialize access to a single comparator at the base of the tree."
+
+:class:`SharedLeafDesign` models that trade-off: grouping ``group``
+leaves per module divides the comparator count (and the fanout-buffer
+load) by ``group`` but multiplies the tree's evaluation latency by the
+serialisation factor.  :func:`design_space` sweeps the knob and reports
+which configurations still meet the chip's scheduling-rate budget —
+one decision per output port per packet time (bench A2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.comparator_tree import SchedulerPipeline
+from repro.core.cost import COMPARATOR_T_PER_BIT, MUX_T_PER_BIT, SRAM_T_PER_BIT
+from repro.core.params import OUTPUT_PORTS, RouterParams
+
+
+@dataclass(frozen=True)
+class SharedLeafDesign:
+    """One point in the leaf-sharing design space."""
+
+    params: RouterParams
+    group: int           # leaves sharing one comparator module
+
+    def __post_init__(self) -> None:
+        if self.group < 1:
+            raise ValueError("group must be at least 1")
+
+    @property
+    def modules(self) -> int:
+        return math.ceil(self.params.tc_packet_slots / self.group)
+
+    @property
+    def comparator_count(self) -> int:
+        """Tournament comparators over modules, plus one per module for
+        the serialised local scan, plus the horizon comparator."""
+        return max(0, self.modules - 1) + self.modules + 1
+
+    @property
+    def state_memory_bits(self) -> int:
+        """Per-module SRAM replacing individual leaf latches."""
+        leaf_bits = 2 * self.params.clock_bits + OUTPUT_PORTS
+        return self.params.tc_packet_slots * leaf_bits
+
+    @property
+    def selection_transistors(self) -> int:
+        kbits = self.params.key_bits
+        idx_bits = max(1, math.ceil(math.log2(self.params.tc_packet_slots)))
+        tree = self.comparator_count * (
+            kbits * COMPARATOR_T_PER_BIT + idx_bits * MUX_T_PER_BIT
+        )
+        return tree + self.state_memory_bits * SRAM_T_PER_BIT
+
+    @property
+    def decision_latency_cycles(self) -> int:
+        """Sequencing through a module serialises ``group`` compares."""
+        base = self.params.pipeline_stages * SchedulerPipeline.STAGE_CYCLES
+        return base + (self.group - 1)
+
+    @property
+    def decision_interval_cycles(self) -> int:
+        """Initiation interval: the local scan bounds the pipeline."""
+        return max(SchedulerPipeline.STAGE_CYCLES, self.group)
+
+    def meets_rate(self, ports: int = OUTPUT_PORTS) -> bool:
+        """One decision per port per packet-slot time (paper 4.2)."""
+        budget = self.params.slot_cycles / ports
+        return self.decision_interval_cycles <= budget
+
+
+def design_space(params: RouterParams,
+                 groups: list[int] | None = None) -> list[SharedLeafDesign]:
+    """Sweep leaf-group sizes (1 = the paper's full tree)."""
+    if groups is None:
+        groups = [1, 2, 4, 8, 16]
+    return [SharedLeafDesign(params=params, group=g) for g in groups]

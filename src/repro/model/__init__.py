@@ -1,0 +1,18 @@
+"""Fast packet-slot-level simulation of the link discipline."""
+
+from repro.model.mesh_workload import MeshWorkload, MeshWorkloadResult
+from repro.model.slotsim import (
+    ServiceEvent,
+    SlotChannel,
+    SlotPacket,
+    SlotSimulator,
+)
+
+__all__ = [
+    "MeshWorkload",
+    "MeshWorkloadResult",
+    "ServiceEvent",
+    "SlotChannel",
+    "SlotPacket",
+    "SlotSimulator",
+]

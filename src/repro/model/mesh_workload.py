@@ -1,0 +1,119 @@
+"""Mesh-scale workloads on the slot-level simulator.
+
+The paper's future work (section 7) folds the router into a
+multicomputer network simulator (PP-MESS-SIM) "to evaluate the design
+under larger network configurations and more diverse traffic
+patterns".  This module is that bridge at slot granularity: it maps
+real mesh routes onto the :class:`~repro.model.slotsim.SlotSimulator`'s
+links — one scheduler per ``(node, out_port)`` — so network-wide
+workloads (uniform random, transpose, hotspot) can be swept far faster
+than the cycle-accurate fabric allows, with any link discipline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.channels.admission import (
+    AdmissionController,
+    AdmissionError,
+    HopDescriptor,
+)
+from repro.channels.routing import dimension_ordered_route
+from repro.channels.spec import FlowRequirements, TrafficSpec
+from repro.model.slotsim import SlotSimulator
+from repro.network.topology import Mesh, Node
+
+
+@dataclass
+class MeshWorkloadResult:
+    """Outcome of one mesh-wide slot-level run."""
+
+    admitted: int
+    requested: int
+    delivered: int
+    deadline_misses: int
+    mean_latency_ticks: float
+    max_link_utilisation: float
+
+    @property
+    def admission_ratio(self) -> float:
+        return self.admitted / self.requested if self.requested else 0.0
+
+
+class MeshWorkload:
+    """Admitted random traffic on a mesh, run at slot granularity."""
+
+    def __init__(self, width: int, height: int, *,
+                 scheduler_factory=None,
+                 admission: Optional[AdmissionController] = None) -> None:
+        self.mesh = Mesh(width, height)
+        self.admission = admission or AdmissionController(hop_overhead=0)
+        self.sim = SlotSimulator(scheduler_factory=scheduler_factory)
+        self._count = 0
+
+    def add_channel(self, src: Node, dst: Node, spec: TrafficSpec,
+                    deadline: int, messages: int,
+                    phase: int = 0) -> bool:
+        """Admit and install one channel; False when admission refuses."""
+        route = dimension_ordered_route(src, dst)
+        hops = [HopDescriptor(node=node, out_port=port)
+                for node, port in route]
+        try:
+            reservation = self.admission.admit(
+                hops, spec, FlowRequirements(deadline=deadline))
+        except AdmissionError:
+            return False
+        links = [(node, port) for node, port in route]
+        arrivals = [phase + k * spec.i_min for k in range(messages)]
+        self.sim.add_channel(f"ch{self._count}", links,
+                             reservation.local_delays, arrivals)
+        self._count += 1
+        return True
+
+    def add_random_channels(self, count: int, *, seed: int = 0,
+                            i_min_choices=(6, 10, 16, 24),
+                            messages: int = 20,
+                            pattern: Optional[
+                                Callable[[Mesh, Node], Node]] = None,
+                            ) -> int:
+        """Admit up to ``count`` random channels; returns how many."""
+        rng = random.Random(seed)
+        nodes = list(self.mesh.nodes())
+        admitted = 0
+        for _ in range(count):
+            src = rng.choice(nodes)
+            if pattern is not None:
+                dst = pattern(self.mesh, src)
+                if dst == src:
+                    continue
+            else:
+                dst = rng.choice([n for n in nodes if n != src])
+            i_min = rng.choice(list(i_min_choices))
+            hops = self.mesh.hop_distance(src, dst) + 1
+            deadline = i_min * hops + rng.randrange(0, 2 * i_min)
+            if self.add_channel(src, dst, TrafficSpec(i_min=i_min),
+                                deadline, messages,
+                                phase=rng.randrange(0, i_min)):
+                admitted += 1
+        self._requested = count
+        return admitted
+
+    def run(self, max_ticks: int = 200_000) -> MeshWorkloadResult:
+        self.sim.run_until_drained(max_ticks=max_ticks)
+        delivered = self.sim.delivered()
+        latencies = [p.delivered_tick - p.l0 for p in delivered]
+        links = {event.link for event in self.sim.events}
+        peak = max((self.sim.link_utilisation(link) for link in links),
+                   default=0.0)
+        return MeshWorkloadResult(
+            admitted=self._count,
+            requested=getattr(self, "_requested", self._count),
+            delivered=len(delivered),
+            deadline_misses=self.sim.deadline_misses(),
+            mean_latency_ticks=(sum(latencies) / len(latencies)
+                                if latencies else 0.0),
+            max_link_utilisation=peak,
+        )

@@ -1,0 +1,37 @@
+"""Mesh multicomputer substrate (the PP-MESS-SIM role in the paper).
+
+:class:`MeshNetwork` wires real-time routers into a 2-D mesh and runs
+them cycle by cycle; :class:`LoopbackHarness` reproduces the paper's
+single-chip loopback experiment; the stats classes collect the
+measurements the evaluation section reports.
+"""
+
+from repro.network.engine import SynchronousEngine
+from repro.network.loopback import LoopbackHarness
+from repro.network.network import MeshNetwork, build_mesh_network
+from repro.network.node import HostNode, Send
+from repro.network.single_link import LinkConnection, SingleLinkHarness
+from repro.network.stats import (
+    DeliveryLog,
+    DeliveryRecord,
+    LatencySummary,
+    ServiceTrace,
+)
+from repro.network.topology import Mesh, reverse_direction
+
+__all__ = [
+    "DeliveryLog",
+    "DeliveryRecord",
+    "HostNode",
+    "LatencySummary",
+    "LinkConnection",
+    "LoopbackHarness",
+    "Mesh",
+    "MeshNetwork",
+    "Send",
+    "ServiceTrace",
+    "SingleLinkHarness",
+    "SynchronousEngine",
+    "build_mesh_network",
+    "reverse_direction",
+]

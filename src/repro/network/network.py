@@ -1,0 +1,260 @@
+"""The mesh multicomputer: routers wired together, plus the facade API.
+
+:class:`MeshNetwork` assembles a ``width x height`` mesh of
+:class:`~repro.core.router.RealTimeRouter` chips, connects their links
+through the synchronous engine (one-cycle link latency), runs a
+:class:`~repro.channels.manager.ChannelManager` as the protocol
+software, and exposes the operations the examples and experiments use:
+establish channels, send messages on them, fire best-effort packets,
+attach traffic sources, run, and inspect statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.channels.admission import AdmissionController
+from repro.channels.manager import ChannelManager, RealTimeChannel
+from repro.channels.spec import TrafficSpec
+from repro.core.packet import BestEffortPacket, PacketMeta
+from repro.core.params import MESH_LINKS, RouterParams
+from repro.core.ports import OPPOSITE
+from repro.core.router import LinkSignal, RealTimeRouter
+from repro.network.engine import SynchronousEngine
+from repro.network.node import HostNode
+from repro.network.stats import DeliveryLog, ServiceTrace
+from repro.network.topology import Mesh, Node
+
+
+class MeshNetwork:
+    """A mesh of real-time routers with hosts and protocol software."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        params: Optional[RouterParams] = None,
+        *,
+        on_memory_full: str = "error",
+        cut_through: bool = False,
+        be_routing: str = "dimension",
+        torus: bool = False,
+        clock_skews: Optional[dict[Node, int]] = None,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        self.params = params or RouterParams()
+        clock_skews = clock_skews or {}
+        # Time-constrained routing is table-driven, so the same chips
+        # assemble into a torus unchanged ("the architecture directly
+        # extends to other network topologies", paper section 1); the
+        # offset-based best-effort routing stays mesh-only.
+        self.mesh = Mesh(width, height, torus=torus)
+        self.log = DeliveryLog(self.params.slot_cycles)
+        self.engine = SynchronousEngine()
+        self.routers: dict[Node, RealTimeRouter] = {}
+        self.hosts: dict[Node, HostNode] = {}
+        self._traces: list[ServiceTrace] = []
+        self._failed_links: set[tuple[Node, int]] = set()
+
+        for node in self.mesh.nodes():
+            router = RealTimeRouter(
+                self.params, router_id=node, on_memory_full=on_memory_full,
+                cut_through=cut_through, be_routing=be_routing,
+                clock_skew_ticks=clock_skews.get(node, 0),
+            )
+            host = HostNode(node, router, self.log, self.params.slot_cycles)
+            host.network = self
+            self.routers[node] = router
+            self.hosts[node] = host
+            self.engine.add_component(host)
+            self.engine.add_component(router)
+
+        # Wire every link: a router's output signal this cycle becomes
+        # its neighbour's input signal next cycle.
+        for node, direction, neighbor in self.mesh.links():
+            self.engine.add_wiring(
+                self._make_link_transfer(node, direction, neighbor)
+            )
+
+        self.admission = admission or AdmissionController(self.params)
+        self.manager = ChannelManager(self.routers, self.admission,
+                                      self.params)
+
+    def _make_link_transfer(self, node: Node, direction: int,
+                            neighbor: Node):
+        source = self.routers[node]
+        sink = self.routers[neighbor]
+        into = OPPOSITE[direction]
+        failed = self._failed_links
+        link = (node, direction)
+
+        def transfer() -> None:
+            if link in failed:
+                return  # a failed link carries nothing
+            signal = source.link_out[direction]
+            sink.link_in[into] = LinkSignal(phit=signal.phit,
+                                            ack=signal.ack)
+        return transfer
+
+    # ------------------------------------------------------------------
+    # Link failures and recovery
+    # ------------------------------------------------------------------
+
+    def fail_link(self, node: Node, direction: int) -> None:
+        """Cut one unidirectional link (nothing crosses it any more).
+
+        In-flight bytes on the link are lost; a wormhole packet that
+        was crossing it stalls, and time-constrained packets already
+        scheduled onto the dead output port stay buffered — exactly the
+        failure modes that motivate rerouting over disjoint paths.
+        """
+        if self.mesh.neighbor(node, direction) is None:
+            raise ValueError("no link in that direction")
+        self._failed_links.add((node, direction))
+
+    def repair_link(self, node: Node, direction: int) -> None:
+        self._failed_links.discard((node, direction))
+
+    @property
+    def failed_links(self) -> set[tuple[Node, int]]:
+        return set(self._failed_links)
+
+    def recover_channel(self, channel) -> object:
+        """Reroute a unicast channel around all currently failed links.
+
+        Chooses the shortest surviving path (any path — table-driven
+        routing is not restricted to dimension order) and re-establishes
+        the channel on it; returns the replacement handle.
+        """
+        from repro.channels.routing import shortest_route_avoiding
+
+        route = shortest_route_avoiding(
+            self.mesh.width, self.mesh.height,
+            channel.source, channel.destinations[0],
+            failed=self._failed_links, torus=self.mesh.torus,
+        )
+        return self.manager.reroute(channel, route)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        return self.engine.cycle
+
+    @property
+    def current_tick(self) -> int:
+        return self.engine.cycle // self.params.slot_cycles
+
+    def run(self, cycles: int) -> int:
+        """Advance the whole fabric by ``cycles`` chip cycles."""
+        return self.engine.run(cycles)
+
+    def run_ticks(self, ticks: int) -> int:
+        """Advance by whole packet-slot times."""
+        return self.run(ticks * self.params.slot_cycles)
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run until every router is idle (all traffic delivered)."""
+        return self.engine.run_until(
+            lambda: all(r.idle for r in self.routers.values()),
+            max_cycles=max_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Real-time channels
+    # ------------------------------------------------------------------
+
+    def establish_channel(
+        self,
+        source: Node,
+        destination: Node | Sequence[Node],
+        spec: TrafficSpec,
+        deadline: int,
+        **kwargs: object,
+    ) -> RealTimeChannel:
+        """Establish a real-time channel (see ChannelManager.establish)."""
+        is_unicast = (isinstance(destination, tuple)
+                      and len(destination) == 2
+                      and all(isinstance(c, int) for c in destination))
+        if self.mesh.torus and "route" not in kwargs and is_unicast:
+            # On a torus the shortest path may cross a wrap link, which
+            # dimension-ordered construction never uses; route by BFS.
+            from repro.channels.routing import shortest_route_avoiding
+
+            kwargs["route"] = shortest_route_avoiding(
+                self.mesh.width, self.mesh.height, source, destination,
+                failed=self._failed_links, torus=True,
+            )
+        return self.manager.establish(source, destination, spec, deadline,
+                                      **kwargs)
+
+    def teardown_channel(self, channel: RealTimeChannel) -> None:
+        self.manager.teardown(channel)
+
+    def send_message(self, channel: RealTimeChannel, payload: bytes = b"",
+                     at_cycle: Optional[int] = None) -> int:
+        """Send one message on a channel; returns its logical arrival.
+
+        The message is stamped at the current tick, fragmented into
+        packets, and held by the source host until the regulator's
+        release tick.
+        """
+        cycle = self.cycle if at_cycle is None else at_cycle
+        now_tick = cycle // self.params.slot_cycles
+        packets, arrival, release = channel.make_message(payload, now_tick)
+        self.hosts[channel.source].queue_tc(packets, release)
+        return arrival
+
+    # ------------------------------------------------------------------
+    # Best-effort traffic
+    # ------------------------------------------------------------------
+
+    def send_best_effort(self, source: Node, destination: Node,
+                         payload: bytes = b"",
+                         at_cycle: Optional[int] = None) -> BestEffortPacket:
+        """Inject one wormhole packet from ``source`` to ``destination``."""
+        if not self.mesh.contains(source) or not self.mesh.contains(destination):
+            raise ValueError("source or destination outside the mesh")
+        x_offset, y_offset = self.mesh.offsets(source, destination)
+        packet = BestEffortPacket(
+            x_offset=x_offset, y_offset=y_offset, payload=payload,
+            meta=PacketMeta(source=source, destination=destination),
+        )
+        cycle = self.cycle if at_cycle is None else at_cycle
+        packet.meta.injected_cycle = cycle
+        self.routers[source].inject_be(packet)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Sources and instrumentation
+    # ------------------------------------------------------------------
+
+    def attach_source(self, node: Node, source) -> None:
+        """Attach a traffic source (see repro.traffic) to a host."""
+        self.hosts[node].attach_source(source)
+
+    def trace_service(self, node: Node, port: int) -> ServiceTrace:
+        """Record cumulative per-connection service on one output port."""
+        trace = ServiceTrace(watch_port=port)
+        router = self.routers[node]
+        if router.service_hook is not None:
+            previous = router.service_hook
+
+            def chained(cycle: int, p: int, cls: str, meta) -> None:
+                previous(cycle, p, cls, meta)
+                trace.hook(cycle, p, cls, meta)
+
+            router.service_hook = chained
+        else:
+            router.service_hook = trace.hook
+        self._traces.append(trace)
+        return trace
+
+
+def build_mesh_network(width: int, height: int,
+                       params: Optional[RouterParams] = None,
+                       **kwargs: object) -> MeshNetwork:
+    """Convenience constructor mirroring the paper's 4x4 mesh setup."""
+    return MeshNetwork(width, height, params, **kwargs)

@@ -1,0 +1,95 @@
+"""Host node: the processor attached to each router.
+
+The host runs the application side of the system: it holds back
+time-constrained messages until their release ticks (the source
+regulator's rate-based flow control), feeds the router's two injection
+ports, drains the shared reception port into the delivery log, and
+polls any attached traffic sources.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.packet import BestEffortPacket, TimeConstrainedPacket
+from repro.core.router import RealTimeRouter
+from repro.network.stats import DeliveryLog
+
+#: A traffic source: called once per cycle, returns send requests.
+SourceFn = Callable[[int], list["Send"]]
+
+
+@dataclass(frozen=True)
+class Send:
+    """One send request produced by a traffic source.
+
+    For time-constrained sends set ``channel`` (established handle) and
+    optionally ``payload``; for best-effort sends set ``destination``
+    and ``payload``.
+    """
+
+    traffic_class: str                      # "TC" or "BE"
+    channel: object = None
+    destination: Optional[tuple[int, int]] = None
+    payload: bytes = b""
+
+
+class HostNode:
+    """The processor (software side) of one mesh node."""
+
+    def __init__(self, node: tuple[int, int], router: RealTimeRouter,
+                 log: DeliveryLog, slot_cycles: int) -> None:
+        self.node = node
+        self.router = router
+        self.log = log
+        self.slot_cycles = slot_cycles
+        self._release_heap: list[tuple[int, int, TimeConstrainedPacket]] = []
+        self._tiebreak = itertools.count()
+        self.sources: list[SourceFn] = []
+        self.network = None  # set by MeshNetwork for source sends
+
+    def attach_source(self, source: SourceFn) -> None:
+        self.sources.append(source)
+
+    def queue_tc(self, packets: list[TimeConstrainedPacket],
+                 release_tick: int) -> None:
+        """Hold packets until their regulated release tick."""
+        release_cycle = release_tick * self.slot_cycles
+        for packet in packets:
+            heapq.heappush(
+                self._release_heap,
+                (release_cycle, next(self._tiebreak), packet),
+            )
+
+    def send_be(self, packet: BestEffortPacket, cycle: int) -> None:
+        packet.meta.injected_cycle = cycle
+        packet.meta.source = self.node
+        self.router.inject_be(packet)
+
+    def step(self, cycle: int) -> None:
+        """Run the host for one cycle (sources, releases, deliveries)."""
+        for source in self.sources:
+            for send in source(cycle):
+                self._dispatch(send, cycle)
+        while self._release_heap and self._release_heap[0][0] <= cycle:
+            __, __, packet = heapq.heappop(self._release_heap)
+            packet.meta.injected_cycle = cycle
+            packet.meta.source = self.node
+            self.router.inject_tc(packet)
+        for packet in self.router.take_delivered():
+            self.log.add(packet)
+
+    def _dispatch(self, send: Send, cycle: int) -> None:
+        if self.network is None:
+            raise RuntimeError("host is not attached to a network")
+        if send.traffic_class == "TC":
+            self.network.send_message(send.channel, send.payload,
+                                      at_cycle=cycle)
+        elif send.traffic_class == "BE":
+            self.network.send_best_effort(self.node, send.destination,
+                                          send.payload, at_cycle=cycle)
+        else:
+            raise ValueError(f"unknown traffic class {send.traffic_class!r}")

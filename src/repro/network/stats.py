@@ -1,0 +1,216 @@
+"""Measurement collection for network experiments.
+
+Three collectors cover the paper's evaluation needs:
+
+* :class:`DeliveryLog` — per-packet end-to-end records (latency,
+  deadline verdicts) for both traffic classes.
+* :class:`ServiceTrace` — per-cycle link-service samples, the raw data
+  behind Figure 7's cumulative-service curves.
+* :class:`LatencySummary` — small-sample summary statistics.
+
+All cycle<->tick conversions use the router's slot time (one tick per
+packet transmission time).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.packet import BestEffortPacket, PacketMeta, TimeConstrainedPacket
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivered packet, reduced to the numbers experiments need."""
+
+    traffic_class: str              # "TC" or "BE"
+    source: Optional[tuple[int, int]]
+    destination: Optional[tuple[int, int]]
+    injected_cycle: Optional[int]
+    delivered_cycle: int
+    connection_label: Optional[str]
+    sequence: Optional[int]
+    absolute_deadline: Optional[int]    # ticks, TC only
+    deadline_met: Optional[bool]        # None for best-effort
+
+    @property
+    def latency_cycles(self) -> Optional[int]:
+        if self.injected_cycle is None:
+            return None
+        return self.delivered_cycle - self.injected_cycle
+
+
+class DeliveryLog:
+    """Collects delivered packets and answers deadline/latency queries."""
+
+    def __init__(self, slot_cycles: int) -> None:
+        self.slot_cycles = slot_cycles
+        self.records: list[DeliveryRecord] = []
+
+    def add(self, packet: object) -> DeliveryRecord:
+        meta: Optional[PacketMeta] = getattr(packet, "meta", None)
+        if meta is None:
+            raise TypeError(f"not a packet: {packet!r}")
+        if isinstance(packet, TimeConstrainedPacket):
+            traffic_class = "TC"
+            deadline_met: Optional[bool] = None
+            if meta.absolute_deadline is not None:
+                delivered_tick = math.ceil(
+                    meta.delivered_cycle / self.slot_cycles
+                )
+                deadline_met = delivered_tick <= meta.absolute_deadline
+        elif isinstance(packet, BestEffortPacket):
+            traffic_class = "BE"
+            deadline_met = None
+        else:
+            raise TypeError(f"not a packet: {packet!r}")
+        record = DeliveryRecord(
+            traffic_class=traffic_class,
+            source=meta.source,
+            destination=meta.destination,
+            injected_cycle=meta.injected_cycle,
+            delivered_cycle=meta.delivered_cycle,
+            connection_label=meta.connection_label,
+            sequence=meta.sequence,
+            absolute_deadline=meta.absolute_deadline,
+            deadline_met=deadline_met,
+        )
+        self.records.append(record)
+        return record
+
+    # -- queries ------------------------------------------------------------
+
+    def of_class(self, traffic_class: str) -> list[DeliveryRecord]:
+        return [r for r in self.records if r.traffic_class == traffic_class]
+
+    def of_connection(self, label: str) -> list[DeliveryRecord]:
+        return [r for r in self.records if r.connection_label == label]
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for r in self.records if r.deadline_met is False)
+
+    @property
+    def tc_delivered(self) -> int:
+        return len(self.of_class("TC"))
+
+    @property
+    def be_delivered(self) -> int:
+        return len(self.of_class("BE"))
+
+    def messages(self, label: str,
+                 packets_per_message: int) -> list["MessageRecord"]:
+        """Reassemble a connection's packets into application messages.
+
+        Fragments of one message carry consecutive sequence numbers
+        (assigned by :meth:`RealTimeChannel.make_message`); a message is
+        complete when all of its fragments arrived, and its delivery
+        time is the last fragment's.
+        """
+        if packets_per_message < 1:
+            raise ValueError("packets_per_message must be positive")
+        fragments: dict[int, list[DeliveryRecord]] = {}
+        for record in self.of_connection(label):
+            if record.sequence is None:
+                continue
+            fragments.setdefault(
+                record.sequence // packets_per_message, []
+            ).append(record)
+        messages = []
+        for index in sorted(fragments):
+            parts = fragments[index]
+            complete = len(parts) == packets_per_message
+            messages.append(MessageRecord(
+                message_index=index,
+                fragments=len(parts),
+                expected_fragments=packets_per_message,
+                complete=complete,
+                delivered_cycle=max(p.delivered_cycle for p in parts),
+                deadline_met=all(p.deadline_met is not False
+                                 for p in parts),
+            ))
+        return messages
+
+    def latency_summary(self, traffic_class: str) -> "LatencySummary":
+        latencies = [r.latency_cycles for r in self.of_class(traffic_class)
+                     if r.latency_cycles is not None]
+        return LatencySummary.from_values(latencies)
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One reassembled application message."""
+
+    message_index: int
+    fragments: int
+    expected_fragments: int
+    complete: bool
+    delivered_cycle: int
+    deadline_met: bool
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample (cycles)."""
+
+    count: int
+    mean: float
+    maximum: int
+    minimum: int
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "LatencySummary":
+        data = sorted(values)
+        if not data:
+            return cls(count=0, mean=0.0, maximum=0, minimum=0, p99=0.0)
+        index = min(len(data) - 1, math.ceil(0.99 * len(data)) - 1)
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            maximum=data[-1],
+            minimum=data[0],
+            p99=float(data[index]),
+        )
+
+
+class ServiceTrace:
+    """Cumulative per-connection link service (Figure 7's raw data).
+
+    Install as a router ``service_hook``; each transmitted byte on the
+    watched output port is attributed to its connection label (or the
+    best-effort aggregate) and accumulated into a step series.
+    """
+
+    def __init__(self, watch_port: Optional[int] = None) -> None:
+        self.watch_port = watch_port
+        self.totals: dict[str, int] = defaultdict(int)
+        self.series: dict[str, list[tuple[int, int]]] = defaultdict(list)
+
+    def hook(self, cycle: int, port: int, traffic_class: str,
+             meta: Optional[PacketMeta]) -> None:
+        if self.watch_port is not None and port != self.watch_port:
+            return
+        if traffic_class == "BE":
+            label = "best-effort"
+        elif meta is not None and meta.connection_label is not None:
+            label = meta.connection_label
+        else:
+            label = "time-constrained"
+        self.totals[label] += 1
+        self.series[label].append((cycle, self.totals[label]))
+
+    def cumulative_at(self, label: str, cycle: int) -> int:
+        """Bytes of service a label had received by ``cycle``."""
+        best = 0
+        for when, total in self.series.get(label, ()):
+            if when > cycle:
+                break
+            best = total
+        return best
+
+    def labels(self) -> list[str]:
+        return sorted(self.totals)

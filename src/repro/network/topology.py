@@ -1,0 +1,83 @@
+"""2-D mesh topology (paper Figure 1).
+
+The routers sit in a ``width x height`` square mesh; node ``(x, y)``
+connects east to ``(x+1, y)`` and north to ``(x, y+1)``.  Boundary
+links are absent (it is a mesh, not a torus), matching the paper's
+target configuration; a torus variant is provided for experiments with
+wrap-around links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.ports import DISPLACEMENT, OPPOSITE
+
+Node = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """Coordinate arithmetic for a 2-D mesh."""
+
+    width: int
+    height: int
+    torus: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    def nodes(self) -> Iterator[Node]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    @property
+    def node_count(self) -> int:
+        return self.width * self.height
+
+    def contains(self, node: Node) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbor(self, node: Node, direction: int) -> Optional[Node]:
+        """Neighbour across a link direction, or None at a mesh edge."""
+        dx, dy = DISPLACEMENT[direction]
+        x, y = node[0] + dx, node[1] + dy
+        if self.torus:
+            return (x % self.width, y % self.height)
+        if 0 <= x < self.width and 0 <= y < self.height:
+            return (x, y)
+        return None
+
+    def links(self) -> Iterator[tuple[Node, int, Node]]:
+        """All unidirectional links as (node, direction, neighbour)."""
+        for node in self.nodes():
+            for direction in range(4):
+                other = self.neighbor(node, direction)
+                if other is not None:
+                    yield (node, direction, other)
+
+    def hop_distance(self, a: Node, b: Node) -> int:
+        """Minimal hop count between two nodes."""
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        if self.torus:
+            dx = min(dx, self.width - dx)
+            dy = min(dy, self.height - dy)
+        return dx + dy
+
+    def offsets(self, src: Node, dst: Node) -> tuple[int, int]:
+        """Signed (x, y) offsets for a best-effort packet header."""
+        if self.torus:
+            raise NotImplementedError(
+                "offset routing is defined for the plain mesh"
+            )
+        return (dst[0] - src[0], dst[1] - src[1])
+
+
+def reverse_direction(direction: int) -> int:
+    """The input direction a byte arrives on after crossing a link."""
+    return OPPOSITE[direction]

@@ -1,0 +1,19 @@
+"""Artefact rendering: tables, ASCII charts and CSV export."""
+
+from repro.reporting.ascii_chart import histogram, line_chart
+from repro.reporting.export import (
+    read_series_csv,
+    write_log_csv,
+    write_series_csv,
+)
+from repro.reporting.tables import format_kv, format_table
+
+__all__ = [
+    "format_kv",
+    "format_table",
+    "histogram",
+    "line_chart",
+    "read_series_csv",
+    "write_log_csv",
+    "write_series_csv",
+]

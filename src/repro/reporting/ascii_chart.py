@@ -1,0 +1,79 @@
+"""Terminal-friendly charts for experiment series.
+
+The paper's Figure 7 is a set of cumulative-service curves; with no
+plotting dependencies available, these renderers draw the same series
+as ASCII so the benchmark artefacts are self-contained and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+Series = Sequence[tuple[float, float]]
+
+_MARKS = "onxs+*#@"
+
+
+def line_chart(series: Mapping[str, Series], *, width: int = 72,
+               height: int = 20, title: str = "",
+               x_label: str = "", y_label: str = "") -> list[str]:
+    """Render labelled (x, y) series on one shared-axis ASCII chart.
+
+    Later-plotted series overwrite earlier marks where they collide;
+    a legend maps each label to its mark.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("all series are empty")
+    x_max = max(x for x, __ in points) or 1
+    y_max = max(y for __, y in points) or 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in values:
+            col = min(width - 1, int(x / x_max * (width - 1)))
+            row = min(height - 1, int(y / y_max * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    for row_index, row in enumerate(grid):
+        prefix = top_label.rjust(8) if row_index == 0 else " " * 8
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 8 + "+" + "-" * width + "+")
+    lines.append(" " * 9 + "0" + f"{x_max:g}".rjust(width - 1))
+    if x_label:
+        lines.append(" " * 9 + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} = {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"y: {y_label}")
+    return lines
+
+
+def histogram(values: Sequence[float], *, bins: int = 10,
+              width: int = 50, title: str = "") -> list[str]:
+    """A horizontal-bar histogram of a sample."""
+    if not values:
+        raise ValueError("nothing to plot")
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        left = low + span * index / bins
+        bar = "#" * round(count / peak * width)
+        lines.append(f"{left:>10.1f} | {bar} {count}")
+    return lines

@@ -1,0 +1,59 @@
+"""CSV export of experiment series and delivery logs."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Mapping, Sequence
+
+from repro.network.stats import DeliveryLog
+
+
+def write_series_csv(path: str | pathlib.Path,
+                     series: Mapping[str, Sequence[tuple[float, float]]],
+                     *, x_name: str = "x") -> pathlib.Path:
+    """Write labelled (x, y) series as long-form CSV
+    (columns: label, x, y)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", x_name, "value"])
+        for label, values in series.items():
+            for x, y in values:
+                writer.writerow([label, x, y])
+    return path
+
+
+def write_log_csv(path: str | pathlib.Path,
+                  log: DeliveryLog) -> pathlib.Path:
+    """Write a delivery log's records as CSV."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "class", "source", "destination", "connection", "sequence",
+            "injected_cycle", "delivered_cycle", "latency_cycles",
+            "deadline_ticks", "deadline_met",
+        ])
+        for record in log.records:
+            writer.writerow([
+                record.traffic_class, record.source, record.destination,
+                record.connection_label, record.sequence,
+                record.injected_cycle, record.delivered_cycle,
+                record.latency_cycles, record.absolute_deadline,
+                record.deadline_met,
+            ])
+    return path
+
+
+def read_series_csv(path: str | pathlib.Path) -> dict[str, list[tuple[float, float]]]:
+    """Inverse of :func:`write_series_csv` (round-trip for tests)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    with pathlib.Path(path).open() as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header
+        for label, x, y in reader:
+            series.setdefault(label, []).append((float(x), float(y)))
+    return series

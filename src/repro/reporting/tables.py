@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment artefacts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> list[str]:
+    """Fixed-width table lines (right-aligned cells).
+
+    Used by the benchmark artefacts so regenerated tables diff cleanly
+    between runs.
+    """
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(widths):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    return [line(list(headers)),
+            line(["-" * width for width in widths])] + [
+        line(row) for row in rendered
+    ]
+
+
+def format_kv(pairs: Iterable[tuple[str, object]]) -> list[str]:
+    """Aligned key/value listing (datasheet style)."""
+    items = [(str(k), str(v)) for k, v in pairs]
+    if not items:
+        return []
+    width = max(len(k) for k, __ in items)
+    return [f"{k.ljust(width)}  {v}" for k, v in items]

@@ -1,0 +1,41 @@
+"""Workload generators and spatial traffic patterns."""
+
+from repro.traffic.generators import (
+    BackloggedBestEffortSource,
+    BackloggedSource,
+    BurstySource,
+    PeriodicSource,
+    PoissonBestEffortSource,
+)
+from repro.traffic.patterns import (
+    all_pairs,
+    bit_complement,
+    hotspot,
+    transpose,
+    uniform_random,
+)
+from repro.traffic.trace import (
+    ChannelDef,
+    TraceEvent,
+    TrafficTrace,
+    generate_random_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "BackloggedBestEffortSource",
+    "BackloggedSource",
+    "BurstySource",
+    "ChannelDef",
+    "PeriodicSource",
+    "PoissonBestEffortSource",
+    "TraceEvent",
+    "TrafficTrace",
+    "all_pairs",
+    "bit_complement",
+    "generate_random_trace",
+    "hotspot",
+    "replay_trace",
+    "transpose",
+    "uniform_random",
+]

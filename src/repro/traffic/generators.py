@@ -1,0 +1,168 @@
+"""Traffic sources for network experiments.
+
+Sources are callables invoked once per cycle by the host node; they
+return a list of :class:`~repro.network.node.Send` requests.  The
+time-constrained sources speak in scheduler ticks (packet slot times)
+and fire on tick boundaries; best-effort sources may fire on any cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.params import TC_PACKET_BYTES
+from repro.network.node import Send
+
+#: Default cycles per scheduler tick (20-byte packets, 1 byte/cycle).
+DEFAULT_SLOT_CYCLES = TC_PACKET_BYTES
+
+
+@dataclass
+class PeriodicSource:
+    """Sends one message on a channel every ``period`` ticks.
+
+    This is the canonical real-time workload: sensor samples, control
+    commands, status heartbeats.  ``period`` should be at least the
+    channel's ``i_min`` for a conformant source; setting it lower
+    produces a misbehaving source for isolation experiments (the
+    regulator will shape it).
+    """
+
+    channel: object
+    period: int
+    payload: bytes = b""
+    start_tick: int = 0
+    count: Optional[int] = None
+    slot_cycles: int = DEFAULT_SLOT_CYCLES
+    sent: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be at least one tick")
+
+    def __call__(self, cycle: int) -> list[Send]:
+        if self.count is not None and self.sent >= self.count:
+            return []
+        if cycle % self.slot_cycles != 0:
+            return []
+        tick = cycle // self.slot_cycles
+        if tick < self.start_tick or (tick - self.start_tick) % self.period:
+            return []
+        self.sent += 1
+        return [Send(traffic_class="TC", channel=self.channel,
+                     payload=self.payload)]
+
+
+@dataclass
+class BurstySource:
+    """Sends ``burst`` messages together every ``period`` ticks.
+
+    Exercises the B_max allowance of the linear bounded arrival
+    process; the source regulator spaces the logical arrival times.
+    """
+
+    channel: object
+    period: int
+    burst: int = 2
+    payload: bytes = b""
+    count: Optional[int] = None
+    slot_cycles: int = DEFAULT_SLOT_CYCLES
+    sent: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1 or self.burst < 1:
+            raise ValueError("period and burst must be positive")
+
+    def __call__(self, cycle: int) -> list[Send]:
+        if self.count is not None and self.sent >= self.count:
+            return []
+        if cycle % (self.period * self.slot_cycles) != 0:
+            return []
+        n = self.burst
+        if self.count is not None:
+            n = min(n, self.count - self.sent)
+        self.sent += n
+        return [Send(traffic_class="TC", channel=self.channel,
+                     payload=self.payload)] * n
+
+
+@dataclass
+class BackloggedSource:
+    """Keeps a channel continually backlogged (Figure 7 workload).
+
+    Sends a message every ``i_min`` ticks so the connection always has
+    traffic waiting — "each connection has a continual backlog" in the
+    paper's words — without flooding the regulator queue unboundedly.
+    """
+
+    channel: object
+    slot_cycles: int = DEFAULT_SLOT_CYCLES
+
+    def __call__(self, cycle: int) -> list[Send]:
+        if cycle % self.slot_cycles != 0:
+            return []
+        tick = cycle // self.slot_cycles
+        if tick % self.channel.spec.i_min == 0:
+            return [Send(traffic_class="TC", channel=self.channel)]
+        return []
+
+
+@dataclass
+class PoissonBestEffortSource:
+    """Memoryless best-effort traffic to randomly chosen destinations.
+
+    ``rate`` is the expected packets per cycle; sizes are drawn from
+    ``size_choices`` (total wire bytes including the 4-byte header).
+    """
+
+    destinations: Sequence[tuple[int, int]]
+    rate: float
+    size_choices: Sequence[int] = (20, 40, 80)
+    seed: int = 0
+    rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate <= 1:
+            raise ValueError("rate must be a per-cycle probability")
+        if not self.destinations:
+            raise ValueError("need at least one destination")
+        self.rng = random.Random(self.seed)
+
+    def __call__(self, cycle: int) -> list[Send]:
+        if self.rng.random() >= self.rate:
+            return []
+        size = self.rng.choice(list(self.size_choices))
+        payload = bytes(max(0, size - 4))
+        destination = self.rng.choice(list(self.destinations))
+        return [Send(traffic_class="BE", destination=destination,
+                     payload=payload)]
+
+
+@dataclass
+class BackloggedBestEffortSource:
+    """Keeps the best-effort injection port saturated toward one node.
+
+    Used for the Figure 7 scenario ("best-effort flits consume any
+    remaining link bandwidth") and for interference experiments.
+    """
+
+    destination: tuple[int, int]
+    packet_bytes: int = 64
+    max_outstanding: int = 4
+    _router_probe: Optional[Callable[[], int]] = None
+
+    def attach_probe(self, probe: Callable[[], int]) -> None:
+        """Install a callable returning the injection backlog."""
+        self._router_probe = probe
+
+    def __call__(self, cycle: int) -> list[Send]:
+        if self._router_probe is not None:
+            if self._router_probe() >= self.max_outstanding:
+                return []
+        elif cycle % self.packet_bytes != 0:
+            return []
+        payload = bytes(max(0, self.packet_bytes - 4))
+        return [Send(traffic_class="BE", destination=self.destination,
+                     payload=payload)]

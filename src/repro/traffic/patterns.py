@@ -1,0 +1,55 @@
+"""Spatial traffic patterns for mesh experiments.
+
+Classic multicomputer destination patterns: uniform random, transpose,
+bit-complement and hotspot.  Each returns a destination for a given
+source (or a stream of destinations for the random ones).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.network.topology import Mesh, Node
+
+
+def transpose(mesh: Mesh, source: Node) -> Node:
+    """(x, y) -> (y, x); needs a square mesh."""
+    if mesh.width != mesh.height:
+        raise ValueError("transpose needs a square mesh")
+    return (source[1], source[0])
+
+
+def bit_complement(mesh: Mesh, source: Node) -> Node:
+    """(x, y) -> (W-1-x, H-1-y) — corner-to-corner stress."""
+    return (mesh.width - 1 - source[0], mesh.height - 1 - source[1])
+
+
+def hotspot(mesh: Mesh, source: Node,
+            spot: Optional[Node] = None) -> Node:
+    """Everyone sends to one node (the mesh centre by default)."""
+    if spot is None:
+        spot = (mesh.width // 2, mesh.height // 2)
+    if not mesh.contains(spot):
+        raise ValueError("hotspot outside the mesh")
+    return spot
+
+
+def uniform_random(mesh: Mesh, source: Node, *,
+                   seed: int = 0,
+                   exclude_self: bool = True) -> Iterator[Node]:
+    """Endless stream of uniformly random destinations."""
+    rng = random.Random(f"{seed}:{source[0]}:{source[1]}")
+    nodes = [n for n in mesh.nodes() if not (exclude_self and n == source)]
+    if not nodes:
+        raise ValueError("mesh has no eligible destinations")
+    while True:
+        yield rng.choice(nodes)
+
+
+def all_pairs(mesh: Mesh) -> Iterator[tuple[Node, Node]]:
+    """Every ordered (source, destination) pair with distinct nodes."""
+    for src in mesh.nodes():
+        for dst in mesh.nodes():
+            if src != dst:
+                yield (src, dst)

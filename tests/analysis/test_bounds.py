@@ -1,0 +1,112 @@
+"""Tests for the analytical bound algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    admissible_count,
+    classify,
+    end_to_end_bound,
+    hop_bounds,
+    horizon_buffer_tradeoff,
+    is_safe,
+    live_window,
+    required_clock_bits,
+    summarise,
+    worst_case_backlog,
+)
+from repro.channels.admission import ConnectionLoad
+from repro.channels.spec import TrafficSpec
+
+
+class TestHopBounds:
+    def test_offsets_accumulate(self):
+        bounds = hop_bounds(TrafficSpec(i_min=10), [10, 10, 10])
+        assert [b.logical_arrival_offset for b in bounds] == [0, 10, 20]
+        assert [b.deadline_offset for b in bounds] == [10, 20, 30]
+
+    def test_earliest_window_uses_upstream(self):
+        bounds = hop_bounds(TrafficSpec(i_min=10), [10, 10],
+                            horizons=[5, 0])
+        # Hop 1 can see packets up to h0 + d0 = 15 before l1.
+        assert bounds[1].earliest_offset == 10 - 15
+
+    def test_buffer_formula(self):
+        spec = TrafficSpec(i_min=10)
+        bounds = hop_bounds(spec, [10, 10], horizons=[5, 0])
+        assert bounds[0].buffers == 1          # ceil(10/10)
+        assert bounds[1].buffers == 3          # ceil(25/10)
+
+    def test_horizon_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hop_bounds(TrafficSpec(i_min=5), [5, 5], horizons=[0])
+
+    def test_end_to_end(self):
+        assert end_to_end_bound([3, 4, 5]) == 12
+
+
+class TestBacklogAndTradeoff:
+    def test_worst_case_backlog(self):
+        spec = TrafficSpec(i_min=10, b_max=2, s_max=36)
+        # 2 packets/message * (2 + 2) messages over 25 ticks.
+        assert worst_case_backlog(spec, 25) == 8
+
+    def test_tradeoff_monotone(self):
+        spec = TrafficSpec(i_min=10)
+        rows = horizon_buffer_tradeoff(spec, upstream_delay=10,
+                                       local_delay=10,
+                                       horizons=[0, 10, 20, 40])
+        buffers = [b for __, b in rows]
+        assert buffers == sorted(buffers)
+        assert buffers[0] == 2 and buffers[-1] == 6
+
+
+class TestRollover:
+    def test_live_window(self):
+        window = live_window(local_delay=10, upstream_delay=12,
+                             upstream_horizon=5)
+        assert window.behind == 10
+        assert window.ahead == 17
+        assert window.span == 28
+
+    def test_is_safe(self):
+        assert is_safe(8, 127, 0, 0)
+        assert not is_safe(8, 128, 0, 0)
+        assert not is_safe(8, 10, 100, 30)
+
+    def test_required_bits(self):
+        # Fitting d = 127 with h = 0 needs the paper's 8-bit clock.
+        assert required_clock_bits(127, 0) == 8
+        assert required_clock_bits(10, 5) <= 5
+
+    def test_classify_matches_figure6(self):
+        assert classify(8, now=240, logical_arrival=210) == "on-time"
+        assert classify(8, now=240, logical_arrival=80) == "early"
+
+    @given(bits=st.integers(4, 12), offset=st.integers(0, 200),
+           now=st.integers(0, 10_000))
+    def test_classification_correct_within_half_range(self, bits, offset,
+                                                      now):
+        half = (1 << bits) // 2
+        offset %= half
+        mask = (1 << bits) - 1
+        assert classify(bits, now & mask, (now - offset) & mask) == "on-time"
+        if offset:
+            assert classify(bits, now & mask, (now + offset) & mask) == "early"
+
+
+class TestUtilisation:
+    def test_summarise(self):
+        report = summarise([
+            ConnectionLoad(packets=1, i_min=4, b_max=1, deadline=4),
+            ConnectionLoad(packets=2, i_min=8, b_max=2, deadline=8),
+        ])
+        assert report.connections == 2
+        assert report.utilisation == 0.5
+        assert report.peak_burst_slots == 5
+        assert report.headroom == 0.5
+
+    def test_admissible_count(self):
+        spec = TrafficSpec(i_min=8)
+        assert admissible_count(spec, local_deadline=4) == 4
+        assert admissible_count(spec, local_deadline=100) == 8

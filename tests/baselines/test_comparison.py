@@ -1,0 +1,84 @@
+"""Tests for the discipline comparison harness (bench A3's engine)."""
+
+from repro.baselines import WorkloadChannel, compare_disciplines
+from repro.channels.spec import TrafficSpec
+
+
+def mixed_workload(load_scale: int = 1) -> list[WorkloadChannel]:
+    """A tight-deadline channel sharing links with throughput-heavy
+    relaxed channels — the mix that defeats deadline-blind disciplines.
+
+    All channels phase-align, so each tight message arrives together
+    with a burst of relaxed ones; FIFO queues the tight packet behind
+    the burst at every hop.
+    """
+    channels = []
+    for index in range(2 * load_scale):
+        channels.append(WorkloadChannel(
+            label=f"relaxed{index}", spec=TrafficSpec(i_min=5),
+            local_delays=[5, 5], messages=40, phase=0,
+        ))
+    channels.append(
+        WorkloadChannel(label="tight", spec=TrafficSpec(i_min=20),
+                        local_delays=[2, 2], messages=10, phase=0),
+    )
+    return channels
+
+
+class TestComparison:
+    def test_real_time_discipline_never_misses(self):
+        results = compare_disciplines(mixed_workload())
+        assert results["real-time"].deadline_misses == 0
+
+    def test_all_disciplines_deliver_everything(self):
+        results = compare_disciplines(mixed_workload())
+        counts = {r.delivered for r in results.values()}
+        assert len(counts) == 1
+
+    def test_fifo_misses_tight_deadlines_under_load(self):
+        results = compare_disciplines(mixed_workload(load_scale=2))
+        assert results["fifo"].deadline_misses > 0
+
+    def test_report_fields(self):
+        results = compare_disciplines(mixed_workload())
+        rt = results["real-time"]
+        assert rt.delivered > 0
+        assert rt.mean_latency > 0
+        assert rt.max_latency >= rt.mean_latency
+        assert 0.0 <= rt.miss_rate <= 1.0
+
+    def test_four_disciplines_reported(self):
+        results = compare_disciplines(mixed_workload())
+        assert set(results) == {
+            "real-time", "fifo", "priority-forwarding", "vc-priority",
+        }
+
+    def test_approximate_edf_optional_row(self):
+        results = compare_disciplines(mixed_workload(),
+                                      include_approximate=True,
+                                      approx_bin_width=2)
+        approx = results["approximate-edf"]
+        assert approx.delivered == results["real-time"].delivered
+        # Bounded tardiness: with narrow bins the approximate scheduler
+        # also keeps the workload's deadlines.
+        assert approx.deadline_misses == 0
+
+
+class TestSoftwareEdfModel:
+    def test_software_cannot_serve_five_fast_links(self):
+        from repro.baselines import SoftwareSchedulerModel, software_shortfall
+        model = SoftwareSchedulerModel()  # 50 MHz CPU, like the chip
+        assert software_shortfall(model, links=5, backlog=256) > 1.0
+
+    def test_scheduling_cost_grows_with_backlog(self):
+        from repro.baselines import SoftwareSchedulerModel
+        model = SoftwareSchedulerModel()
+        assert (model.instructions_per_packet(256)
+                > model.instructions_per_packet(8))
+
+    def test_cpu_share(self):
+        from repro.baselines import SoftwareSchedulerModel, hardware_packet_rate
+        model = SoftwareSchedulerModel(cpu_hz=1e9)
+        share = model.cpu_share_for(1, hardware_packet_rate(), 256)
+        assert 0 < share < 1
+        assert model.max_links_served(hardware_packet_rate(), 256) >= 1

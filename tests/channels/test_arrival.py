@@ -1,0 +1,64 @@
+"""Tests for logical arrival times (paper section 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels.arrival import LogicalArrivalClock, hop_arrival_times
+
+
+class TestLogicalArrivalClock:
+    def test_first_message_uses_generation_time(self):
+        clock = LogicalArrivalClock(i_min=10)
+        assert clock.stamp(7) == 7
+
+    def test_slow_source_tracks_real_time(self):
+        clock = LogicalArrivalClock(i_min=10)
+        assert clock.stamp(0) == 0
+        assert clock.stamp(25) == 25
+
+    def test_fast_source_gets_spaced(self):
+        clock = LogicalArrivalClock(i_min=10)
+        assert clock.stamp(0) == 0
+        assert clock.stamp(1) == 10
+        assert clock.stamp(2) == 20
+
+    def test_paper_recurrence(self):
+        """l0(m_i) = max(l0(m_{i-1}) + I, t_i)."""
+        clock = LogicalArrivalClock(i_min=5)
+        times = [0, 2, 30, 31, 32]
+        expected = [0, 5, 30, 35, 40]
+        assert [clock.stamp(t) for t in times] == expected
+
+    def test_reset(self):
+        clock = LogicalArrivalClock(i_min=10)
+        clock.stamp(0)
+        clock.reset()
+        assert clock.stamp(3) == 3
+
+    def test_rejects_bad_i_min(self):
+        with pytest.raises(ValueError):
+            LogicalArrivalClock(i_min=0)
+
+    @given(times=st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+           i_min=st.integers(1, 20))
+    def test_arrivals_spaced_at_least_i_min(self, times, i_min):
+        clock = LogicalArrivalClock(i_min=i_min)
+        arrivals = [clock.stamp(t) for t in sorted(times)]
+        for a, b in zip(arrivals, arrivals[1:]):
+            assert b - a >= i_min
+            assert b >= a  # monotone
+
+    @given(times=st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+           i_min=st.integers(1, 20))
+    def test_arrival_never_before_generation(self, times, i_min):
+        clock = LogicalArrivalClock(i_min=i_min)
+        for t in sorted(times):
+            assert clock.stamp(t) >= t
+
+
+class TestHopArrivals:
+    def test_accumulates_delays(self):
+        assert hop_arrival_times(100, [5, 7, 3]) == [100, 105, 112, 115]
+
+    def test_empty_route(self):
+        assert hop_arrival_times(50, []) == [50]

@@ -1,0 +1,73 @@
+"""Horizon reduction frees downstream buffers (paper section 4.1)."""
+
+import pytest
+
+from repro.channels import AdmissionError, TrafficSpec
+from repro.core.ports import EAST, port_mask
+from tests.channels.test_manager import make_fabric
+
+
+def fabric_with_horizon(h=20):
+    routers, manager = make_fabric(2, 1)
+    for router in routers.values():
+        router.control.write_horizon(port_mask(0, 1, 2, 3, 4), h)
+    return routers, manager
+
+
+class TestReduceHorizon:
+    def test_frees_buffers(self):
+        routers, manager = fabric_with_horizon(h=20)
+        channel = manager.establish((0, 0), (1, 0), TrafficSpec(i_min=5),
+                                    deadline=20, adaptive=False)
+        node_state = manager.admission.node((1, 0))
+        before = node_state.reserved_total
+        freed = manager.reduce_horizon((0, 0), EAST, 0)
+        assert freed > 0
+        assert node_state.reserved_total == before - freed
+        assert routers[(0, 0)].control.horizons[EAST] == 0
+
+    def test_reduction_enables_new_admissions(self):
+        """The section 4.1 scenario: shrink h, admit more channels."""
+        from repro.core import RouterParams
+
+        params = RouterParams(tc_packet_slots=12)
+        routers, manager = make_fabric(2, 1, params=params)
+        for router in routers.values():
+            router.control.write_horizon(port_mask(0, 1, 2, 3, 4), 40)
+        spec = TrafficSpec(i_min=10)
+
+        admitted = []
+        with pytest.raises(AdmissionError):
+            for _ in range(10):
+                admitted.append(manager.establish(
+                    (0, 0), (1, 0), spec, deadline=40, adaptive=False))
+        stuck_at = len(admitted)
+        manager.reduce_horizon((0, 0), EAST, 0)
+        manager.reduce_horizon((1, 0), 4, 0)
+        # Freed buffer space admits at least one more channel.
+        manager.establish((0, 0), (1, 0), spec, deadline=40,
+                          adaptive=False)
+        assert len(manager.channels) == stuck_at + 1
+
+    def test_raising_rejected(self):
+        __, manager = fabric_with_horizon(h=5)
+        manager.establish((0, 0), (1, 0), TrafficSpec(i_min=5),
+                          deadline=20, adaptive=False)
+        with pytest.raises(ValueError, match="only lowers"):
+            manager.reduce_horizon((0, 0), EAST, 10)
+
+    def test_noop_when_equal(self):
+        __, manager = fabric_with_horizon(h=5)
+        manager.establish((0, 0), (1, 0), TrafficSpec(i_min=5),
+                          deadline=20, adaptive=False)
+        assert manager.reduce_horizon((0, 0), EAST, 5) == 0
+
+    def test_unrelated_channels_untouched(self):
+        routers, manager = make_fabric(2, 2)
+        for router in routers.values():
+            router.control.write_horizon(port_mask(0, 1, 2, 3, 4), 10)
+        other = manager.establish((0, 1), (1, 1), TrafficSpec(i_min=5),
+                                  deadline=20, adaptive=False)
+        before = [tuple(b) for b in other.reservation.buffers]
+        manager.reduce_horizon((0, 0), EAST, 0)
+        assert [tuple(b) for b in other.reservation.buffers] == before

@@ -1,0 +1,164 @@
+"""Tests for the channel manager (protocol software)."""
+
+import pytest
+
+from repro.channels import AdmissionError, ChannelManager, TrafficSpec
+from repro.channels.admission import AdmissionController
+from repro.core import RealTimeRouter, RouterParams
+from repro.core.ports import EAST, RECEPTION
+
+
+def make_fabric(width=2, height=2, params=None):
+    params = params or RouterParams()
+    routers = {
+        (x, y): RealTimeRouter(params, router_id=(x, y))
+        for x in range(width) for y in range(height)
+    }
+    return routers, ChannelManager(routers, AdmissionController(params),
+                                   params)
+
+
+class TestUnicastEstablishment:
+    def test_tables_programmed_along_route(self):
+        routers, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 1), TrafficSpec(i_min=10),
+                                    deadline=40, adaptive=False)
+        # Route: (0,0) east, (1,0) north, (1,1) reception.
+        entry0 = routers[(0, 0)].control.table.lookup(
+            channel.source_connection_id)
+        assert entry0.ports() == [EAST]
+        next_id = entry0.outgoing_id
+        entry1 = routers[(1, 0)].control.table.lookup(next_id)
+        entry2 = routers[(1, 1)].control.table.lookup(entry1.outgoing_id)
+        assert RECEPTION in entry2.ports()
+
+    def test_delays_sum_to_channel_deadline(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 1), TrafficSpec(i_min=10),
+                                    deadline=40)
+        assert sum(channel.local_delays) == channel.deadline <= 40
+
+    def test_ids_unique_per_router(self):
+        __, manager = make_fabric()
+        a = manager.establish((0, 0), (1, 1), TrafficSpec(i_min=20),
+                              deadline=80, adaptive=False)
+        b = manager.establish((0, 0), (1, 1), TrafficSpec(i_min=20),
+                              deadline=80, adaptive=False)
+        assert a.source_connection_id != b.source_connection_id
+
+    def test_id_exhaustion(self):
+        params = RouterParams(connections=4)
+        routers, manager = make_fabric(params=params)
+        spec = TrafficSpec(i_min=100)
+        with pytest.raises(AdmissionError):
+            for _ in range(10):
+                manager.establish((0, 0), (1, 1), spec, deadline=300)
+
+    def test_explicit_route(self):
+        from repro.channels.routing import y_first_route
+        routers, manager = make_fabric()
+        route = y_first_route((0, 0), (1, 1))
+        channel = manager.establish((0, 0), (1, 1), TrafficSpec(i_min=10),
+                                    deadline=40, route=route)
+        entry = routers[(0, 0)].control.table.lookup(
+            channel.source_connection_id)
+        from repro.core.ports import NORTH
+        assert entry.ports() == [NORTH]
+
+    def test_unknown_node_rejected(self):
+        __, manager = make_fabric(2, 2)
+        with pytest.raises(ValueError):
+            manager.establish((0, 0), (5, 5), TrafficSpec(i_min=10),
+                              deadline=100)
+
+
+class TestMessages:
+    def test_message_stamping(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 0), TrafficSpec(i_min=10),
+                                    deadline=30)
+        packets, arrival, release = channel.make_message(b"hi", now_tick=5)
+        assert arrival == 5 and release == 5
+        assert len(packets) == 1
+        packet = packets[0]
+        assert packet.connection_id == channel.source_connection_id
+        assert packet.meta.absolute_deadline == 5 + channel.deadline
+
+    def test_back_to_back_messages_spaced(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 0), TrafficSpec(i_min=10),
+                                    deadline=30)
+        __, a1, __ = channel.make_message(b"", now_tick=0)
+        __, a2, r2 = channel.make_message(b"", now_tick=0)
+        assert a2 - a1 == 10
+        assert r2 == 10  # held until logical arrival (horizon 0)
+
+    def test_fragmentation(self):
+        __, manager = make_fabric()
+        spec = TrafficSpec(i_min=10, s_max=40)
+        channel = manager.establish((0, 0), (1, 0), spec, deadline=30)
+        packets, __, __ = channel.make_message(b"Z" * 40, now_tick=0)
+        assert len(packets) == 3
+        assert [p.meta.sequence for p in packets] == [0, 1, 2]
+
+    def test_oversized_message_rejected(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 0), TrafficSpec(i_min=10),
+                                    deadline=30)
+        with pytest.raises(ValueError):
+            channel.make_message(b"x" * 19, now_tick=0)
+
+
+class TestJitterBound:
+    def test_multi_hop_jitter(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 1), TrafficSpec(i_min=10),
+                                    deadline=40, adaptive=False)
+        delays = channel.local_delays
+        assert channel.jitter_bound == delays[-1] + delays[-2]
+
+    def test_single_hop_jitter(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (0, 0), TrafficSpec(i_min=10),
+                                    deadline=20)
+        assert channel.jitter_bound == channel.local_delays[0]
+
+
+class TestMulticastEstablishment:
+    def test_common_id_and_masks(self):
+        routers, manager = make_fabric(3, 1)
+        channel = manager.establish((0, 0), [(1, 0), (2, 0)],
+                                    TrafficSpec(i_min=10), deadline=60)
+        cid = channel.source_connection_id
+        middle = routers[(1, 0)].control.table.lookup(cid)
+        assert set(middle.ports()) == {EAST, RECEPTION}
+        assert middle.outgoing_id == cid
+
+    def test_deadline_too_tight(self):
+        __, manager = make_fabric(3, 3)
+        with pytest.raises(AdmissionError):
+            manager.establish((0, 0), [(2, 2)], TrafficSpec(i_min=10),
+                              deadline=5)
+
+
+class TestTeardown:
+    def test_invalidates_tables_and_frees_ids(self):
+        routers, manager = make_fabric()
+        spec = TrafficSpec(i_min=10)
+        channel = manager.establish((0, 0), (1, 0), spec, deadline=30)
+        cid = channel.source_connection_id
+        manager.teardown(channel)
+        from repro.core.connection_table import UnknownConnectionError
+        with pytest.raises(UnknownConnectionError):
+            routers[(0, 0)].control.table.lookup(cid)
+        # The id is reusable immediately.
+        again = manager.establish((0, 0), (1, 0), spec, deadline=30)
+        assert again.source_connection_id == cid
+
+    def test_double_teardown_rejected(self):
+        __, manager = make_fabric()
+        channel = manager.establish((0, 0), (1, 0), TrafficSpec(i_min=10),
+                                    deadline=30)
+        manager.teardown(channel)
+        with pytest.raises(ValueError):
+            manager.teardown(channel)

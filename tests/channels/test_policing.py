@@ -1,0 +1,64 @@
+"""Tests for source policing and conformance checking."""
+
+from hypothesis import given, strategies as st
+
+from repro.channels.policing import SourceRegulator, conformance_violations
+from repro.channels.spec import TrafficSpec
+
+
+class TestSourceRegulator:
+    def test_conforming_source_released_immediately(self):
+        reg = SourceRegulator(TrafficSpec(i_min=10))
+        arrival, release = reg.admit(0)
+        assert (arrival, release) == (0, 0)
+        arrival, release = reg.admit(15)
+        assert (arrival, release) == (15, 15)
+
+    def test_bursty_source_held_back(self):
+        reg = SourceRegulator(TrafficSpec(i_min=10))
+        reg.admit(0)
+        arrival, release = reg.admit(1)
+        assert arrival == 10
+        assert release == 10  # horizon 0: hold until logical arrival
+
+    def test_horizon_allows_earlier_release(self):
+        reg = SourceRegulator(TrafficSpec(i_min=10), horizon=4)
+        reg.admit(0)
+        arrival, release = reg.admit(1)
+        assert arrival == 10
+        assert release == 6
+
+    def test_release_never_before_generation(self):
+        reg = SourceRegulator(TrafficSpec(i_min=10), horizon=100)
+        reg.admit(0)
+        __, release = reg.admit(3)
+        assert release == 3
+
+
+class TestConformance:
+    def test_periodic_trace_conforms(self):
+        spec = TrafficSpec(i_min=10)
+        assert conformance_violations([0, 10, 20, 30], spec) == []
+
+    def test_fast_trace_violates(self):
+        spec = TrafficSpec(i_min=10)
+        assert conformance_violations([0, 5, 20], spec) == [1]
+
+    def test_burst_allowance(self):
+        spec = TrafficSpec(i_min=10, b_max=2)
+        # Two back-to-back messages are allowed...
+        assert conformance_violations([0, 0, 10], spec) == []
+        # ...three are not.
+        assert conformance_violations([0, 0, 0], spec) == [2]
+
+    def test_empty_trace(self):
+        assert conformance_violations([], TrafficSpec(i_min=5)) == []
+
+    @given(i_min=st.integers(1, 20), n=st.integers(1, 20),
+           b_max=st.integers(1, 4))
+    def test_regulated_output_always_conforms(self, i_min, n, b_max):
+        """Whatever the input, logical arrival stamps conform."""
+        spec = TrafficSpec(i_min=i_min, b_max=b_max)
+        reg = SourceRegulator(spec)
+        arrivals = [reg.admit(0)[0] for _ in range(n)]
+        assert conformance_violations(arrivals, spec) == []

@@ -1,0 +1,63 @@
+"""Tests for traffic specifications and flow requirements."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels.spec import FlowRequirements, TrafficSpec
+
+
+class TestTrafficSpec:
+    def test_defaults(self):
+        spec = TrafficSpec(i_min=10)
+        assert spec.s_max == 18
+        assert spec.b_max == 1
+        assert spec.packets_per_message == 1
+
+    def test_multi_packet_messages(self):
+        assert TrafficSpec(i_min=10, s_max=18).packets_per_message == 1
+        assert TrafficSpec(i_min=10, s_max=19).packets_per_message == 2
+        assert TrafficSpec(i_min=10, s_max=54).packets_per_message == 3
+
+    def test_utilisation(self):
+        assert TrafficSpec(i_min=4).utilisation == 0.25
+        assert TrafficSpec(i_min=10, s_max=36).utilisation == 0.2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"i_min": 0}, {"i_min": 5, "s_max": 0}, {"i_min": 5, "b_max": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kwargs)
+
+    def test_max_messages_periodic(self):
+        spec = TrafficSpec(i_min=10)
+        assert spec.max_messages(0) == 0
+        assert spec.max_messages(9) == 1
+        assert spec.max_messages(10) == 2
+        assert spec.max_messages(100) == 11
+
+    def test_max_messages_burst(self):
+        spec = TrafficSpec(i_min=10, b_max=3)
+        assert spec.max_messages(1) == 3
+        assert spec.max_messages(10) == 4
+
+    def test_max_messages_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(i_min=10).max_messages(-1)
+
+    @given(i_min=st.integers(1, 50), b_max=st.integers(1, 5),
+           w1=st.integers(0, 200), w2=st.integers(0, 200))
+    def test_max_messages_is_subadditive(self, i_min, b_max, w1, w2):
+        """Arrival bound over a joined window never exceeds the parts."""
+        spec = TrafficSpec(i_min=i_min, b_max=b_max)
+        assert (spec.max_messages(w1 + w2)
+                <= spec.max_messages(w1) + spec.max_messages(w2))
+
+
+class TestFlowRequirements:
+    def test_accepts_positive_deadline(self):
+        assert FlowRequirements(deadline=100).deadline == 100
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            FlowRequirements(deadline=0)

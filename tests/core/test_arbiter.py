@@ -1,0 +1,70 @@
+"""Tests for the arbitration primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.arbiter import PriorityArbiter, RoundRobinArbiter
+
+
+class TestRoundRobin:
+    def test_single_requester(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([False, True, False]) == 1
+
+    def test_no_requesters(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([False, False, False]) is None
+
+    def test_rotation(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_pointer_skips_idle(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([True, False, False, True]) == 0
+        assert arb.grant([True, False, False, True]) == 3
+        assert arb.grant([True, False, False, True]) == 0
+
+    def test_grant_counters(self):
+        arb = RoundRobinArbiter(2)
+        arb.grant([True, False])
+        arb.grant([True, False])
+        assert arb.grants == [2, 0]
+
+    def test_rejects_wrong_vector(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(2).grant([True])
+
+    def test_rejects_zero_requesters(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    @given(st.lists(st.lists(st.booleans(), min_size=4, max_size=4),
+                    min_size=1, max_size=100))
+    def test_fairness_bound(self, rounds):
+        """A persistent requester is served within N grants of others."""
+        arb = RoundRobinArbiter(4)
+        counts = [0] * 4
+        for req in rounds:
+            req = list(req)
+            req[2] = True  # port 2 always requests
+            winner = arb.grant(req)
+            counts[winner] += 1
+        for other in (0, 1, 3):
+            assert counts[2] >= counts[other] - 1
+
+
+class TestPriority:
+    def test_lowest_index_wins(self):
+        arb = PriorityArbiter(3)
+        assert arb.grant([False, True, True]) == 1
+
+    def test_none_when_idle(self):
+        assert PriorityArbiter(2).grant([False, False]) is None
+
+    def test_strictness(self):
+        arb = PriorityArbiter(2)
+        for _ in range(10):
+            assert arb.grant([True, True]) == 0
+        assert arb.grants == [10, 0]

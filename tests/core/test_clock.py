@@ -1,0 +1,140 @@
+"""Tests for the modular scheduler clock and rollover arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.clock import RolloverClock, RolloverError, unwrapped_order_preserved
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert RolloverClock(bits=8).now == 0
+
+    def test_tick_advances(self):
+        clock = RolloverClock(bits=8)
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+
+    def test_tick_wraps(self):
+        clock = RolloverClock(bits=8, now=255)
+        assert clock.tick() == 0
+
+    def test_tick_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RolloverClock(bits=8).tick(-1)
+
+    def test_initial_value_is_wrapped(self):
+        assert RolloverClock(bits=8, now=300).now == 44
+
+    def test_set_wraps(self):
+        clock = RolloverClock(bits=8)
+        clock.set(256 + 7)
+        assert clock.now == 7
+
+    @pytest.mark.parametrize("bits", [0, 1, 63, 100])
+    def test_rejects_bad_widths(self, bits):
+        with pytest.raises(ValueError):
+            RolloverClock(bits=bits)
+
+    def test_range_properties(self):
+        clock = RolloverClock(bits=8)
+        assert clock.range == 256
+        assert clock.half_range == 128
+        assert clock.mask == 255
+
+
+class TestModularAlgebra:
+    def test_elapsed_since(self):
+        clock = RolloverClock(bits=8, now=10)
+        assert clock.elapsed_since(5) == 5
+
+    def test_elapsed_across_rollover(self):
+        clock = RolloverClock(bits=8, now=3)
+        assert clock.elapsed_since(250) == 9
+
+    def test_remaining_until(self):
+        clock = RolloverClock(bits=8, now=10)
+        assert clock.remaining_until(15) == 5
+
+    def test_remaining_across_rollover(self):
+        clock = RolloverClock(bits=8, now=250)
+        assert clock.remaining_until(3) == 9
+
+    def test_paper_figure6_examples(self):
+        # At t = 240 with an 8-bit clock: l = 210 is on-time (past),
+        # l = 80 is early (future after wrapping).
+        clock = RolloverClock(bits=8, now=240)
+        assert clock.is_past(210)
+        assert not clock.is_past(80)
+        assert clock.is_future(80)
+
+    def test_now_is_past(self):
+        clock = RolloverClock(bits=8, now=100)
+        assert clock.is_past(100)
+
+    def test_signed_offset_positive(self):
+        clock = RolloverClock(bits=8, now=10)
+        assert clock.signed_offset(20) == 10
+
+    def test_signed_offset_negative(self):
+        clock = RolloverClock(bits=8, now=10)
+        assert clock.signed_offset(5) == -5
+
+    def test_signed_offset_across_rollover(self):
+        clock = RolloverClock(bits=8, now=250)
+        assert clock.signed_offset(4) == 10
+        assert clock.signed_offset(240) == -10
+
+
+class TestCheckDelay:
+    def test_accepts_valid(self):
+        clock = RolloverClock(bits=8)
+        assert clock.check_delay(127) == 127
+
+    def test_rejects_half_range(self):
+        with pytest.raises(RolloverError):
+            RolloverClock(bits=8).check_delay(128)
+
+    def test_rejects_negative(self):
+        with pytest.raises(RolloverError):
+            RolloverClock(bits=8).check_delay(-1)
+
+    def test_message_names_parameter(self):
+        with pytest.raises(RolloverError, match="horizon"):
+            RolloverClock(bits=8).check_delay(500, what="horizon")
+
+
+class TestRolloverOrderingProperty:
+    @given(
+        now=st.integers(min_value=0, max_value=10_000),
+        offset_a=st.integers(min_value=-127, max_value=127),
+        offset_b=st.integers(min_value=-127, max_value=127),
+    )
+    def test_half_range_offsets_order_correctly(self, now, offset_a, offset_b):
+        """Timestamps within half a range of now order like integers."""
+        clock = RolloverClock(bits=8, now=now)
+        a, b = now + offset_a, now + offset_b
+        wrapped_order = (
+            clock.signed_offset(a & 255) <= clock.signed_offset(b & 255)
+        )
+        assert wrapped_order == (a <= b)
+
+    @given(
+        bits=st.integers(min_value=4, max_value=16),
+        now=st.integers(min_value=0, max_value=100_000),
+        delta=st.integers(min_value=0, max_value=2**15),
+    )
+    def test_future_remaining_roundtrip(self, bits, now, delta):
+        clock = RolloverClock(bits=bits, now=now)
+        delta = delta % clock.half_range
+        target = (now + delta) & clock.mask
+        assert clock.remaining_until(target) == delta
+        assert clock.elapsed_since((now - delta) & clock.mask) == delta
+
+    @given(
+        now=st.integers(min_value=0, max_value=4095),
+        a=st.integers(min_value=0, max_value=127),
+        b=st.integers(min_value=0, max_value=127),
+    )
+    def test_unwrapped_helper_agrees(self, now, a, b):
+        assert unwrapped_order_preserved(8, now, now + a, now + b)

@@ -1,0 +1,133 @@
+"""Tests for the connection table and control interface (paper Table 3)."""
+
+import pytest
+
+from repro.core.connection_table import (
+    ConnectionEntry,
+    ControlInterface,
+    ControlProtocolError,
+    UnknownConnectionError,
+)
+from repro.core.params import OUTPUT_PORTS, RouterParams
+from repro.core.ports import EAST, NORTH, RECEPTION, port_mask
+
+
+@pytest.fixture
+def control() -> ControlInterface:
+    return ControlInterface(RouterParams())
+
+
+class TestFourWriteProtocol:
+    def test_program_and_lookup(self, control):
+        control.program_connection(5, 9, delay=12, port_mask=port_mask(EAST))
+        entry = control.table.lookup(5)
+        assert entry.outgoing_id == 9
+        assert entry.delay == 12
+        assert entry.ports() == [EAST]
+
+    def test_entry_invisible_until_fourth_write(self, control):
+        control.select_entry(3)
+        control.write_outgoing_id(4)
+        control.write_delay(10)
+        assert not control.table.is_programmed(3)
+        control.write_port_mask(port_mask(NORTH))
+        assert control.table.is_programmed(3)
+
+    def test_out_of_order_writes_rejected(self, control):
+        with pytest.raises(ControlProtocolError):
+            control.write_outgoing_id(1)
+        control.select_entry(0)
+        with pytest.raises(ControlProtocolError):
+            control.write_delay(5)
+        with pytest.raises(ControlProtocolError):
+            control.write_port_mask(1)
+
+    def test_reprogramming_overwrites(self, control):
+        control.program_connection(1, 2, delay=5, port_mask=port_mask(EAST))
+        control.program_connection(1, 3, delay=6, port_mask=port_mask(NORTH))
+        entry = control.table.lookup(1)
+        assert entry.outgoing_id == 3
+        assert entry.ports() == [NORTH]
+
+    def test_multicast_mask(self, control):
+        control.program_connection(
+            2, 2, delay=8, port_mask=port_mask(EAST, NORTH, RECEPTION),
+        )
+        assert control.table.lookup(2).ports() == [EAST, NORTH, RECEPTION]
+
+
+class TestValidation:
+    def test_rejects_delay_beyond_half_range(self, control):
+        control.select_entry(0)
+        control.write_outgoing_id(0)
+        with pytest.raises(ValueError):
+            control.write_delay(128)
+
+    def test_rejects_empty_port_mask(self, control):
+        control.select_entry(0)
+        control.write_outgoing_id(0)
+        control.write_delay(1)
+        with pytest.raises(ValueError):
+            control.write_port_mask(0)
+
+    def test_rejects_oversized_mask(self, control):
+        control.select_entry(0)
+        control.write_outgoing_id(0)
+        control.write_delay(1)
+        with pytest.raises(ValueError):
+            control.write_port_mask(1 << OUTPUT_PORTS)
+
+    def test_rejects_bad_ids(self, control):
+        with pytest.raises(ValueError):
+            control.select_entry(256)
+        control.select_entry(0)
+        with pytest.raises(ValueError):
+            control.write_outgoing_id(-1)
+
+
+class TestLookup:
+    def test_unknown_connection(self, control):
+        with pytest.raises(UnknownConnectionError):
+            control.table.lookup(77)
+
+    def test_out_of_range_lookup(self, control):
+        with pytest.raises(UnknownConnectionError):
+            control.table.lookup(9999)
+
+    def test_invalidate(self, control):
+        control.program_connection(4, 0, delay=3, port_mask=1)
+        control.table.invalidate(4)
+        with pytest.raises(UnknownConnectionError):
+            control.table.lookup(4)
+        assert 4 not in control.table.programmed_ids()
+
+    def test_programmed_ids(self, control):
+        control.program_connection(10, 0, delay=3, port_mask=1)
+        control.program_connection(20, 0, delay=3, port_mask=1)
+        assert control.table.programmed_ids() == [10, 20]
+
+
+class TestHorizonRegisters:
+    def test_defaults_zero(self, control):
+        assert control.horizons == [0] * OUTPUT_PORTS
+
+    def test_write_selected_ports(self, control):
+        control.write_horizon(port_mask(EAST, NORTH), 7)
+        assert control.horizons[EAST] == 7
+        assert control.horizons[NORTH] == 7
+        assert control.horizons[RECEPTION] == 0
+
+    def test_rejects_horizon_beyond_half_range(self, control):
+        with pytest.raises(ValueError):
+            control.write_horizon(1, 128)
+
+    def test_rejects_empty_mask(self, control):
+        with pytest.raises(ValueError):
+            control.write_horizon(0, 1)
+
+
+class TestConnectionEntry:
+    def test_ports_decoding(self):
+        entry = ConnectionEntry(outgoing_id=0, delay=1,
+                                port_mask=0b10101)
+        assert entry.ports() == [0, 2, 4]

@@ -1,0 +1,78 @@
+"""Tests for the hardware-cost model (paper Table 4b)."""
+
+import pytest
+
+from repro.core.cost import (
+    MEMORY_BLOCKS,
+    PAPER_AREA_MM2,
+    PAPER_POWER_W,
+    PAPER_TRANSISTORS,
+    SCHEDULING_BLOCKS,
+    estimate_cost,
+)
+from repro.core.params import PAPER_PARAMS, RouterParams
+
+
+@pytest.fixture(scope="module")
+def paper_cost():
+    return estimate_cost(PAPER_PARAMS)
+
+
+class TestCalibration:
+    def test_transistor_count_near_published(self, paper_cost):
+        assert abs(paper_cost.transistors - PAPER_TRANSISTORS) \
+            / PAPER_TRANSISTORS < 0.05
+
+    def test_area_matches_published_by_construction(self, paper_cost):
+        assert abs(paper_cost.area_mm2 - PAPER_AREA_MM2) < 1e-6
+
+    def test_power_near_published(self, paper_cost):
+        assert abs(paper_cost.power_w - PAPER_POWER_W) < 0.2
+
+
+class TestQualitativeClaims:
+    def test_scheduling_logic_majority_of_area(self, paper_cost):
+        """Paper: 'link-scheduling logic accounts for the majority of
+        the chip area'."""
+        assert paper_cost.area_share(SCHEDULING_BLOCKS) > 0.5
+
+    def test_memory_largest_remaining_block(self, paper_cost):
+        """Paper: 'the packet memory consuming much of the remaining
+        space'."""
+        scheduling_and_memory = SCHEDULING_BLOCKS | MEMORY_BLOCKS
+        rest = {b.name for b in paper_cost.blocks} - scheduling_and_memory
+        memory_share = paper_cost.area_share(MEMORY_BLOCKS)
+        for other in rest:
+            assert memory_share > paper_cost.area_share({other})
+
+
+class TestScaling:
+    def test_cost_grows_with_packet_slots(self):
+        small = estimate_cost(RouterParams(tc_packet_slots=64))
+        large = estimate_cost(RouterParams(tc_packet_slots=512))
+        assert large.transistors > small.transistors
+        assert large.area_mm2 > small.area_mm2
+
+    def test_cost_grows_with_connections(self):
+        small = estimate_cost(RouterParams(connections=64))
+        large = estimate_cost(RouterParams(connections=512))
+        assert large.transistors > small.transistors
+
+    def test_pipeline_latches_scale_with_stages(self):
+        two = estimate_cost(RouterParams(pipeline_stages=2))
+        five = estimate_cost(RouterParams(pipeline_stages=5))
+        assert (five.block("pipeline latches").transistors
+                > two.block("pipeline latches").transistors)
+
+    def test_tree_dominates_memory_growth_per_slot(self):
+        """Comparator tree + key units grow linearly in slots, which is
+        why the paper proposes sharing comparators between leaves."""
+        base = estimate_cost(RouterParams(tc_packet_slots=256))
+        double = estimate_cost(RouterParams(tc_packet_slots=512))
+        tree_growth = (double.scheduling_transistors
+                       - base.scheduling_transistors)
+        assert tree_growth > 0.9 * base.scheduling_transistors
+
+    def test_block_lookup_raises_on_unknown(self):
+        with pytest.raises(KeyError):
+            estimate_cost(PAPER_PARAMS).block("flux capacitor")

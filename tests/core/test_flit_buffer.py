@@ -1,0 +1,78 @@
+"""Tests for flit buffering and acknowledgement flow control."""
+
+import pytest
+
+from repro.core.flit_buffer import CreditCounter, FlitBuffer
+from repro.core.packet import Phit
+
+
+def phit(byte: int = 0) -> Phit:
+    return Phit(vc="BE", byte=byte)
+
+
+class TestFlitBuffer:
+    def test_fifo_order(self):
+        buf = FlitBuffer(4)
+        for b in (1, 2, 3):
+            buf.push(phit(b))
+        assert buf.pop().byte == 1
+        assert buf.peek().byte == 2
+        assert buf.occupancy == 2
+        assert buf.free_space == 2
+
+    def test_overflow_raises(self):
+        buf = FlitBuffer(2)
+        buf.push(phit())
+        buf.push(phit())
+        with pytest.raises(OverflowError):
+            buf.push(phit())
+        assert buf.overflows == 1
+
+    def test_empty_peek(self):
+        assert FlitBuffer(1).peek() is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlitBuffer(0)
+
+
+class TestCreditCounter:
+    def test_starts_full(self):
+        credits = CreditCounter(10)
+        assert credits.credits == 10
+        assert credits.can_send
+
+    def test_consume_and_acknowledge(self):
+        credits = CreditCounter(2)
+        credits.consume()
+        credits.consume()
+        assert not credits.can_send
+        credits.acknowledge()
+        assert credits.can_send
+
+    def test_send_without_credit_raises(self):
+        credits = CreditCounter(1)
+        credits.consume()
+        with pytest.raises(RuntimeError):
+            credits.consume()
+
+    def test_over_acknowledge_raises(self):
+        credits = CreditCounter(1)
+        with pytest.raises(RuntimeError):
+            credits.acknowledge()
+
+    def test_bounds_downstream_occupancy(self):
+        """Credits + in-flight == capacity, so occupancy can't exceed it."""
+        capacity = 5
+        credits = CreditCounter(capacity)
+        buf = FlitBuffer(capacity)
+        in_flight = 0
+        for step in range(40):
+            if credits.can_send and step % 3 != 2:
+                credits.consume()
+                buf.push(phit())
+                in_flight += 1
+            elif buf.occupancy:
+                buf.pop()
+                credits.acknowledge()
+            assert buf.occupancy <= capacity

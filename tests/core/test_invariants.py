@@ -1,0 +1,96 @@
+"""Soak the router under invariant checking every cycle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BestEffortPacket,
+    RouterParams,
+    TimeConstrainedPacket,
+    port_mask,
+)
+from repro.core.invariants import (
+    CheckedRouter,
+    InvariantViolation,
+    check_router_invariants,
+)
+from repro.core.ports import EAST, NORTH, RECEPTION
+from repro.core.router import LinkSignal
+
+
+def checked_router(**kwargs) -> CheckedRouter:
+    router = CheckedRouter(RouterParams(), **kwargs)
+    router.control.program_connection(0, 0, delay=20,
+                                      port_mask=port_mask(RECEPTION))
+    router.control.program_connection(1, 1, delay=10,
+                                      port_mask=port_mask(EAST))
+    router.control.program_connection(
+        2, 2, delay=15, port_mask=port_mask(EAST, NORTH, RECEPTION))
+    return router
+
+
+class TestCheckedRuns:
+    def test_fresh_router_is_consistent(self):
+        check_router_invariants(checked_router())
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_random_mixed_soak(self, seed):
+        """Random traffic with per-cycle invariant checks."""
+        rng = random.Random(seed)
+        router = checked_router()
+        for cycle in range(800):
+            if rng.random() < 0.05:
+                router.inject_tc(TimeConstrainedPacket(
+                    rng.choice([0, 1, 2]),
+                    header_deadline=rng.randrange(0, 30),
+                ))
+            if rng.random() < 0.05:
+                router.inject_be(BestEffortPacket(
+                    rng.choice([0, 1]), rng.choice([0, 1]),
+                    payload=bytes(rng.randrange(0, 50)),
+                ))
+            router.step()  # raises InvariantViolation on any breach
+            for direction in (EAST, NORTH):
+                out = router.link_out[direction]
+                ack = out.phit is not None and out.phit.vc == "BE"
+                router.link_in[direction] = LinkSignal(ack=ack)
+            router.take_delivered()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_cut_through_soak(self, seed):
+        rng = random.Random(seed)
+        router = checked_router(cut_through=True)
+        for cycle in range(600):
+            if rng.random() < 0.08:
+                router.inject_tc(TimeConstrainedPacket(
+                    rng.choice([0, 1, 2]), header_deadline=0,
+                ))
+            router.step()
+            for direction in (EAST, NORTH):
+                router.link_in[direction] = LinkSignal()
+            router.take_delivered()
+
+
+class TestViolationDetection:
+    def test_detects_corrupted_eligibility(self):
+        router = checked_router()
+        router._eligible_count[0] = 5  # corrupt deliberately
+        with pytest.raises(InvariantViolation, match="eligible_count"):
+            check_router_invariants(router)
+
+    def test_detects_leaked_reader(self):
+        router = checked_router()
+        router._slot_readers[3] = 1
+        with pytest.raises(InvariantViolation, match="streams"):
+            check_router_invariants(router)
+
+    def test_detects_orphan_leaf(self):
+        router = checked_router()
+        router.leaves.install(7, 0, 5, port_mask=1)
+        router._eligible_count[0] += 1
+        with pytest.raises(InvariantViolation, match="memory slot is free"):
+            check_router_invariants(router)

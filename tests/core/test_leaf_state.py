@@ -1,0 +1,60 @@
+"""Tests for per-packet leaf state (paper Figure 5 leaves)."""
+
+import pytest
+
+from repro.core.leaf_state import LeafArray
+from repro.core.params import RouterParams
+from repro.core.ports import EAST, NORTH, RECEPTION, port_mask
+
+
+@pytest.fixture
+def leaves() -> LeafArray:
+    return LeafArray(RouterParams(tc_packet_slots=8))
+
+
+class TestInstall:
+    def test_install_and_read(self, leaves):
+        leaves.install(3, arrival=10, deadline=22,
+                       port_mask=port_mask(EAST))
+        leaf = leaves[3]
+        assert leaf.occupied
+        assert leaf.arrival == 10
+        assert leaf.deadline == 22
+        assert leaf.eligible_for(EAST)
+        assert not leaf.eligible_for(NORTH)
+
+    def test_times_wrap_to_clock(self, leaves):
+        leaves.install(0, arrival=300, deadline=310, port_mask=1)
+        assert leaves[0].arrival == 44
+        assert leaves[0].deadline == 54
+
+    def test_double_install_rejected(self, leaves):
+        leaves.install(1, 0, 1, port_mask=1)
+        with pytest.raises(RuntimeError):
+            leaves.install(1, 0, 1, port_mask=1)
+
+    def test_empty_mask_rejected(self, leaves):
+        with pytest.raises(ValueError):
+            leaves.install(0, 0, 1, port_mask=0)
+
+
+class TestClearPort:
+    def test_multicast_clears_one_bit_at_a_time(self, leaves):
+        leaves.install(2, 0, 5, port_mask=port_mask(EAST, RECEPTION))
+        assert leaves.clear_port(2, EAST) is False
+        assert leaves[2].occupied
+        assert leaves.clear_port(2, RECEPTION) is True
+        assert not leaves[2].occupied
+
+    def test_clear_unheld_port_rejected(self, leaves):
+        leaves.install(2, 0, 5, port_mask=port_mask(EAST))
+        with pytest.raises(RuntimeError):
+            leaves.clear_port(2, NORTH)
+
+    def test_occupancy_tracking(self, leaves):
+        leaves.install(0, 0, 1, port_mask=1)
+        leaves.install(5, 0, 1, port_mask=1)
+        assert leaves.occupancy == 2
+        assert sorted(leaves.occupied_indices()) == [0, 5]
+        leaves.clear_port(0, 0)
+        assert leaves.occupancy == 1

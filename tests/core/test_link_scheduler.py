@@ -1,0 +1,145 @@
+"""Tests for the reference three-queue link scheduler (paper Table 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.link_scheduler import ReferenceLinkScheduler, ScheduledPacket
+
+
+def tc(arrival: int, deadline: int, tag: str = "") -> ScheduledPacket:
+    return ScheduledPacket(arrival=arrival, deadline=deadline, payload=tag)
+
+
+class TestPrecedence:
+    def test_on_time_tc_first(self):
+        sched = ReferenceLinkScheduler(horizon=100)
+        sched.add_be("worm", )
+        sched.add_tc(tc(0, 10, "on-time"), now=5)
+        sched.add_tc(tc(9, 12, "early"), now=5)
+        kind, item = sched.pick(now=5)
+        assert kind == "TC" and item.payload == "on-time"
+
+    def test_best_effort_before_early(self):
+        sched = ReferenceLinkScheduler(horizon=100)
+        sched.add_tc(tc(9, 12, "early"), now=5)
+        sched.add_be("worm")
+        kind, item = sched.pick(now=5)
+        assert kind == "BE" and item == "worm"
+
+    def test_early_within_horizon_last(self):
+        sched = ReferenceLinkScheduler(horizon=4)
+        sched.add_tc(tc(9, 12, "early"), now=5)
+        kind, item = sched.pick(now=5)
+        assert kind == "TC" and item.payload == "early"
+
+    def test_early_beyond_horizon_blocked(self):
+        sched = ReferenceLinkScheduler(horizon=3)
+        sched.add_tc(tc(9, 12), now=5)
+        assert sched.pick(now=5) is None
+        assert sched.peek_class(5) is None
+
+    def test_zero_horizon_is_non_work_conserving(self):
+        sched = ReferenceLinkScheduler(horizon=0)
+        sched.add_tc(tc(6, 12), now=5)
+        assert sched.pick(now=5) is None
+        assert sched.pick(now=6) is not None
+
+
+class TestEdfOrder:
+    def test_earliest_deadline_first(self):
+        sched = ReferenceLinkScheduler()
+        sched.add_tc(tc(0, 30, "late"), now=0)
+        sched.add_tc(tc(0, 10, "soon"), now=0)
+        sched.add_tc(tc(0, 20, "mid"), now=0)
+        order = [sched.pick(0)[1].payload for _ in range(3)]
+        assert order == ["soon", "mid", "late"]
+
+    def test_ties_break_in_insertion_order(self):
+        sched = ReferenceLinkScheduler()
+        sched.add_tc(tc(0, 10, "first"), now=0)
+        sched.add_tc(tc(0, 10, "second"), now=0)
+        assert sched.pick(0)[1].payload == "first"
+        assert sched.pick(0)[1].payload == "second"
+
+    def test_be_is_fifo(self):
+        sched = ReferenceLinkScheduler()
+        sched.add_be("a")
+        sched.add_be("b")
+        assert sched.pick(0)[1] == "a"
+        assert sched.pick(0)[1] == "b"
+
+
+class TestPromotion:
+    def test_early_becomes_on_time(self):
+        sched = ReferenceLinkScheduler(horizon=0)
+        sched.add_tc(tc(10, 15, "x"), now=0)
+        sched.add_be("worm")
+        # While early, best-effort is served first.
+        assert sched.pick(now=5)[0] == "BE"
+        # At its logical arrival time the packet outranks best-effort.
+        sched.add_be("worm2")
+        assert sched.pick(now=10)[0] == "TC"
+
+    def test_promotion_orders_by_deadline_not_arrival(self):
+        sched = ReferenceLinkScheduler()
+        sched.add_tc(tc(10, 40, "a"), now=0)
+        sched.add_tc(tc(12, 20, "b"), now=0)
+        assert sched.pick(now=12)[1].payload == "b"
+
+    def test_backlog_counters(self):
+        sched = ReferenceLinkScheduler()
+        sched.add_tc(tc(10, 20), now=0)
+        sched.add_tc(tc(0, 5), now=0)
+        sched.add_be("w")
+        assert sched.tc_backlog == 2
+        assert sched.be_backlog == 1
+        assert sched.has_work(0)
+
+
+class TestValidation:
+    def test_rejects_negative_horizon(self):
+        with pytest.raises(ValueError):
+            ReferenceLinkScheduler(horizon=-1)
+
+    def test_rejects_deadline_before_arrival(self):
+        with pytest.raises(ValueError):
+            ScheduledPacket(arrival=10, deadline=5)
+
+
+class TestProperties:
+    @given(
+        packets=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 40)),
+            min_size=1, max_size=25,
+        ),
+        horizon=st.integers(0, 10),
+    )
+    def test_service_never_violates_precedence(self, packets, horizon):
+        """Replay: every pick is the highest-precedence eligible item."""
+        sched = ReferenceLinkScheduler(horizon=horizon)
+        now = 0
+        for arrival, slack in packets:
+            sched.add_tc(tc(arrival, arrival + slack), now=now)
+        picked = []
+        while True:
+            expected = sched.peek_class(now)
+            result = sched.pick(now)
+            if result is None:
+                if sched.tc_backlog == 0:
+                    break
+                now += 1
+                continue
+            assert result[0] == expected
+            picked.append(result[1])
+            now += 1
+        assert len(picked) == len(packets)
+
+    @given(
+        deadlines=st.lists(st.integers(1, 100), min_size=1, max_size=30),
+    )
+    def test_on_time_service_is_edf(self, deadlines):
+        sched = ReferenceLinkScheduler()
+        for d in deadlines:
+            sched.add_tc(tc(0, d), now=0)
+        served = [sched.pick(0)[1].deadline for _ in deadlines]
+        assert served == sorted(served)

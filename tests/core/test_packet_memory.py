@@ -1,0 +1,170 @@
+"""Tests for the shared packet memory, idle FIFO and chunk bus."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packet_memory import (
+    BusRequest,
+    ChunkBus,
+    IdleAddressFifo,
+    MemoryError_,
+    PacketMemory,
+)
+from repro.core.params import RouterParams
+
+
+class TestIdleAddressFifo:
+    def test_allocates_all_slots_once(self):
+        fifo = IdleAddressFifo(8)
+        addresses = [fifo.allocate() for _ in range(8)]
+        assert sorted(addresses) == list(range(8))
+        assert fifo.allocate() is None
+
+    def test_release_recycles_fifo_order(self):
+        fifo = IdleAddressFifo(2)
+        a = fifo.allocate()
+        b = fifo.allocate()
+        fifo.release(b)
+        fifo.release(a)
+        assert fifo.allocate() == b
+        assert fifo.allocate() == a
+
+    def test_double_free_detected(self):
+        fifo = IdleAddressFifo(2)
+        a = fifo.allocate()
+        fifo.release(a)
+        with pytest.raises(MemoryError_):
+            fifo.release(a)
+
+    def test_counters(self):
+        fifo = IdleAddressFifo(4)
+        fifo.allocate()
+        assert fifo.free_count == 3
+        assert fifo.allocated_count == 1
+
+    @given(ops=st.lists(st.booleans(), max_size=200))
+    def test_conservation_property(self, ops):
+        """allocated + free == slots, always."""
+        fifo = IdleAddressFifo(16)
+        held: list[int] = []
+        for do_alloc in ops:
+            if do_alloc:
+                addr = fifo.allocate()
+                if addr is not None:
+                    held.append(addr)
+            elif held:
+                fifo.release(held.pop())
+            assert fifo.free_count + fifo.allocated_count == 16
+            assert len(set(held)) == len(held)
+
+
+class TestPacketMemory:
+    @pytest.fixture
+    def memory(self) -> PacketMemory:
+        return PacketMemory(RouterParams(tc_packet_slots=4))
+
+    def test_chunk_round_trip(self, memory):
+        slot = memory.allocate()
+        memory.write_chunk(slot, 0, bytes(range(10)))
+        memory.write_chunk(slot, 1, bytes(range(10, 20)))
+        assert memory.read_chunk(slot, 0) == bytes(range(10))
+        assert memory.read_packet(slot) == bytes(range(20))
+
+    def test_rejects_access_to_unallocated(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.read_chunk(0, 0)
+
+    def test_rejects_bad_chunk_size(self, memory):
+        slot = memory.allocate()
+        with pytest.raises(MemoryError_):
+            memory.write_chunk(slot, 0, b"short")
+
+    def test_rejects_out_of_range(self, memory):
+        slot = memory.allocate()
+        with pytest.raises(MemoryError_):
+            memory.read_chunk(slot, 9)
+        with pytest.raises(MemoryError_):
+            memory.read_chunk(99, 0)
+
+    def test_occupancy_and_peak(self, memory):
+        slots = [memory.allocate() for _ in range(3)]
+        assert memory.occupancy == 3
+        memory.free(slots[0])
+        assert memory.occupancy == 2
+        assert memory.peak_occupancy == 3
+
+    def test_exhaustion_returns_none(self, memory):
+        for _ in range(4):
+            assert memory.allocate() is not None
+        assert memory.allocate() is None
+
+
+class TestChunkBus:
+    def test_one_grant_per_cycle(self):
+        bus = ChunkBus(ports=4)
+        done = []
+        for port in range(3):
+            bus.request(BusRequest(port=port,
+                                   action=lambda p=port: done.append(p)))
+        bus.grant()
+        assert len(done) == 1
+        bus.grant()
+        bus.grant()
+        assert sorted(done) == [0, 1, 2]
+
+    def test_round_robin_fairness(self):
+        bus = ChunkBus(ports=2)
+        order = []
+        for _ in range(3):
+            bus.request(BusRequest(port=0, action=lambda: order.append(0)))
+            bus.request(BusRequest(port=1, action=lambda: order.append(1)))
+        for _ in range(6):
+            bus.grant()
+        # Strict alternation once both ports have backlogs.
+        assert order == [0, 1, 0, 1, 0, 1]
+
+    def test_fifo_within_port(self):
+        bus = ChunkBus(ports=1)
+        order = []
+        for i in range(5):
+            bus.request(BusRequest(port=0, action=lambda i=i: order.append(i)))
+        for _ in range(5):
+            bus.grant()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_idle_grant_returns_none(self):
+        bus = ChunkBus(ports=2)
+        assert bus.grant() is None
+
+    def test_utilisation_accounting(self):
+        bus = ChunkBus(ports=1)
+        bus.request(BusRequest(port=0, action=lambda: None))
+        bus.grant()
+        bus.grant()
+        assert bus.grants == 1
+        assert bus.utilisation == 0.5
+
+    def test_rejects_bad_port(self):
+        bus = ChunkBus(ports=2)
+        with pytest.raises(ValueError):
+            bus.request(BusRequest(port=5, action=lambda: None))
+
+    def test_pending_counts(self):
+        bus = ChunkBus(ports=2)
+        bus.request(BusRequest(port=1, action=lambda: None))
+        assert bus.pending() == 1
+        assert bus.pending(0) == 0
+        assert bus.pending(1) == 1
+
+    @given(requests=st.lists(st.integers(0, 4), max_size=60))
+    def test_starvation_freedom(self, requests):
+        """Every queued request is granted within ports * backlog cycles."""
+        bus = ChunkBus(ports=5)
+        served = []
+        for port in requests:
+            bus.request(BusRequest(port=port,
+                                   action=lambda p=port: served.append(p)))
+        for _ in range(len(requests)):
+            bus.grant()
+        assert len(served) == len(requests)
+        assert sorted(served) == sorted(requests)

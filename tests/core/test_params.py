@@ -1,0 +1,87 @@
+"""Tests for router configuration parameters (paper Table 4a)."""
+
+import pytest
+
+from repro.core.params import (
+    MEMORY_CHUNK_BYTES,
+    OUTPUT_PORTS,
+    PAPER_PARAMS,
+    TC_PACKET_BYTES,
+    RouterParams,
+)
+
+
+class TestPaperConfiguration:
+    def test_table_4a_values(self):
+        assert PAPER_PARAMS.connections == 256
+        assert PAPER_PARAMS.tc_packet_slots == 256
+        assert PAPER_PARAMS.clock_bits == 8
+        assert PAPER_PARAMS.key_bits == 9
+        assert PAPER_PARAMS.pipeline_stages == 2
+        assert PAPER_PARAMS.flit_buffer_bytes == 10
+
+    def test_packet_geometry(self):
+        assert PAPER_PARAMS.tc_packet_bytes == TC_PACKET_BYTES == 20
+        assert PAPER_PARAMS.chunks_per_packet == 2
+        assert MEMORY_CHUNK_BYTES == 10
+
+    def test_slot_cycles_is_packet_time(self):
+        # One byte per cycle -> 20 cycles per packet; the scheduler
+        # clock ticks once per packet transmission time.
+        assert PAPER_PARAMS.slot_cycles == 20
+
+    def test_scheduling_budget(self):
+        # Five ports sharing the tree: one decision per 4 cycles.
+        assert PAPER_PARAMS.scheduling_budget_cycles() == 4
+
+    def test_memory_capacity(self):
+        assert PAPER_PARAMS.memory_bytes == 256 * 20
+
+    def test_half_range(self):
+        assert PAPER_PARAMS.half_range == 128
+
+    def test_ineligible_key_exceeds_all_keys(self):
+        assert PAPER_PARAMS.ineligible_key == 512
+        assert PAPER_PARAMS.ineligible_key > (1 << PAPER_PARAMS.key_bits) - 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"connections": 0},
+        {"tc_packet_slots": 0},
+        {"clock_bits": 1},
+        {"clock_bits": 33},
+        {"pipeline_stages": 0},
+        {"tc_packet_bytes": 2},
+        {"flit_buffer_bytes": 0},
+        {"link_bytes_per_cycle": 0},
+        {"default_horizon": 128},
+        {"input_sync_cycles": -1},
+        {"be_route_cycles": -1},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            RouterParams(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_PARAMS.connections = 1
+
+
+class TestScaledConfigurations:
+    def test_small_config(self):
+        params = RouterParams(connections=16, tc_packet_slots=16,
+                              clock_bits=6)
+        assert params.key_bits == 7
+        assert params.half_range == 32
+
+    def test_wide_links(self):
+        params = RouterParams(link_bytes_per_cycle=2)
+        assert params.slot_cycles == 10
+
+    def test_horizon_respects_smaller_clock(self):
+        with pytest.raises(ValueError):
+            RouterParams(clock_bits=4, default_horizon=8)
+
+    def test_output_port_constant(self):
+        assert OUTPUT_PORTS == 5

@@ -1,0 +1,137 @@
+"""Arbitration behaviour at router level: fairness and port sharing."""
+
+import pytest
+
+from repro.core import (
+    BestEffortPacket,
+    RealTimeRouter,
+    RouterParams,
+    TimeConstrainedPacket,
+    phits_of,
+    port_mask,
+)
+from repro.core.ports import EAST, NORTH, RECEPTION, SOUTH, WEST
+from repro.core.router import LinkSignal
+
+
+class _WormFeeder:
+    """Streams back-to-back worms into one link input."""
+
+    def __init__(self, router, direction, destination_offsets, size):
+        self.router = router
+        self.direction = direction
+        self.offsets = destination_offsets
+        self.size = size
+        self._phits = []
+        self.fed = 0
+
+    def feed(self):
+        if not self._phits:
+            packet = BestEffortPacket(*self.offsets,
+                                      payload=bytes(self.size - 4))
+            self._phits = phits_of(packet, self.router.params)
+        signal = self.router.link_in[self.direction]
+        if signal.phit is None:
+            # Respect flow control: the upstream may only send when the
+            # credit view says space exists; we approximate by feeding
+            # whenever the buffer reports room.
+            state = self.router._be_inputs[self.direction]
+            if state.buffer.free_space > 2:
+                phit = self._phits.pop(0)
+                self.router.link_in[self.direction] = LinkSignal(phit=phit)
+                self.fed += 1
+
+
+class TestRoundRobinAcrossInputs:
+    def test_two_inputs_share_one_output(self):
+        """Worm streams from two links toward the reception port are
+        served alternately (round-robin), so both make progress."""
+        router = RealTimeRouter(RouterParams())
+        feeders = [
+            _WormFeeder(router, WEST, (0, 0), 24),
+            _WormFeeder(router, SOUTH, (0, 0), 24),
+        ]
+        delivered = []
+        for _ in range(4000):
+            for feeder in feeders:
+                feeder.feed()
+            router.step()
+            delivered.extend(router.take_delivered())
+            if len(delivered) >= 8:
+                break
+        assert len(delivered) >= 8
+        # Interleaving: neither input got two worms ahead of the other.
+        sources = [p.meta for p in delivered]
+        # Count deliveries; both inputs contributed.
+        grants = router._be_arbiters[RECEPTION].grants
+        assert grants[WEST] >= 2
+        assert grants[SOUTH] >= 2
+        assert abs(grants[WEST] - grants[SOUTH]) <= 1
+
+
+class TestReceptionPortSharing:
+    def test_tc_and_be_share_reception(self):
+        """The shared reception port interleaves both classes."""
+        router = RealTimeRouter(RouterParams())
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        for _ in range(3):
+            router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+            router.inject_be(BestEffortPacket(0, 0, payload=bytes(16)))
+        delivered = []
+        for _ in range(3000):
+            router.step()
+            delivered.extend(router.take_delivered())
+            if len(delivered) == 6:
+                break
+        tc = [p for p in delivered if isinstance(p, TimeConstrainedPacket)]
+        be = [p for p in delivered if isinstance(p, BestEffortPacket)]
+        assert len(tc) == 3 and len(be) == 3
+
+    def test_on_time_tc_outranks_be_at_reception(self):
+        """With both classes backlogged for the reception port, the
+        time-constrained packet is delivered first."""
+        router = RealTimeRouter(RouterParams())
+        router.control.program_connection(0, 0, delay=5,
+                                          port_mask=port_mask(RECEPTION))
+        # Queue a long worm first, then an on-time packet.
+        router.inject_be(BestEffortPacket(0, 0, payload=bytes(300)))
+        for _ in range(30):
+            router.step()  # let the worm start flowing
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        delivered = []
+        for _ in range(3000):
+            router.step()
+            delivered.extend(router.take_delivered())
+            if len(delivered) == 2:
+                break
+        assert isinstance(delivered[0], TimeConstrainedPacket)
+
+
+class TestMulticastUnderContention:
+    def test_multicast_with_busy_branch(self):
+        """One multicast branch blocked by a worm still completes on
+        the other branches, and eventually everywhere."""
+        router = RealTimeRouter(RouterParams())
+        router.control.program_connection(
+            0, 0, delay=20, port_mask=port_mask(EAST, RECEPTION))
+        # A worm occupies the east link (no acks -> stalls there).
+        router.inject_be(BestEffortPacket(1, 0, payload=bytes(100)))
+        for _ in range(100):
+            router.step()
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        east_tc = 0
+        delivered = []
+        for _ in range(4000):
+            router.step()
+            out = router.link_out[EAST]
+            if out.phit is not None and out.phit.vc == "TC":
+                east_tc += 1
+            if out.phit is not None and out.phit.vc == "BE":
+                router.link_in[EAST] = LinkSignal(ack=True)
+            delivered.extend(router.take_delivered())
+            if delivered and east_tc == 20:
+                break
+        assert east_tc == 20      # preempted the stalled worm's link
+        assert len(delivered) == 1
+        assert router.memory.occupancy == 0

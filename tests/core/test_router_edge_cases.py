@@ -1,0 +1,110 @@
+"""Directed edge cases of the router's data paths."""
+
+import pytest
+
+from repro.core import (
+    BestEffortPacket,
+    BufferOverflowError,
+    RealTimeRouter,
+    RouterParams,
+    TimeConstrainedPacket,
+    UnknownConnectionError,
+    port_mask,
+)
+from repro.core.ports import EAST, RECEPTION
+from repro.core.router import BE_CHUNK_BYTES, LinkSignal
+
+
+def deliver_local_worm(payload: bytes) -> bytes:
+    router = RealTimeRouter(RouterParams())
+    router.inject_be(BestEffortPacket(0, 0, payload=payload))
+    for _ in range(4000):
+        router.step()
+        if router.delivered:
+            return router.take_delivered()[0].payload
+    raise TimeoutError("worm not delivered")
+
+
+class TestChunkBoundaries:
+    @pytest.mark.parametrize("size", [
+        0,                       # header-only worm
+        1,                       # sub-chunk
+        BE_CHUNK_BYTES - 4,      # exactly one bus chunk with header
+        BE_CHUNK_BYTES,          # header + partial second chunk
+        2 * BE_CHUNK_BYTES - 4,  # exactly two chunks
+        3 * BE_CHUNK_BYTES + 1,  # chunk remainder of one byte
+    ])
+    def test_worm_sizes_round_trip(self, size):
+        payload = bytes(range(256))[:size] if size <= 256 else bytes(size)
+        assert deliver_local_worm(payload) == payload
+
+    def test_tc_payload_all_byte_values(self):
+        router = RealTimeRouter(RouterParams())
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        payload = bytes(range(238, 256))  # includes 0xFF bytes
+        router.inject_tc(TimeConstrainedPacket(0, 0, payload=payload))
+        for _ in range(300):
+            router.step()
+            if router.delivered:
+                break
+        assert router.take_delivered()[0].payload == payload
+
+
+class TestBackToBackWorms:
+    def test_tail_and_next_head_share_buffer(self):
+        """A new worm's header arrives while the previous tail is still
+        queued; per-worm header records keep them separate."""
+        router = RealTimeRouter(RouterParams())
+        payloads = [bytes([i]) * (3 + i) for i in range(4)]
+        for payload in payloads:
+            router.inject_be(BestEffortPacket(0, 0, payload=payload))
+        delivered = []
+        for _ in range(4000):
+            router.step()
+            delivered.extend(router.take_delivered())
+            if len(delivered) == 4:
+                break
+        assert [p.payload for p in delivered] == payloads
+
+
+class TestFaultPropagation:
+    def test_unknown_connection_at_network_level(self):
+        from repro import build_mesh_network
+
+        net = build_mesh_network(2, 1)
+        net.routers[(0, 0)].inject_tc(
+            TimeConstrainedPacket(55, header_deadline=0))
+        with pytest.raises(UnknownConnectionError):
+            net.run(200)
+
+    def test_overflow_names_the_router(self):
+        params = RouterParams(tc_packet_slots=1)
+        router = RealTimeRouter(params, router_id=(7, 7))
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(EAST))
+        for _ in range(2):
+            router.inject_tc(TimeConstrainedPacket(0, header_deadline=60))
+        with pytest.raises(BufferOverflowError, match=r"\(7, 7\)"):
+            for _ in range(200):
+                router.step()
+
+
+class TestIdleAccounting:
+    def test_idle_through_full_lifecycle(self):
+        router = RealTimeRouter(RouterParams())
+        assert router.idle
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        assert not router.idle
+        for _ in range(300):
+            router.step()
+        router.take_delivered()
+        assert router.idle
+
+    def test_step_count_monotone_on_fast_path(self):
+        router = RealTimeRouter(RouterParams())
+        before = router.cycle
+        router.run(50)
+        assert router.cycle == before + 50

@@ -1,0 +1,103 @@
+"""The router generalises beyond Table 4a's configuration.
+
+The paper's parameters (256 connections/packets, 8-bit clock) are one
+point in the design space; these tests run the core behaviours on
+scaled-down and scaled-up chips to show nothing silently assumes the
+defaults.
+"""
+
+import pytest
+
+from repro.core import (
+    BestEffortPacket,
+    RealTimeRouter,
+    RouterParams,
+    TimeConstrainedPacket,
+    port_mask,
+)
+from repro.core.ports import EAST, RECEPTION
+
+CONFIGS = {
+    "tiny": RouterParams(connections=8, tc_packet_slots=8, clock_bits=6),
+    "paper": RouterParams(),
+    "large": RouterParams(connections=512, tc_packet_slots=512,
+                          clock_bits=10),
+}
+
+
+def run_until_delivered(router, count=1, max_cycles=8000):
+    delivered = []
+    for _ in range(max_cycles):
+        router.step()
+        delivered.extend(router.take_delivered())
+        if len(delivered) >= count:
+            return delivered
+    raise TimeoutError("not delivered")
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
+def params(request) -> RouterParams:
+    return CONFIGS[request.param]
+
+
+class TestAcrossConfigurations:
+    def test_tc_delivery(self, params):
+        router = RealTimeRouter(params)
+        router.control.program_connection(0, 0, delay=5,
+                                          port_mask=port_mask(RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        packet, = run_until_delivered(router)
+        assert packet.header_deadline == 5
+
+    def test_be_delivery(self, params):
+        router = RealTimeRouter(params)
+        router.inject_be(BestEffortPacket(0, 0, payload=b"scaled"))
+        packet, = run_until_delivered(router)
+        assert packet.payload == b"scaled"
+
+    def test_early_hold_uses_configured_clock(self, params):
+        """The early/on-time decision respects the clock width."""
+        router = RealTimeRouter(params)
+        router.control.program_connection(0, 0, delay=5,
+                                          port_mask=port_mask(RECEPTION))
+        hold_ticks = params.half_range // 4
+        router.inject_tc(TimeConstrainedPacket(
+            0, header_deadline=hold_ticks))
+        packet, = run_until_delivered(
+            router, max_cycles=(hold_ticks + 10) * params.slot_cycles)
+        assert (packet.meta.delivered_cycle
+                >= hold_ticks * params.slot_cycles)
+
+    def test_edf_order(self, params):
+        router = RealTimeRouter(params)
+        loose = min(params.half_range - 1, 50)
+        router.control.program_connection(0, 1, delay=loose,
+                                          port_mask=port_mask(RECEPTION))
+        router.control.program_connection(1, 2, delay=5,
+                                          port_mask=port_mask(RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=4))
+        router.inject_tc(TimeConstrainedPacket(1, header_deadline=4))
+        packets = run_until_delivered(router, count=2)
+        assert [p.connection_id for p in packets] == [2, 1]
+
+    def test_memory_exhaustion_matches_capacity(self, params):
+        if params.tc_packet_slots > 16:
+            pytest.skip("exhaustion test only for the tiny chip")
+        router = RealTimeRouter(params, on_memory_full="drop")
+        router.control.program_connection(
+            0, 0, delay=5, port_mask=port_mask(EAST))
+        hold = params.half_range - 1
+        for _ in range(params.tc_packet_slots + 3):
+            router.inject_tc(TimeConstrainedPacket(0, header_deadline=hold))
+        for _ in range(params.tc_packet_slots * params.slot_cycles * 3):
+            router.step()
+        assert router.tc_dropped == 3
+
+
+class TestTinyChipCost:
+    def test_cost_model_scales_down(self):
+        from repro.core import estimate_cost
+
+        tiny = estimate_cost(CONFIGS["tiny"])
+        paper = estimate_cost(CONFIGS["paper"])
+        assert tiny.transistors < paper.transistors / 5

@@ -1,0 +1,172 @@
+"""Tests for the comparator-tree sorting keys (paper Figure 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.clock import RolloverClock
+from repro.core.sorting_key import (
+    INELIGIBLE,
+    SortingKey,
+    compute_key,
+    within_horizon,
+)
+
+
+def make_clock(now: int) -> RolloverClock:
+    return RolloverClock(bits=8, now=now)
+
+
+class TestKeyConstruction:
+    def test_on_time_key_is_laxity(self):
+        clock = make_clock(50)
+        key = compute_key(clock, logical_arrival=40, deadline=60)
+        assert not key.early and not key.ineligible
+        assert key.time_field == 10  # deadline - now
+
+    def test_early_key_is_time_to_arrival(self):
+        clock = make_clock(50)
+        key = compute_key(clock, logical_arrival=70, deadline=90)
+        assert key.early
+        assert key.time_field == 20
+
+    def test_arrival_equal_now_is_on_time(self):
+        clock = make_clock(50)
+        key = compute_key(clock, logical_arrival=50, deadline=55)
+        assert not key.early
+
+    def test_ineligible(self):
+        clock = make_clock(50)
+        key = compute_key(clock, 0, 0, eligible=False)
+        assert key.ineligible
+        assert key == INELIGIBLE
+
+    def test_rollover_on_time(self):
+        # Paper Figure 6: l = 210 at t = 240 is on-time.
+        clock = make_clock(240)
+        key = compute_key(clock, logical_arrival=210, deadline=230)
+        assert not key.early
+
+    def test_rollover_early(self):
+        # Paper Figure 6: l = 80 at t = 240 is early (wraps ahead).
+        clock = make_clock(240)
+        key = compute_key(clock, logical_arrival=80, deadline=100)
+        assert key.early
+        assert key.time_field == (80 - 240) % 256
+
+    def test_expired_deadline_on_time_packet(self):
+        """A packet past its deadline still computes (tiny laxity wraps)."""
+        clock = make_clock(100)
+        key = compute_key(clock, logical_arrival=50, deadline=90)
+        assert not key.early
+        # Deadline in the past: modular remaining time is large — the
+        # packet has effectively lost the tournament priority; admission
+        # control is what prevents this state.
+        assert key.time_field == (90 - 100) % 256
+
+
+class TestKeyOrdering:
+    def test_on_time_beats_early(self):
+        on_time = SortingKey(False, False, 200)
+        early = SortingKey(False, True, 1)
+        assert on_time < early
+
+    def test_everything_beats_ineligible(self):
+        assert SortingKey(False, True, 255) < INELIGIBLE
+        assert SortingKey(False, False, 255) < INELIGIBLE
+
+    def test_on_time_orders_by_deadline(self):
+        urgent = SortingKey(False, False, 3)
+        relaxed = SortingKey(False, False, 30)
+        assert urgent < relaxed
+
+    def test_early_orders_by_arrival(self):
+        soon = SortingKey(False, True, 2)
+        later = SortingKey(False, True, 50)
+        assert soon < later
+
+    def test_packed_matches_rank_order(self):
+        keys = [
+            SortingKey(False, False, 7),
+            SortingKey(False, False, 99),
+            SortingKey(False, True, 0),
+            SortingKey(False, True, 200),
+            INELIGIBLE,
+        ]
+        packed = [k.packed(8) for k in keys]
+        assert packed == sorted(packed)
+
+    @given(
+        early_a=st.booleans(), t_a=st.integers(0, 255),
+        early_b=st.booleans(), t_b=st.integers(0, 255),
+    )
+    def test_packed_total_order_equals_key_order(self, early_a, t_a,
+                                                 early_b, t_b):
+        a = SortingKey(False, early_a, t_a)
+        b = SortingKey(False, early_b, t_b)
+        assert (a < b) == (a.packed(8) < b.packed(8))
+
+
+class TestKeySemantics:
+    @given(
+        now=st.integers(0, 100_000),
+        arr_a=st.integers(0, 127), d_a=st.integers(0, 64),
+        arr_b=st.integers(0, 127), d_b=st.integers(0, 64),
+    )
+    def test_on_time_order_matches_true_deadlines(self, now, arr_a, d_a,
+                                                  arr_b, d_b):
+        """For on-time packets, key order == true (unwrapped) EDF order.
+
+        Construct two packets whose logical arrival times are in the
+        past and deadlines in the future within the half range.
+        """
+        clock = make_clock(now)
+        true_deadline_a = now + d_a
+        true_deadline_b = now + d_b
+        key_a = compute_key(clock, (now - arr_a) & 255, true_deadline_a & 255)
+        key_b = compute_key(clock, (now - arr_b) & 255, true_deadline_b & 255)
+        assert not key_a.early and not key_b.early
+        if true_deadline_a < true_deadline_b:
+            assert key_a < key_b
+        elif true_deadline_b < true_deadline_a:
+            assert key_b < key_a
+
+    @given(
+        now=st.integers(0, 100_000),
+        ahead_a=st.integers(1, 127),
+        ahead_b=st.integers(1, 127),
+    )
+    def test_early_order_matches_true_arrivals(self, now, ahead_a, ahead_b):
+        clock = make_clock(now)
+        key_a = compute_key(clock, (now + ahead_a) & 255,
+                            (now + ahead_a + 10) & 255)
+        key_b = compute_key(clock, (now + ahead_b) & 255,
+                            (now + ahead_b + 10) & 255)
+        assert key_a.early and key_b.early
+        if ahead_a < ahead_b:
+            assert key_a < key_b
+
+
+class TestHorizon:
+    def test_on_time_always_transmissible(self):
+        clock = make_clock(10)
+        key = compute_key(clock, 5, 15)
+        assert within_horizon(clock, key, horizon=0)
+
+    def test_early_within_horizon(self):
+        clock = make_clock(10)
+        key = compute_key(clock, 14, 24)
+        assert within_horizon(clock, key, horizon=4)
+
+    def test_early_beyond_horizon(self):
+        clock = make_clock(10)
+        key = compute_key(clock, 15, 25)
+        assert not within_horizon(clock, key, horizon=4)
+
+    def test_ineligible_never_transmissible(self):
+        clock = make_clock(10)
+        assert not within_horizon(clock, INELIGIBLE, horizon=255)
+
+    def test_zero_horizon_blocks_all_early(self):
+        clock = make_clock(10)
+        key = compute_key(clock, 11, 20)
+        assert not within_horizon(clock, key, horizon=0)

@@ -1,0 +1,96 @@
+"""Tests for the approximate (calendar-queue) scheduler extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.link_scheduler import ReferenceLinkScheduler, ScheduledPacket
+from repro.core.params import RouterParams
+from repro.extensions import ApproximateEdfScheduler, cost_comparison
+
+
+def tc(arrival, deadline, tag=""):
+    return ScheduledPacket(arrival=arrival, deadline=deadline, payload=tag)
+
+
+class TestApproximateEdf:
+    def test_coarse_edf_order_across_bins(self):
+        sched = ApproximateEdfScheduler(bin_width=4)
+        sched.add_tc(tc(0, 40, "late"), now=0)
+        sched.add_tc(tc(0, 4, "soon"), now=0)
+        assert sched.pick(0)[1].payload == "soon"
+
+    def test_within_bin_is_fifo(self):
+        sched = ApproximateEdfScheduler(bin_width=8)
+        sched.add_tc(tc(0, 7, "first"), now=0)
+        sched.add_tc(tc(0, 3, "second"), now=0)  # same bin, later insert
+        assert sched.pick(0)[1].payload == "first"
+
+    def test_precedence_matches_reference(self):
+        sched = ApproximateEdfScheduler(horizon=5, bin_width=4)
+        sched.add_tc(tc(10, 20, "early"), now=0)
+        sched.add_be("worm")
+        assert sched.pick(0)[0] == "BE"
+        assert sched.pick(6)[0] == "TC"  # within horizon now
+
+    def test_horizon_zero_blocks_early(self):
+        sched = ApproximateEdfScheduler(horizon=0)
+        sched.add_tc(tc(10, 20), now=0)
+        assert sched.pick(0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateEdfScheduler(bin_width=0)
+
+    @settings(max_examples=40)
+    @given(
+        deadlines=st.lists(st.integers(0, 120), min_size=1, max_size=30),
+        bin_width=st.integers(1, 16),
+    )
+    def test_bounded_tardiness_vs_exact(self, deadlines, bin_width):
+        """Approximate service order deviates from EDF by < one bin.
+
+        The bound only holds for keys inside the calendar range, so the
+        scheduler gets enough bins to cover every test deadline.
+        """
+        approx = ApproximateEdfScheduler(bin_width=bin_width, bins=256)
+        exact = ReferenceLinkScheduler()
+        for d in deadlines:
+            approx.add_tc(tc(0, d), now=0)
+            exact.add_tc(tc(0, d), now=0)
+        approx_order = [approx.pick(0)[1].deadline for __ in deadlines]
+        exact_order = [exact.pick(0)[1].deadline for __ in deadlines]
+        for position, (a, e) in enumerate(zip(approx_order, exact_order)):
+            assert a <= e + bin_width - 1
+
+    @settings(max_examples=30)
+    @given(
+        packets=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 40)),
+            min_size=1, max_size=20,
+        ),
+    )
+    def test_everything_eventually_served(self, packets):
+        sched = ApproximateEdfScheduler(horizon=0, bin_width=4)
+        for arrival, slack in packets:
+            sched.add_tc(tc(arrival, arrival + slack), now=0)
+        served = 0
+        now = 0
+        while served < len(packets) and now < 500:
+            if sched.pick(now) is not None:
+                served += 1
+            now += 1
+        assert served == len(packets)
+
+
+class TestCostComparison:
+    def test_selector_savings(self):
+        point = cost_comparison(RouterParams(), bins=32, bin_width=4)
+        assert point.exact_comparators == 255
+        assert point.approx_selectors < 64
+        assert point.comparator_savings > 0.7
+        assert point.tardiness_bound == 4
+
+    def test_savings_grow_with_packets(self):
+        small = cost_comparison(RouterParams(tc_packet_slots=256), 32, 4)
+        large = cost_comparison(RouterParams(tc_packet_slots=1024), 32, 4)
+        assert large.comparator_savings > small.comparator_savings

@@ -1,0 +1,120 @@
+"""Tests for the virtual cut-through extension (paper section 7)."""
+
+import pytest
+
+from repro.core import (
+    RealTimeRouter,
+    RouterParams,
+    TimeConstrainedPacket,
+    port_mask,
+)
+from repro.core.ports import EAST, RECEPTION
+from repro.extensions import measure_linear_path
+
+
+def run_until_delivered(router, count=1, max_cycles=5000):
+    delivered = []
+    for _ in range(max_cycles):
+        router.step()
+        delivered.extend(router.take_delivered())
+        if len(delivered) >= count:
+            return delivered
+    raise TimeoutError("not delivered")
+
+
+class TestMechanism:
+    def test_on_time_packet_cuts_through(self):
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(0, 7, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        packet, = run_until_delivered(router)
+        assert router.cut_through_count == 1
+        assert router.memory.occupancy == 0
+        # Header still rewritten on the fly.
+        assert packet.connection_id == 7
+        assert packet.header_deadline == 10
+
+    def test_cut_through_is_faster(self):
+        latencies = {}
+        for enabled in (False, True):
+            router = RealTimeRouter(cut_through=enabled)
+            router.control.program_connection(
+                0, 0, delay=10, port_mask=port_mask(RECEPTION))
+            router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+            packet, = run_until_delivered(router)
+            latencies[enabled] = packet.meta.delivered_cycle
+        assert latencies[True] < latencies[False]
+
+    def test_early_beyond_horizon_does_not_cut(self):
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=100))
+        run_until_delivered(router, max_cycles=3000)
+        assert router.cut_through_count == 0
+
+    def test_early_within_horizon_cuts(self):
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        router.control.write_horizon(port_mask(RECEPTION), 20)
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=15))
+        run_until_delivered(router)
+        assert router.cut_through_count == 1
+
+    def test_multicast_never_cuts(self):
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(
+            0, 0, delay=10, port_mask=port_mask(EAST, RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        for _ in range(500):
+            router.step()
+        assert router.cut_through_count == 0
+
+    def test_back_to_back_packets_both_cut_when_port_idles(self):
+        """Serialised injection leaves the port idle between packets,
+        so consecutive on-time packets may each take the fast path."""
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(0, 0, delay=20,
+                                          port_mask=port_mask(RECEPTION))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=0))
+        packets = run_until_delivered(router, count=2)
+        assert len(packets) == 2
+        assert router.cut_through_count == 2
+
+    def test_buffered_packet_disables_cut_through(self):
+        """With a buffered packet eligible for the port, an arriving
+        packet cannot claim to have the smallest sorting key."""
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(0, 0, delay=20,
+                                          port_mask=port_mask(RECEPTION))
+        # First packet buffers (early beyond the zero horizon).
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=30))
+        for _ in range(60):
+            router.step()
+        assert router.memory.occupancy == 1
+        # Second packet is on-time but must take the buffered path.
+        router.inject_tc(TimeConstrainedPacket(0, header_deadline=2))
+        packets = run_until_delivered(router, count=2, max_cycles=30_000)
+        assert len(packets) == 2
+        assert router.cut_through_count == 0
+
+    def test_packets_still_meet_semantics(self):
+        """Payloads and ordering are unchanged by the fast path."""
+        router = RealTimeRouter(cut_through=True)
+        router.control.program_connection(0, 0, delay=10,
+                                          port_mask=port_mask(RECEPTION))
+        payloads = [bytes([i]) * 18 for i in range(3)]
+        for payload in payloads:
+            router.inject_tc(TimeConstrainedPacket(0, 0, payload=payload))
+        packets = run_until_delivered(router, count=3)
+        assert [p.payload for p in packets] == payloads
+
+
+class TestExperimentHarness:
+    def test_linear_path_speedup(self):
+        result = measure_linear_path(length=3, messages=3)
+        assert result.cut_throughs_taken > 0
+        assert result.speedup > 1.5

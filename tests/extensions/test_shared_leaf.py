@@ -1,0 +1,45 @@
+"""Tests for the shared-leaf comparator-tree design knob."""
+
+import pytest
+
+from repro.core.params import RouterParams
+from repro.extensions import SharedLeafDesign, design_space
+
+
+class TestSharedLeafDesign:
+    def test_group_one_is_full_tree(self):
+        design = SharedLeafDesign(RouterParams(), group=1)
+        assert design.modules == 256
+        # 255 tournament + 256 local + 1 horizon.
+        assert design.comparator_count == 512
+
+    def test_grouping_cuts_comparators(self):
+        full = SharedLeafDesign(RouterParams(), group=1)
+        shared = SharedLeafDesign(RouterParams(), group=8)
+        assert shared.comparator_count < full.comparator_count / 4
+        assert shared.selection_transistors < full.selection_transistors
+
+    def test_grouping_raises_latency(self):
+        full = SharedLeafDesign(RouterParams(), group=1)
+        shared = SharedLeafDesign(RouterParams(), group=8)
+        assert shared.decision_latency_cycles > full.decision_latency_cycles
+        assert (shared.decision_interval_cycles
+                >= full.decision_interval_cycles)
+
+    def test_paper_configuration_meets_rate(self):
+        assert SharedLeafDesign(RouterParams(), group=1).meets_rate()
+
+    def test_excessive_sharing_misses_rate(self):
+        # One decision needed every 4 cycles; a 16-leaf scan cannot.
+        design = SharedLeafDesign(RouterParams(), group=16)
+        assert not design.meets_rate()
+
+    def test_design_space_sweep(self):
+        designs = design_space(RouterParams())
+        assert [d.group for d in designs] == [1, 2, 4, 8, 16]
+        costs = [d.selection_transistors for d in designs]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            SharedLeafDesign(RouterParams(), group=0)

@@ -1,0 +1,55 @@
+"""Tests for the switch-fabric extension (paper section 7)."""
+
+import pytest
+
+from repro.channels import AdmissionError, TrafficSpec
+from repro.extensions import SwitchFabric, multimedia_switch_demo
+
+
+class TestSwitchFabric:
+    def test_flow_delivers_with_guarantee(self):
+        switch = SwitchFabric(ports=4)
+        flow = switch.provision_flow(0, 2, TrafficSpec(i_min=10),
+                                     deadline=60)
+        for _ in range(3):
+            switch.send(flow, b"frame")
+            switch.run_ticks(10)
+        switch.drain()
+        report = switch.report()
+        assert report.guaranteed_delivered == 3
+        assert report.deadline_misses == 0
+
+    def test_datagrams_cross_fabric(self):
+        switch = SwitchFabric(ports=3)
+        switch.send_datagram(0, 2, payload=bytes(30))
+        switch.send_datagram(2, 0, payload=bytes(30))
+        switch.drain()
+        assert switch.report().datagrams_delivered == 2
+
+    def test_port_validation(self):
+        switch = SwitchFabric(ports=2)
+        with pytest.raises(ValueError):
+            switch.provision_flow(0, 5, TrafficSpec(i_min=10), deadline=50)
+        with pytest.raises(ValueError):
+            switch.send_datagram(9, 0)
+        with pytest.raises(ValueError):
+            SwitchFabric(ports=1)
+
+    def test_admission_limits_flows_per_output(self):
+        """An output port's capacity bounds the flows converging on it."""
+        switch = SwitchFabric(ports=4)
+        admitted = 0
+        with pytest.raises(AdmissionError):
+            for in_port in range(4):
+                for _ in range(4):
+                    switch.provision_flow(in_port, 0,
+                                          TrafficSpec(i_min=4),
+                                          deadline=40)
+                    admitted += 1
+        assert 1 <= admitted < 16
+
+    def test_multimedia_demo_meets_guarantees(self):
+        report = multimedia_switch_demo(ports=4, rounds=10)
+        assert report.guaranteed_delivered == 4 * 10
+        assert report.deadline_misses == 0
+        assert report.datagrams_delivered == 4 * 5

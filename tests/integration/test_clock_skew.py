@@ -1,0 +1,62 @@
+"""Bounded clock skew between routers (paper section 4.1).
+
+"Carrying these logical arrival times in the packet header implicitly
+assumes that the network routers have a common notion of time, within
+some bounded clock skew.  Although this is not appropriate in a
+wide-area network context, the tight coupling in parallel machines
+minimizes the effects of clock skew."
+
+These tests quantify that assumption: small skews leave guarantees
+intact (a skewed-fast downstream clock only makes packets look
+*on-time sooner*, a skewed-slow one delays them by at most the skew,
+absorbed by the per-hop slack admission reserves).
+"""
+
+import pytest
+
+from repro import TrafficSpec, build_mesh_network
+
+
+def run_with_skew(skews: dict, messages: int = 8):
+    net = build_mesh_network(2, 2, clock_skews=skews)
+    channel = net.establish_channel((0, 0), (1, 1),
+                                    TrafficSpec(i_min=10), deadline=40)
+    for _ in range(messages):
+        net.send_message(channel)
+        net.run_ticks(10)
+    net.drain(max_cycles=300_000)
+    return net
+
+
+class TestBoundedSkew:
+    def test_zero_skew_baseline(self):
+        net = run_with_skew({})
+        assert net.log.deadline_misses == 0
+
+    def test_downstream_running_fast(self):
+        """A fast downstream clock treats packets as on-time earlier:
+        they depart sooner, never later — deadlines hold."""
+        net = run_with_skew({(1, 0): +1, (1, 1): +1})
+        assert net.log.tc_delivered == 8
+        assert net.log.deadline_misses == 0
+
+    def test_downstream_running_slow_within_slack(self):
+        """A slow downstream clock holds packets a little longer; the
+        per-hop slack absorbs a one-tick skew."""
+        net = run_with_skew({(1, 0): -1, (1, 1): -1})
+        assert net.log.tc_delivered == 8
+        assert net.log.deadline_misses == 0
+
+    def test_mixed_small_skews(self):
+        net = run_with_skew({(0, 0): 0, (1, 0): +1, (0, 1): -1,
+                             (1, 1): +1})
+        assert net.log.deadline_misses == 0
+
+    def test_large_slow_skew_delays_delivery(self):
+        """A grossly slow router visibly postpones early packets —
+        the failure mode the bounded-skew assumption rules out."""
+        slow = run_with_skew({(1, 0): -8, (1, 1): -8})
+        fast = run_with_skew({})
+        slow_latency = slow.log.latency_summary("TC").mean
+        base_latency = fast.log.latency_summary("TC").mean
+        assert slow_latency > base_latency + 5 * slow.params.slot_cycles

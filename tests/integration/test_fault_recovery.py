@@ -1,0 +1,127 @@
+"""Link failures and channel rerouting over disjoint paths.
+
+The paper's introduction motivates multi-hop topologies partly by
+fault resilience: "multi-hop networks often have several disjoint
+routes between each pair of processing nodes, improving the
+application's resilience to link and node failures."  These tests cut
+links and recover channels on surviving paths.
+"""
+
+import pytest
+
+from repro import TrafficSpec, build_mesh_network
+from repro.channels.routing import (
+    RouteError,
+    route_length,
+    shortest_route_avoiding,
+)
+from repro.core.ports import EAST, NORTH, RECEPTION, WEST
+
+
+class TestRoutingAroundFailures:
+    def test_unconstrained_equals_minimal(self):
+        route = shortest_route_avoiding(4, 4, (0, 0), (2, 1), failed=set())
+        assert route_length(route) == 3
+        assert route[-1] == ((2, 1), RECEPTION)
+
+    def test_avoids_failed_link(self):
+        failed = {((0, 0), EAST)}
+        route = shortest_route_avoiding(4, 4, (0, 0), (2, 0), failed)
+        assert ((0, 0), EAST) not in route
+        assert route_length(route) == 4  # detour via row 1
+
+    def test_non_dimension_ordered_paths_allowed(self):
+        # Fail both dimension-ordered first hops; BFS finds a mixed
+        # path anyway.
+        failed = {((0, 0), EAST)}
+        route = shortest_route_avoiding(2, 2, (0, 0), (1, 0), failed)
+        ports = [p for __, p in route]
+        assert ports == [NORTH, EAST, 3, RECEPTION]  # N, E, S
+
+    def test_unreachable_raises(self):
+        # Cut every link out of the source.
+        failed = {((0, 0), EAST), ((0, 0), NORTH)}
+        with pytest.raises(RouteError):
+            shortest_route_avoiding(2, 2, (0, 0), (1, 1), failed)
+
+    def test_failed_reception_rejected(self):
+        with pytest.raises(RouteError):
+            shortest_route_avoiding(2, 2, (0, 0), (1, 1),
+                                    {((1, 1), RECEPTION)})
+
+
+class TestNetworkFailures:
+    def test_failed_link_carries_nothing(self):
+        net = build_mesh_network(2, 1)
+        net.fail_link((0, 0), EAST)
+        net.send_best_effort((0, 0), (1, 0), payload=b"lost")
+        net.run(2000)
+        assert net.log.be_delivered == 0
+
+    def test_repair_restores_traffic(self):
+        net = build_mesh_network(2, 1)
+        net.fail_link((0, 0), EAST)
+        net.repair_link((0, 0), EAST)
+        net.send_best_effort((0, 0), (1, 0), payload=b"ok")
+        net.drain(max_cycles=10_000)
+        assert net.log.be_delivered == 1
+
+    def test_fail_nonexistent_link_rejected(self):
+        net = build_mesh_network(2, 1)
+        with pytest.raises(ValueError):
+            net.fail_link((0, 0), WEST)
+
+
+class TestChannelRecovery:
+    def test_recover_channel_after_failure(self):
+        net = build_mesh_network(2, 2)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=60, adaptive=False,
+                                        label="survivor")
+        net.fail_link((0, 0), EAST)
+        replacement = net.recover_channel(channel)
+        assert replacement.label == "survivor"
+        # The new route detours via row 1: three link hops.
+        assert len(replacement.local_delays) == 4
+        for _ in range(4):
+            net.send_message(replacement)
+            net.run_ticks(10)
+        net.run_ticks(80)
+        assert net.log.tc_delivered == 4
+        assert net.log.deadline_misses == 0
+
+    def test_recovery_preserves_regulator_state(self):
+        net = build_mesh_network(2, 2)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=60, adaptive=False)
+        first_arrival = net.send_message(channel)
+        net.fail_link((0, 0), EAST)
+        replacement = net.recover_channel(channel)
+        second_arrival = net.send_message(replacement)
+        # Logical arrival times keep their i_min spacing across the
+        # reroute: the traffic contract survives the failure.
+        assert second_arrival - first_arrival >= 10
+
+    def test_recovery_fails_when_no_path_survives(self):
+        net = build_mesh_network(2, 1)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=30, adaptive=False)
+        net.fail_link((0, 0), EAST)
+        with pytest.raises(RouteError):
+            net.recover_channel(channel)
+        # The original channel is untouched by the failed recovery.
+        assert channel in net.manager.channels
+
+    def test_old_resources_released_after_recovery(self):
+        net = build_mesh_network(2, 2)
+        spec = TrafficSpec(i_min=10)
+        channel = net.establish_channel((0, 0), (1, 0), spec,
+                                        deadline=60, adaptive=False)
+        used_before = net.admission.link_utilisation((0, 0), EAST)
+        assert used_before > 0
+        net.fail_link((0, 0), EAST)
+        net.recover_channel(channel)
+        assert net.admission.link_utilisation((0, 0), EAST) == 0.0

@@ -1,0 +1,116 @@
+"""Randomised soak tests: admitted traffic never misses, whatever the mix.
+
+These tests draw random (seeded) channel sets and traffic mixes on a
+mesh, admit what admission control accepts, and assert the central
+guarantee of the whole system: zero deadline misses for admitted
+traffic, every best-effort packet eventually delivered.
+"""
+
+import random
+
+import pytest
+
+from repro import TrafficSpec, build_mesh_network
+from repro.channels import AdmissionError
+
+
+def random_workload(seed: int, width=3, height=3, channels=6,
+                    messages=6):
+    rng = random.Random(seed)
+    net = build_mesh_network(width, height)
+    established = []
+    nodes = list(net.mesh.nodes())
+    for _ in range(channels):
+        src, dst = rng.sample(nodes, 2)
+        i_min = rng.choice([6, 10, 16, 24])
+        hops = net.mesh.hop_distance(src, dst) + 1
+        deadline = i_min * hops + rng.randrange(0, 20)
+        try:
+            channel = net.establish_channel(
+                src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
+            )
+        except AdmissionError:
+            continue
+        established.append((channel, i_min))
+    return net, established
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_admitted_channels_never_miss(seed):
+    net, established = random_workload(seed)
+    assert established, "seeded workload admitted nothing"
+    rng = random.Random(seed + 1000)
+    horizon_ticks = 120
+    for tick in range(0, horizon_ticks, 2):
+        for channel, i_min in established:
+            if tick % i_min == 0:
+                net.send_message(channel)
+        if rng.random() < 0.3:
+            src, dst = rng.sample(list(net.mesh.nodes()), 2)
+            net.send_best_effort(src, dst,
+                                 payload=bytes(rng.randrange(10, 120)))
+        net.run_ticks(2)
+    net.drain(max_cycles=600_000)
+    assert net.log.deadline_misses == 0
+    # Every sent message was delivered.
+    sent = sum(
+        sum(1 for t in range(0, horizon_ticks, 2) if t % i_min == 0)
+        for __, i_min in established
+    )
+    assert net.log.tc_delivered == sent
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_mixed_soak_with_bursts_and_multicast(seed):
+    rng = random.Random(seed)
+    net = build_mesh_network(3, 3)
+    channels = []
+    # A couple of bursty unicast channels.
+    for _ in range(3):
+        src, dst = rng.sample(list(net.mesh.nodes()), 2)
+        try:
+            channels.append(net.establish_channel(
+                src, dst, TrafficSpec(i_min=12, b_max=2), deadline=80,
+            ))
+        except AdmissionError:
+            pass
+    # One multicast channel.
+    src = (1, 1)
+    dests = rng.sample([n for n in net.mesh.nodes() if n != src], 3)
+    try:
+        channels.append(net.establish_channel(
+            src, dests, TrafficSpec(i_min=15), deadline=90,
+        ))
+    except AdmissionError:
+        pass
+    assert channels
+    for round_ in range(8):
+        for channel in channels:
+            net.send_message(channel)
+            if channel.spec.b_max > 1 and round_ % 2 == 0:
+                net.send_message(channel)  # exercise the burst credit
+        net.run_ticks(15)
+    net.drain(max_cycles=600_000)
+    assert net.log.deadline_misses == 0
+
+
+def test_sustained_full_reservation_single_link():
+    """A link reserved to its EDF limit still meets every deadline."""
+    net = build_mesh_network(2, 1)
+    channels = []
+    while True:
+        try:
+            channels.append(net.establish_channel(
+                (0, 0), (1, 0), TrafficSpec(i_min=8), deadline=16,
+                adaptive=False,
+            ))
+        except AdmissionError:
+            break
+    assert len(channels) >= 2
+    for _ in range(10):
+        for channel in channels:
+            net.send_message(channel)
+        net.run_ticks(8)
+    net.drain(max_cycles=300_000)
+    assert net.log.deadline_misses == 0
+    assert net.log.tc_delivered == 10 * len(channels)

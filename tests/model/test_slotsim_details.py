@@ -1,0 +1,66 @@
+"""Additional slot-simulator behaviours: events, utilisation, ordering."""
+
+import pytest
+
+from repro.model import ServiceEvent, SlotSimulator
+from repro.network.topology import Mesh
+
+
+class TestServiceEvents:
+    def test_event_fields(self):
+        sim = SlotSimulator()
+        sim.add_channel("a", ["L"], [4], arrivals=[0])
+        sim.run(3)
+        tc_events = [e for e in sim.events if e.traffic_class == "TC"]
+        assert tc_events == [ServiceEvent(tick=0, link="L",
+                                          traffic_class="TC", label="a")]
+
+    def test_service_order_sequences(self):
+        sim = SlotSimulator()
+        sim.add_channel("a", ["L"], [4], arrivals=[0, 4, 8])
+        sim.run(20)
+        assert sim.service_order("L") == [("a", 0), ("a", 1), ("a", 2)]
+
+    def test_cumulative_series_is_monotone(self):
+        sim = SlotSimulator()
+        sim.add_channel("a", ["L"], [4], arrivals=[0, 4, 8, 12])
+        sim.add_best_effort_backlog("L", slots=5)
+        sim.run(30)
+        for series in sim.cumulative_service("L").values():
+            values = [total for __, total in series]
+            assert values == sorted(values)
+
+    def test_finite_backlog_exhausts(self):
+        sim = SlotSimulator()
+        sim.add_best_effort_backlog("L", slots=3)
+        sim.run(10)
+        be = [e for e in sim.events if e.traffic_class == "BE"]
+        assert len(be) == 3
+
+    def test_average_latency_empty(self):
+        assert SlotSimulator().average_tc_latency() == 0.0
+
+    def test_hop_times_recorded_per_hop(self):
+        sim = SlotSimulator()
+        sim.add_channel("a", ["L0", "L1", "L2"], [2, 2, 2], arrivals=[0])
+        sim.run_until_drained()
+        packet, = sim.packets
+        assert len(packet.hop_times) == 3
+        assert packet.hop_times == sorted(packet.hop_times)
+
+    def test_met_deadline_none_while_in_flight(self):
+        sim = SlotSimulator()
+        sim.add_channel("a", ["L"], [4], arrivals=[100])
+        sim.run(5)
+        assert sim.packets[0].met_deadline is None
+
+
+class TestTopologyEdges:
+    def test_torus_offsets_unsupported(self):
+        torus = Mesh(3, 3, torus=True)
+        with pytest.raises(NotImplementedError):
+            torus.offsets((0, 0), (2, 2))
+
+    def test_mesh_offsets_zero_for_self(self):
+        mesh = Mesh(3, 3)
+        assert mesh.offsets((1, 1), (1, 1)) == (0, 0)

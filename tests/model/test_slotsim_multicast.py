@@ -1,0 +1,83 @@
+"""Multicast trees in the slot-level simulator."""
+
+import pytest
+
+from repro.model import SlotSimulator
+from repro.model.slotsim import SlotChannel
+
+
+class TestTreeChannels:
+    def fan_out_channel(self, sim, arrivals=(0,)):
+        """Source link fans out to two leaves:
+
+            L0 -> L1 (leaf)
+               -> L2 (leaf)
+        """
+        return sim.add_channel(
+            "mc", links=["L0", "L1", "L2"], local_delays=[4, 4, 4],
+            arrivals=list(arrivals), parents=[-1, 0, 0],
+        )
+
+    def test_shared_prefix_served_once(self):
+        sim = SlotSimulator()
+        self.fan_out_channel(sim)
+        sim.run_until_drained()
+        l0_services = [e for e in sim.events if e.link == "L0"
+                       and e.traffic_class == "TC"]
+        assert len(l0_services) == 1  # not once per destination
+
+    def test_both_leaves_delivered(self):
+        sim = SlotSimulator()
+        self.fan_out_channel(sim)
+        sim.run_until_drained()
+        packet, = sim.packets
+        assert len(packet.leaf_deliveries) == 2
+        assert {hop for hop, __ in packet.leaf_deliveries} == {1, 2}
+        assert packet.met_deadline
+        assert packet.active == 0
+
+    def test_leaf_deadlines_respected_per_branch(self):
+        sim = SlotSimulator()
+        sim.add_channel("mc", links=["L0", "L1", "L2"],
+                        local_delays=[4, 2, 6],
+                        arrivals=[0], parents=[-1, 0, 0])
+        sim.run_until_drained()
+        packet, = sim.packets
+        for hop, tick in packet.leaf_deliveries:
+            assert tick <= packet.local_deadline(hop)
+
+    def test_stream_of_multicast_messages(self):
+        sim = SlotSimulator()
+        self.fan_out_channel(sim, arrivals=[k * 4 for k in range(10)])
+        sim.run_until_drained()
+        assert sim.deadline_misses() == 0
+        assert all(len(p.leaf_deliveries) == 2 for p in sim.packets)
+
+    def test_deep_tree(self):
+        """A three-level tree: root -> branch -> two leaves, plus a
+        direct leaf off the root."""
+        sim = SlotSimulator()
+        sim.add_channel(
+            "tree", links=["root", "mid", "leafA", "leafB", "leafC"],
+            local_delays=[3, 3, 3, 3, 3], arrivals=[0],
+            parents=[-1, 0, 1, 1, 0],
+        )
+        sim.run_until_drained()
+        packet, = sim.packets
+        assert len(packet.leaf_deliveries) == 3
+        assert packet.channel.deadline == 9  # deepest chain root->mid->leaf
+
+    def test_parent_validation(self):
+        with pytest.raises(ValueError):
+            SlotChannel(label="bad", links=["a", "b"],
+                        local_delays=[2, 2], arrivals=[0],
+                        parents=[-1, 5])
+
+    def test_contended_multicast_with_unicast(self):
+        """A tree leaf and a unicast channel share a link under EDF."""
+        sim = SlotSimulator()
+        self.fan_out_channel(sim, arrivals=[k * 4 for k in range(8)])
+        sim.add_channel("uni", links=["L1"], local_delays=[4],
+                        arrivals=[k * 4 for k in range(8)])
+        sim.run_until_drained()
+        assert sim.deadline_misses() == 0

@@ -1,0 +1,113 @@
+"""Tests for the synchronous engine and the experiment harnesses."""
+
+import pytest
+
+from repro.network import LinkConnection, SingleLinkHarness, SynchronousEngine
+from repro.network.loopback import LoopbackHarness
+
+
+class Ticker:
+    def __init__(self):
+        self.cycles = []
+
+    def step(self, cycle):
+        self.cycles.append(cycle)
+
+
+class TestEngine:
+    def test_components_step_in_order(self):
+        engine = SynchronousEngine()
+        a, b = Ticker(), Ticker()
+        engine.add_component(a)
+        engine.add_component(b)
+        engine.run(3)
+        assert a.cycles == b.cycles == [0, 1, 2]
+        assert engine.cycle == 3
+
+    def test_wiring_runs_each_cycle(self):
+        engine = SynchronousEngine()
+        copies = []
+        engine.add_wiring(lambda: copies.append(True))
+        engine.run(5)
+        assert len(copies) == 5
+
+    def test_run_until(self):
+        engine = SynchronousEngine()
+        ticker = Ticker()
+        engine.add_component(ticker)
+        engine.run_until(lambda: len(ticker.cycles) >= 4)
+        assert engine.cycle == 4
+
+    def test_run_until_timeout(self):
+        engine = SynchronousEngine()
+        with pytest.raises(TimeoutError):
+            engine.run_until(lambda: False, max_cycles=10)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousEngine().run(-1)
+
+
+class TestLoopbackHarness:
+    def test_rejects_header_only_packet(self):
+        with pytest.raises(ValueError):
+            LoopbackHarness().send_best_effort(4)
+
+    def test_timeout_reported(self):
+        harness = LoopbackHarness()
+        with pytest.raises(TimeoutError):
+            # Never step enough cycles for delivery.
+            harness.measure_latency(64, max_cycles=5)
+
+
+class TestSingleLinkHarness:
+    def test_validates_connection_count(self):
+        connections = [LinkConnection(f"c{i}", 4, 4, 1) for i in range(5)]
+        with pytest.raises(ValueError):
+            SingleLinkHarness(connections)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            LinkConnection("bad", delay=0, i_min=4, packets=1)
+
+    def test_single_connection_full_service(self):
+        harness = SingleLinkHarness(
+            [LinkConnection("only", delay=4, i_min=4, packets=50)],
+            best_effort_backlog=False,
+        )
+        harness.run(4_000)  # 200 ticks -> 50 packets of 20 bytes
+        assert harness.service_bytes("only") == 1000
+        assert harness.deadline_misses == 0
+
+    def test_best_effort_disabled(self):
+        harness = SingleLinkHarness(
+            [LinkConnection("only", delay=8, i_min=8, packets=10)],
+            best_effort_backlog=False,
+        )
+        harness.run(2_000)
+        assert harness.service_bytes("best-effort") == 0
+
+    def test_horizon_irrelevant_for_on_time_arrivals(self):
+        """The harness feeds packets exactly at their logical arrival
+        time, so they are never early and the horizon cannot change
+        anything — a useful control for the horizon experiments."""
+        def finish_time(horizon):
+            harness = SingleLinkHarness(
+                [LinkConnection("c", delay=16, i_min=16, packets=5)],
+                horizon=horizon, best_effort_backlog=False,
+            )
+            harness.run(3_000)
+            series = harness.trace.series.get("c", [])
+            return series[-1][0] if series else None
+
+        assert finish_time(horizon=64) == finish_time(horizon=0)
+
+    def test_service_table_rows(self):
+        harness = SingleLinkHarness(
+            [LinkConnection("c", delay=4, i_min=4, packets=100)],
+        )
+        harness.run(3_000)
+        rows = harness.service_table(sample_every=1000)
+        assert len(rows) == 3
+        assert rows[-1]["cycle"] == 3000
+        assert rows[0]["c"] <= rows[1]["c"] <= rows[2]["c"]

@@ -1,0 +1,117 @@
+"""Tests for delivery logging and service tracing."""
+
+import pytest
+
+from repro.core.packet import BestEffortPacket, PacketMeta, TimeConstrainedPacket
+from repro.network.stats import DeliveryLog, LatencySummary, ServiceTrace
+
+
+def delivered_tc(injected=0, delivered=100, deadline=None, label=None,
+                 sequence=None):
+    packet = TimeConstrainedPacket(0, 0)
+    packet.meta = PacketMeta(
+        injected_cycle=injected, absolute_deadline=deadline,
+        connection_label=label, sequence=sequence,
+    )
+    packet.meta.delivered_cycle = delivered
+    return packet
+
+
+def delivered_be(injected=0, delivered=50):
+    packet = BestEffortPacket(0, 0, b"")
+    packet.meta.injected_cycle = injected
+    packet.meta.delivered_cycle = delivered
+    return packet
+
+
+class TestDeliveryLog:
+    def test_records_classes(self):
+        log = DeliveryLog(slot_cycles=20)
+        log.add(delivered_tc())
+        log.add(delivered_be())
+        assert log.tc_delivered == 1
+        assert log.be_delivered == 1
+
+    def test_latency(self):
+        log = DeliveryLog(slot_cycles=20)
+        record = log.add(delivered_tc(injected=10, delivered=110))
+        assert record.latency_cycles == 100
+
+    def test_deadline_met(self):
+        log = DeliveryLog(slot_cycles=20)
+        # Delivered at cycle 100 = tick 5; deadline tick 5 -> met.
+        ok = log.add(delivered_tc(delivered=100, deadline=5))
+        late = log.add(delivered_tc(delivered=101, deadline=5))
+        assert ok.deadline_met is True
+        assert late.deadline_met is False
+        assert log.deadline_misses == 1
+
+    def test_no_deadline_means_unknown(self):
+        log = DeliveryLog(slot_cycles=20)
+        record = log.add(delivered_tc(deadline=None))
+        assert record.deadline_met is None
+        assert log.deadline_misses == 0
+
+    def test_best_effort_has_no_deadline(self):
+        log = DeliveryLog(slot_cycles=20)
+        assert log.add(delivered_be()).deadline_met is None
+
+    def test_connection_filter(self):
+        log = DeliveryLog(slot_cycles=20)
+        log.add(delivered_tc(label="a"))
+        log.add(delivered_tc(label="b"))
+        log.add(delivered_tc(label="a"))
+        assert len(log.of_connection("a")) == 2
+
+    def test_rejects_non_packet(self):
+        with pytest.raises(TypeError):
+            DeliveryLog(20).add(object())
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_values([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_statistics(self):
+        summary = LatencySummary.from_values([10, 20, 30, 40])
+        assert summary.count == 4
+        assert summary.mean == 25.0
+        assert summary.minimum == 10
+        assert summary.maximum == 40
+
+    def test_p99(self):
+        values = list(range(1, 101))
+        assert LatencySummary.from_values(values).p99 == 99.0
+
+
+class TestServiceTrace:
+    def test_port_filter(self):
+        trace = ServiceTrace(watch_port=2)
+        trace.hook(0, 2, "TC", None)
+        trace.hook(1, 3, "TC", None)
+        assert trace.totals["time-constrained"] == 1
+
+    def test_label_attribution(self):
+        trace = ServiceTrace()
+        meta = PacketMeta(connection_label="probe")
+        trace.hook(0, 0, "TC", meta)
+        trace.hook(1, 0, "BE", None)
+        assert trace.totals == {"probe": 1, "best-effort": 1}
+
+    def test_cumulative_at(self):
+        trace = ServiceTrace()
+        meta = PacketMeta(connection_label="x")
+        for cycle in (5, 10, 15):
+            trace.hook(cycle, 0, "TC", meta)
+        assert trace.cumulative_at("x", 4) == 0
+        assert trace.cumulative_at("x", 10) == 2
+        assert trace.cumulative_at("x", 99) == 3
+        assert trace.cumulative_at("unknown", 99) == 0
+
+    def test_labels_sorted(self):
+        trace = ServiceTrace()
+        trace.hook(0, 0, "BE", None)
+        trace.hook(0, 0, "TC", PacketMeta(connection_label="a"))
+        assert trace.labels() == ["a", "best-effort"]

@@ -1,0 +1,68 @@
+"""Tests for mesh topology arithmetic."""
+
+import pytest
+
+from repro.core.ports import EAST, NORTH, SOUTH, WEST
+from repro.network.topology import Mesh, reverse_direction
+
+
+class TestMesh:
+    def test_node_enumeration(self):
+        mesh = Mesh(2, 3)
+        assert mesh.node_count == 6
+        assert len(list(mesh.nodes())) == 6
+        assert (1, 2) in set(mesh.nodes())
+
+    def test_contains(self):
+        mesh = Mesh(4, 4)
+        assert mesh.contains((0, 0)) and mesh.contains((3, 3))
+        assert not mesh.contains((4, 0))
+        assert not mesh.contains((0, -1))
+
+    def test_neighbors_interior(self):
+        mesh = Mesh(4, 4)
+        assert mesh.neighbor((1, 1), EAST) == (2, 1)
+        assert mesh.neighbor((1, 1), WEST) == (0, 1)
+        assert mesh.neighbor((1, 1), NORTH) == (1, 2)
+        assert mesh.neighbor((1, 1), SOUTH) == (1, 0)
+
+    def test_neighbors_edge(self):
+        mesh = Mesh(4, 4)
+        assert mesh.neighbor((0, 0), WEST) is None
+        assert mesh.neighbor((3, 3), EAST) is None
+        assert mesh.neighbor((0, 0), SOUTH) is None
+
+    def test_torus_wraps(self):
+        torus = Mesh(4, 4, torus=True)
+        assert torus.neighbor((0, 0), WEST) == (3, 0)
+        assert torus.neighbor((3, 3), NORTH) == (3, 0)
+
+    def test_link_count(self):
+        # 4x4 mesh: 2 * (3*4 + 4*3) unidirectional links.
+        mesh = Mesh(4, 4)
+        assert len(list(mesh.links())) == 48
+
+    def test_hop_distance(self):
+        mesh = Mesh(4, 4)
+        assert mesh.hop_distance((0, 0), (3, 3)) == 6
+        assert mesh.hop_distance((2, 2), (2, 2)) == 0
+
+    def test_torus_distance_uses_wraparound(self):
+        torus = Mesh(4, 4, torus=True)
+        assert torus.hop_distance((0, 0), (3, 0)) == 1
+
+    def test_offsets(self):
+        mesh = Mesh(4, 4)
+        assert mesh.offsets((1, 2), (3, 0)) == (2, -2)
+
+    def test_rejects_empty_mesh(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 3)
+
+
+class TestDirections:
+    def test_reverse(self):
+        assert reverse_direction(EAST) == WEST
+        assert reverse_direction(NORTH) == SOUTH
+        assert reverse_direction(SOUTH) == NORTH
+        assert reverse_direction(WEST) == EAST

@@ -1,0 +1,76 @@
+"""Torus topology for time-constrained channels (paper section 1).
+
+"Although the implementation is geared toward two-dimensional meshes
+... the architecture directly extends to other network topologies."
+Table-driven routing makes the same chips work in a torus; these tests
+establish channels across wrap-around links.  Best-effort traffic stays
+mesh-only (its header carries signed mesh offsets).
+"""
+
+import pytest
+
+from repro import TrafficSpec, build_mesh_network
+from repro.channels.routing import shortest_route_avoiding
+from repro.core.ports import RECEPTION, WEST
+
+
+class TestTorusRouting:
+    def test_wrap_route_is_shorter(self):
+        route = shortest_route_avoiding(4, 1, (0, 0), (3, 0),
+                                        failed=set(), torus=True)
+        # One west wrap hop instead of three east hops.
+        assert route == [((0, 0), WEST), ((3, 0), RECEPTION)]
+
+    def test_wrap_respects_failures(self):
+        route = shortest_route_avoiding(
+            4, 1, (0, 0), (3, 0),
+            failed={((0, 0), WEST)}, torus=True,
+        )
+        assert len(route) == 4  # east all the way
+
+
+class TestTorusNetwork:
+    def test_channel_crosses_wrap_link(self):
+        net = build_mesh_network(4, 1, torus=True)
+        channel = net.establish_channel((0, 0), (3, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=40)
+        # The BFS route uses the single wrap hop.
+        assert len(channel.local_delays) == 2
+        for _ in range(3):
+            net.send_message(channel)
+            net.run_ticks(10)
+        net.run_ticks(40)
+        assert net.log.tc_delivered == 3
+        assert net.log.deadline_misses == 0
+
+    def test_torus_admits_more_than_mesh(self):
+        """Wrap links double the bisection: opposite corners are
+        reachable over shorter, disjoint paths."""
+        mesh_net = build_mesh_network(4, 1)
+        torus_net = build_mesh_network(4, 1, torus=True)
+        mesh = mesh_net.establish_channel((0, 0), (3, 0),
+                                          TrafficSpec(i_min=10),
+                                          deadline=60)
+        torus = torus_net.establish_channel((0, 0), (3, 0),
+                                            TrafficSpec(i_min=10),
+                                            deadline=60)
+        assert len(torus.local_delays) < len(mesh.local_delays)
+
+    def test_best_effort_rejected_on_torus(self):
+        net = build_mesh_network(4, 1, torus=True)
+        with pytest.raises(NotImplementedError):
+            net.send_best_effort((0, 0), (3, 0), payload=b"x")
+
+    def test_wrap_link_failure_recovers_the_long_way(self):
+        net = build_mesh_network(4, 1, torus=True)
+        channel = net.establish_channel((0, 0), (3, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=60)
+        net.fail_link((0, 0), WEST)
+        replacement = net.recover_channel(channel)
+        assert len(replacement.local_delays) == 4
+        net.send_message(replacement)
+        net.run_ticks(70)
+        assert net.log.tc_delivered == 1
+        assert net.log.deadline_misses == 0

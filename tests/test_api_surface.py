@@ -1,0 +1,60 @@
+"""Public-API hygiene: exports resolve, are documented, and docs build."""
+
+import importlib
+import inspect
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.channels",
+    "repro.network",
+    "repro.model",
+    "repro.traffic",
+    "repro.baselines",
+    "repro.extensions",
+    "repro.analysis",
+    "repro.reporting",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_is_sorted(module_name):
+    module = importlib.import_module(module_name)
+    exported = list(getattr(module, "__all__", []))
+    assert exported == sorted(exported), f"{module_name}.__all__ unsorted"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        value = getattr(module, name)
+        if inspect.isclass(value) or inspect.isfunction(value):
+            if not inspect.getdoc(value):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name} exports undocumented items: {undocumented}"
+    )
+
+
+def test_api_doc_generator_runs(tmp_path, monkeypatch):
+    import runpy
+    import pathlib
+
+    # Render to a string without touching the repo's docs/.
+    namespace = runpy.run_path("scripts/gen_api_docs.py")
+    text = namespace["render"]()
+    assert "# API reference" in text
+    assert "`repro.core`" in text
+    assert "RealTimeRouter" in text

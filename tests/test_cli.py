@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasheet:
+    def test_default(self, capsys):
+        assert main(["datasheet"]) == 0
+        out = capsys.readouterr().out
+        assert "transistors" in out
+        assert "905," in out
+
+    def test_custom_slots(self, capsys):
+        assert main(["datasheet", "--slots", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "64" in out
+
+
+class TestExperiments:
+    def test_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+
+    def test_a1(self, capsys):
+        assert main(["experiment", "a1"]) == 0
+        out = capsys.readouterr().out
+        assert "horizon" in out
+
+    def test_a3(self, capsys):
+        assert main(["experiment", "a3"]) == 0
+        out = capsys.readouterr().out
+        assert "real-time" in out
+
+    def test_f7(self, capsys):
+        assert main(["experiment", "f7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "deadline misses: 0" in out
+
+    def test_a4(self, capsys):
+        assert main(["experiment", "a4"]) == 0
+        out = capsys.readouterr().out
+        assert "cut-through" in out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "zz"])
+
+
+class TestTraceCommands:
+    def test_generate_and_replay(self, capsys, tmp_path):
+        trace_path = tmp_path / "w.jsonl"
+        assert main(["generate-trace", str(trace_path),
+                     "--width", "2", "--height", "2",
+                     "--channels", "2", "--ticks", "30",
+                     "--seed", "4"]) == 0
+        assert trace_path.exists()
+        assert main(["replay", str(trace_path),
+                     "--width", "2", "--height", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline misses" in out
+
+
+class TestSimulate:
+    def test_small_run(self, capsys, tmp_path):
+        csv_path = tmp_path / "log.csv"
+        code = main(["simulate", "--width", "2", "--height", "2",
+                     "--channels", "2", "--ticks", "30",
+                     "--seed", "3", "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deadline misses" in out
+        assert csv_path.exists()
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,29 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Each example asserts its own success criteria (e.g. zero deadline
+misses) and raises on failure, so running ``main()`` is a real check,
+not just an import test.  The slowest examples are excluded to keep
+the suite quick; they are exercised by CI-style full runs instead.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/capacity_planning.py",
+    "examples/chip_datasheet.py",
+    "examples/fault_recovery.py",
+    "examples/qos_switch.py",
+    "examples/adaptive_routing.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example prints a report

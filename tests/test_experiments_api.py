@@ -1,0 +1,64 @@
+"""Tests for the public experiments API (repro.experiments)."""
+
+import pytest
+
+from repro.experiments import (
+    cut_through_sweep,
+    discipline_comparison,
+    figure7,
+    horizon_tradeoff,
+    standard_mixed_workload,
+    wormhole_baseline,
+)
+
+
+class TestWormholeBaseline:
+    def test_constant_overhead(self):
+        result = wormhole_baseline(sizes=[16, 64])
+        assert result.constant_overhead is not None
+        assert 25 <= result.constant_overhead <= 35
+
+    def test_overheads_map(self):
+        result = wormhole_baseline(sizes=[32])
+        assert set(result.overheads()) == {32}
+
+
+class TestFigure7:
+    def test_shares_proportional(self):
+        result = figure7(run_cycles=4000)
+        assert result.deadline_misses == 0
+        c1 = result.share("connection 1")
+        c2 = result.share("connection 2")
+        assert c1 == pytest.approx(0.25, rel=0.1)
+        assert c1 == pytest.approx(2 * c2, rel=0.15)
+
+    def test_custom_connections(self):
+        result = figure7(run_cycles=2000,
+                         connections=[("only", 5, 5)])
+        assert result.share("only") == pytest.approx(0.2, rel=0.1)
+        assert "best-effort" in result.totals
+
+
+class TestHorizonTradeoff:
+    def test_monotone_points(self):
+        points = horizon_tradeoff(horizons=[0, 16])
+        assert points[0].mean_latency_ticks > points[1].mean_latency_ticks
+        assert (points[0].buffers_per_connection
+                < points[1].buffers_per_connection)
+
+
+class TestDisciplineComparison:
+    def test_workload_shape(self):
+        workload = standard_mixed_workload(bulk_channels=2)
+        assert len(workload) == 3
+        assert workload[-1].label == "control"
+
+    def test_real_time_never_misses(self):
+        results = discipline_comparison(bulk_channels=2)
+        assert results["real-time"].deadline_misses == 0
+
+
+class TestCutThroughSweep:
+    def test_speedups(self):
+        results = cut_through_sweep(lengths=[3])
+        assert results[0].speedup > 1.2

@@ -1,0 +1,86 @@
+"""Tests for artefact rendering and export."""
+
+import pytest
+
+from repro.core.packet import TimeConstrainedPacket
+from repro.core.packet import PacketMeta
+from repro.network.stats import DeliveryLog
+from repro.reporting import (
+    format_kv,
+    format_table,
+    histogram,
+    line_chart,
+    read_series_csv,
+    write_log_csv,
+    write_series_csv,
+)
+
+
+class TestTables:
+    def test_alignment(self):
+        lines = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        assert lines[0].endswith("bb")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_kv(self):
+        lines = format_kv([("name", "router"), ("pins", 123)])
+        assert lines[0].startswith("name")
+        assert lines[1].split()[-1] == "123"
+
+    def test_kv_empty(self):
+        assert format_kv([]) == []
+
+
+class TestAsciiChart:
+    def test_line_chart_structure(self):
+        chart = line_chart(
+            {"a": [(0, 0), (10, 10)], "b": [(0, 0), (10, 5)]},
+            width=20, height=5, title="demo",
+        )
+        assert chart[0] == "demo"
+        assert any("legend:" in line for line in chart)
+        body = [line for line in chart if "|" in line]
+        assert len(body) == 5
+
+    def test_marks_present(self):
+        chart = line_chart({"a": [(1, 1), (2, 2)]}, width=10, height=4)
+        assert any("o" in line for line in chart)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_histogram(self):
+        lines = histogram([1, 1, 2, 5, 5, 5], bins=4, width=10)
+        assert len(lines) == 4
+        assert lines[-1].endswith("3")
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+
+class TestCsvExport:
+    def test_series_round_trip(self, tmp_path):
+        series = {"x": [(0.0, 1.0), (1.0, 2.0)], "y": [(0.0, 3.0)]}
+        path = write_series_csv(tmp_path / "series.csv", series)
+        assert read_series_csv(path) == series
+
+    def test_log_export(self, tmp_path):
+        log = DeliveryLog(slot_cycles=20)
+        packet = TimeConstrainedPacket(0, 0)
+        packet.meta = PacketMeta(injected_cycle=0, absolute_deadline=10,
+                                 connection_label="c", sequence=0)
+        packet.meta.delivered_cycle = 100
+        log.add(packet)
+        path = write_log_csv(tmp_path / "log.csv", log)
+        content = path.read_text().splitlines()
+        assert len(content) == 2
+        assert "TC" in content[1]
+        assert "True" in content[1]

@@ -1,0 +1,46 @@
+"""Tests for the backlogged sources (Figure 7 style workloads)."""
+
+import pytest
+
+from repro.traffic import BackloggedBestEffortSource, BackloggedSource
+
+
+class FakeChannel:
+    class spec:
+        i_min = 5
+
+
+class TestBackloggedSource:
+    def test_sends_once_per_i_min(self):
+        source = BackloggedSource(channel=FakeChannel(), slot_cycles=20)
+        sends = [c for c in range(0, 20 * 30) if source(c)]
+        # One send at every tick divisible by i_min = 5.
+        assert sends == [0, 100, 200, 300, 400, 500]
+
+    def test_nothing_between_slot_boundaries(self):
+        source = BackloggedSource(channel=FakeChannel(), slot_cycles=20)
+        assert source(1) == []
+        assert source(19) == []
+
+
+class TestBackloggedBestEffortSource:
+    def test_paces_by_packet_time_without_probe(self):
+        source = BackloggedBestEffortSource(destination=(1, 1),
+                                            packet_bytes=32)
+        fires = [c for c in range(200) if source(c)]
+        assert fires == [0, 32, 64, 96, 128, 160, 192]
+        send = source(0)[0]
+        assert send.traffic_class == "BE"
+        assert len(send.payload) == 28
+
+    def test_probe_gates_injection(self):
+        source = BackloggedBestEffortSource(destination=(0, 0),
+                                            packet_bytes=16,
+                                            max_outstanding=2)
+        backlog = {"n": 0}
+        source.attach_probe(lambda: backlog["n"])
+        assert source(0)  # backlog 0 < 2
+        backlog["n"] = 2
+        assert source(1) == []
+        backlog["n"] = 1
+        assert source(2)

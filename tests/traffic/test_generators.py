@@ -1,0 +1,132 @@
+"""Tests for traffic sources and spatial patterns."""
+
+import pytest
+
+from repro.network.topology import Mesh
+from repro.traffic import (
+    BurstySource,
+    PeriodicSource,
+    PoissonBestEffortSource,
+    all_pairs,
+    bit_complement,
+    hotspot,
+    transpose,
+    uniform_random,
+)
+
+
+class FakeChannel:
+    class spec:
+        i_min = 5
+
+
+class TestPeriodicSource:
+    def test_fires_on_period(self):
+        source = PeriodicSource(channel=FakeChannel(), period=3,
+                                slot_cycles=20)
+        fire_cycles = [c for c in range(200) if source(c)]
+        assert fire_cycles == [0, 60, 120, 180]
+
+    def test_start_tick_offset(self):
+        source = PeriodicSource(channel=FakeChannel(), period=5,
+                                start_tick=2, slot_cycles=20)
+        fires = [c for c in range(300) if source(c)]
+        assert fires[0] == 40
+
+    def test_count_limit(self):
+        source = PeriodicSource(channel=FakeChannel(), period=1, count=3,
+                                slot_cycles=20)
+        total = sum(len(source(c)) for c in range(500))
+        assert total == 3
+
+    def test_send_shape(self):
+        source = PeriodicSource(channel=FakeChannel(), period=1,
+                                payload=b"p", slot_cycles=20)
+        send, = source(0)
+        assert send.traffic_class == "TC"
+        assert send.payload == b"p"
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicSource(channel=FakeChannel(), period=0)
+
+
+class TestBurstySource:
+    def test_burst_size(self):
+        source = BurstySource(channel=FakeChannel(), period=4, burst=3,
+                              slot_cycles=20)
+        sends = source(0)
+        assert len(sends) == 3
+        assert source(20) == []
+        assert len(source(80)) == 3
+
+    def test_count_caps_final_burst(self):
+        source = BurstySource(channel=FakeChannel(), period=1, burst=4,
+                              count=6, slot_cycles=20)
+        assert len(source(0)) == 4
+        assert len(source(20)) == 2
+        assert source(40) == []
+
+
+class TestPoissonSource:
+    def test_rate_zero_never_fires(self):
+        source = PoissonBestEffortSource(destinations=[(0, 0)], rate=0.0)
+        assert all(not source(c) for c in range(100))
+
+    def test_rate_one_always_fires(self):
+        source = PoissonBestEffortSource(destinations=[(1, 1)], rate=1.0,
+                                         size_choices=[24])
+        sends = source(0)
+        assert sends[0].traffic_class == "BE"
+        assert len(sends[0].payload) == 20
+
+    def test_deterministic_with_seed(self):
+        a = PoissonBestEffortSource(destinations=[(0, 0), (1, 1)],
+                                    rate=0.5, seed=42)
+        b = PoissonBestEffortSource(destinations=[(0, 0), (1, 1)],
+                                    rate=0.5, seed=42)
+        assert [bool(a(c)) for c in range(50)] == \
+               [bool(b(c)) for c in range(50)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonBestEffortSource(destinations=[], rate=0.5)
+        with pytest.raises(ValueError):
+            PoissonBestEffortSource(destinations=[(0, 0)], rate=2.0)
+
+
+class TestPatterns:
+    def test_transpose(self):
+        mesh = Mesh(4, 4)
+        assert transpose(mesh, (1, 3)) == (3, 1)
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            transpose(Mesh(2, 3), (0, 0))
+
+    def test_bit_complement(self):
+        mesh = Mesh(4, 4)
+        assert bit_complement(mesh, (0, 0)) == (3, 3)
+        assert bit_complement(mesh, (1, 2)) == (2, 1)
+
+    def test_hotspot_default_centre(self):
+        mesh = Mesh(4, 4)
+        assert hotspot(mesh, (0, 0)) == (2, 2)
+
+    def test_hotspot_custom(self):
+        mesh = Mesh(4, 4)
+        assert hotspot(mesh, (0, 0), spot=(3, 3)) == (3, 3)
+        with pytest.raises(ValueError):
+            hotspot(mesh, (0, 0), spot=(9, 9))
+
+    def test_uniform_random_excludes_self(self):
+        mesh = Mesh(2, 2)
+        stream = uniform_random(mesh, (0, 0), seed=1)
+        destinations = {next(stream) for _ in range(50)}
+        assert (0, 0) not in destinations
+        assert destinations <= {(1, 0), (0, 1), (1, 1)}
+
+    def test_all_pairs_count(self):
+        mesh = Mesh(3, 3)
+        pairs = list(all_pairs(mesh))
+        assert len(pairs) == 9 * 8
