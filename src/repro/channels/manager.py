@@ -62,6 +62,9 @@ class RealTimeChannel:
     regulator: SourceRegulator
     table_entries: list[tuple[Node, int]]  # (node, connection id) programmed
     _sequence: int = 0
+    #: Set when the channel failed re-admission after a fault and was
+    #: demoted to best-effort delivery (guarantees no longer hold).
+    degraded: bool = False
 
     @property
     def jitter_bound(self) -> int:
@@ -135,6 +138,9 @@ class ChannelManager:
             node: set() for node in routers
         }
         self.channels: list[RealTimeChannel] = []
+        #: Channels demoted to best-effort after failing re-admission,
+        #: keyed by label (their guaranteed-service state is torn down).
+        self.degraded_channels: dict[str, RealTimeChannel] = {}
 
     # -- identifier allocation ---------------------------------------------
 
@@ -245,8 +251,12 @@ class ChannelManager:
     def _establish_multicast(
         self, source: Node, destinations: tuple[Node, ...],
         spec: TrafficSpec, requirements: FlowRequirements, *, label: str,
+        tree: Optional[tuple[dict[Node, set[int]], list[Node]]] = None,
     ) -> RealTimeChannel:
-        ports_by_node, order = multicast_tree(source, list(destinations))
+        if tree is not None:
+            ports_by_node, order = tree
+        else:
+            ports_by_node, order = multicast_tree(source, list(destinations))
         for node in order:
             if node not in self.routers:
                 raise ValueError(f"tree visits unknown node {node!r}")
@@ -410,6 +420,60 @@ class ChannelManager:
         replacement._sequence = channel._sequence
         self.teardown(channel)
         return replacement
+
+    def reroute_multicast(
+        self, channel: RealTimeChannel,
+        ports_by_node: dict[Node, set[int]], order: list[Node],
+    ) -> RealTimeChannel:
+        """Re-establish a multicast channel on an explicit replacement tree.
+
+        The counterpart of :meth:`reroute` for multicast: the new tree
+        (typically from
+        :func:`~repro.channels.routing.multicast_tree_avoiding`) is
+        admitted and programmed first; only then is the old tree torn
+        down.  Regulator state and sequence numbers carry over so the
+        spacing guarantees and delivery accounting stay continuous.
+        """
+        if channel not in self.channels:
+            raise ValueError("channel is not managed by this manager")
+        if len(channel.destinations) == 1:
+            raise ValueError("use reroute for unicast channels")
+        replacement = self._establish_multicast(
+            channel.source, channel.destinations, channel.spec,
+            channel.requirements, label=channel.label,
+            tree=(ports_by_node, order),
+        )
+        replacement.regulator = channel.regulator
+        replacement._sequence = channel._sequence
+        self.teardown(channel)
+        return replacement
+
+    def degrade(self, channel: RealTimeChannel) -> RealTimeChannel:
+        """Demote a channel to best-effort delivery.
+
+        Called when no replacement route passes admission: the
+        guaranteed-service state (tables, reservations) is released and
+        the handle is flagged ``degraded`` and kept in
+        :attr:`degraded_channels` so the network layer can fall back to
+        best-effort wormhole delivery for subsequent sends.
+        """
+        if channel not in self.channels:
+            raise ValueError("channel is not managed by this manager")
+        self.teardown(channel)
+        channel.degraded = True
+        self.degraded_channels[channel.label] = channel
+        return channel
+
+    def find(self, label: str) -> Optional[RealTimeChannel]:
+        """Current handle for a channel label (live first, then degraded).
+
+        Rerouting replaces channel handles; applications that captured
+        a handle before a fault resolve the live one through its label.
+        """
+        for channel in self.channels:
+            if channel.label == label:
+                return channel
+        return self.degraded_channels.get(label)
 
     # -- teardown ----------------------------------------------------------------
 

@@ -137,6 +137,131 @@ def multicast_tree(
     return ports_by_node, order
 
 
+def _tree_order(
+    src: Node, ports_by_node: dict[Node, set[int]],
+) -> list[Node]:
+    """Breadth-first programming order of a multicast tree (source out)."""
+    from repro.core.ports import DISPLACEMENT
+
+    order: list[Node] = []
+    frontier = [src]
+    seen = {src}
+    while frontier:
+        node = frontier.pop(0)
+        order.append(node)
+        for port in sorted(ports_by_node.get(node, ())):
+            if port == RECEPTION:
+                continue
+            dx, dy = DISPLACEMENT[port]
+            child = (node[0] + dx, node[1] + dy)
+            if child not in seen and child in ports_by_node:
+                seen.add(child)
+                frontier.append(child)
+    if set(order) != set(ports_by_node):
+        raise RuntimeError("multicast tree is not connected")
+    return order
+
+
+def multicast_tree_avoiding(
+    width: int, height: int, src: Node, destinations: list[Node],
+    failed: set[Hop], torus: bool = False,
+) -> tuple[dict[Node, set[int]], list[Node]]:
+    """Multicast routing tree that avoids failed links.
+
+    All destination paths are taken from a *single* breadth-first
+    shortest-path tree rooted at the source, so their union is a proper
+    tree: two destinations sharing an ancestor share the whole prefix,
+    and no node ever receives the same packet twice (which the
+    connection tables could not express anyway).  Raises
+    :class:`RouteError` if any destination is unreachable.
+    """
+    from collections import deque as _deque
+
+    from repro.core.ports import DISPLACEMENT
+
+    if not destinations:
+        raise ValueError("multicast needs at least one destination")
+    for dst in destinations:
+        if (dst, RECEPTION) in failed:
+            raise RouteError(f"reception port at {dst!r} is failed")
+    parents: dict[Node, Optional[Hop]] = {src: None}
+    frontier = _deque([src])
+    while frontier:
+        node = frontier.popleft()
+        for port, (dx, dy) in DISPLACEMENT.items():
+            if (node, port) in failed:
+                continue
+            nxt = (node[0] + dx, node[1] + dy)
+            if torus:
+                nxt = (nxt[0] % width, nxt[1] % height)
+            elif not (0 <= nxt[0] < width and 0 <= nxt[1] < height):
+                continue
+            if nxt in parents:
+                continue
+            parents[nxt] = (node, port)
+            frontier.append(nxt)
+
+    ports_by_node: dict[Node, set[int]] = {src: set()}
+    for dst in destinations:
+        if dst not in parents:
+            raise RouteError(
+                f"no route from {src!r} to {dst!r} avoiding "
+                f"{len(failed)} failed links"
+            )
+        ports_by_node.setdefault(dst, set()).add(RECEPTION)
+        node = dst
+        while parents[node] is not None:
+            up_node, up_port = parents[node]
+            ports_by_node.setdefault(up_node, set()).add(up_port)
+            node = up_node
+    return ports_by_node, _tree_order(src, ports_by_node)
+
+
+def best_effort_relay(
+    width: int, height: int, src: Node, dst: Node, avoid: set[Hop],
+) -> list[Node]:
+    """Waypoint chain steering dimension-ordered wormholes around faults.
+
+    Best-effort routing is hard-wired x-then-y, so the only way host
+    software can route a wormhole packet around a dead link is to relay
+    it through intermediate hosts.  This plans the chain: a breadth-
+    first shortest path avoiding ``avoid`` is decomposed into straight
+    segments (each trivially a safe dimension-ordered leg), then
+    adjacent legs are greedily merged whenever the direct
+    dimension-ordered route between their endpoints also avoids the
+    faulty links.  Returns the waypoints after the source, ending with
+    the destination; ``[dst]`` means a direct send is safe.
+    """
+    path = shortest_route_avoiding(width, height, src, dst, avoid)
+    from repro.core.ports import DISPLACEMENT
+
+    # Node sequence along the path (link hops only).
+    nodes = [src]
+    for node, port in path:
+        if port == RECEPTION:
+            continue
+        dx, dy = DISPLACEMENT[port]
+        nodes.append((node[0] + dx, node[1] + dy))
+
+    def leg_safe(a: Node, b: Node) -> bool:
+        return not any(hop in avoid for hop in dimension_ordered_route(a, b))
+
+    waypoints: list[Node] = []
+    leg_start = src
+    i = 1
+    while i < len(nodes):
+        # Extend the current leg as far as it stays dimension-order safe.
+        reach = i
+        while reach + 1 < len(nodes) and leg_safe(leg_start, nodes[reach + 1]):
+            reach += 1
+        waypoints.append(nodes[reach])
+        leg_start = nodes[reach]
+        i = reach + 1
+    if not waypoints or waypoints[-1] != dst:
+        waypoints.append(dst)
+    return waypoints
+
+
 def tree_parents(
     ports_by_node: dict[Node, set[int]], order: list[Node],
 ) -> dict[Node, Optional[Node]]:

@@ -6,10 +6,13 @@ Subcommands::
     repro-router experiment  {e1,f7,a1,a3,a4}
     repro-router simulate    [--width W] [--height H] [--channels N]
                              [--ticks T] [--seed S] [--csv PATH]
+    repro-router chaos       [--seed S] [--cycles N] [--cuts N] [...]
 
 ``datasheet`` prints the Table-4-style chip summary; ``experiment``
 regenerates one of the paper's results; ``simulate`` runs a random
-admitted workload on a mesh and reports delivery statistics.
+admitted workload on a mesh and reports delivery statistics; ``chaos``
+runs a seeded fault-injection soak and reports the fault counters
+(exit status 1 if an undegraded channel missed a deadline).
 """
 
 from __future__ import annotations
@@ -159,6 +162,38 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if net.log.deadline_misses == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import ChaosConfig, run_chaos_soak
+
+    config = ChaosConfig(
+        seed=args.seed, width=args.width, height=args.height,
+        cycles=args.cycles, cuts=args.cuts, flaps=args.flaps,
+        corruptions=args.corruptions, drops=args.drops,
+        babblers=args.babblers,
+    )
+    try:
+        report = run_chaos_soak(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"chaos soak: seed {report.seed}, {report.cycles} cycles, "
+          f"{report.faults_fired} fault events, "
+          f"{report.channels_established} channels")
+    print("\n".join(format_kv(report.summary_rows())))
+    if report.degraded_labels:
+        print(f"degraded channels: {', '.join(report.degraded_labels)}")
+    for failure in report.invariant_failures:
+        print(f"INVARIANT VIOLATION: {failure}")
+    print(f"signature: {report.signature()}")
+    if args.repeat:
+        again = run_chaos_soak(config)
+        if again.signature() != report.signature():
+            print("NON-DETERMINISTIC: repeat run diverged")
+            return 1
+        print("repeat run identical (deterministic)")
+    return 0 if report.ok else 1
+
+
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
     from repro.traffic import generate_random_trace
 
@@ -218,6 +253,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--csv", default=None)
     simulate.set_defaults(func=_cmd_simulate)
+
+    chaos = commands.add_parser(
+        "chaos", help="run a seeded fault-injection soak")
+    chaos.add_argument("--seed", type=int, default=1234)
+    chaos.add_argument("--width", type=int, default=4)
+    chaos.add_argument("--height", type=int, default=4)
+    chaos.add_argument("--cycles", type=int, default=6000)
+    chaos.add_argument("--cuts", type=int, default=2)
+    chaos.add_argument("--flaps", type=int, default=1)
+    chaos.add_argument("--corruptions", type=int, default=2)
+    chaos.add_argument("--drops", type=int, default=1)
+    chaos.add_argument("--babblers", type=int, default=1)
+    chaos.add_argument("--repeat", action="store_true",
+                       help="run twice and verify identical signatures")
+    chaos.set_defaults(func=_cmd_chaos)
 
     generate = commands.add_parser(
         "generate-trace", help="write a seeded random workload trace")

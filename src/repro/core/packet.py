@@ -51,6 +51,22 @@ def _unsigned_to_signed(byte: int) -> int:
     return byte - 256 if byte >= 128 else byte
 
 
+def payload_checksum(data: bytes) -> int:
+    """One-byte payload checksum (XOR fold, seeded to catch zeroing).
+
+    Headers are rewritten hop by hop (connection ids, deadlines,
+    routing offsets), so the end-to-end integrity check covers the
+    payload bytes only — the part of the packet that must survive the
+    fabric unchanged.  A real chip would use a CRC; an XOR fold is
+    enough to catch the single-flit corruptions the fault injector
+    models, and it is cheap enough to run on every reception.
+    """
+    checksum = 0xA5
+    for byte in data:
+        checksum ^= byte
+    return checksum
+
+
 @dataclass
 class PacketMeta:
     """Simulation-side bookkeeping that never touches the wire."""
@@ -65,6 +81,12 @@ class PacketMeta:
     absolute_deadline: Optional[int] = None
     connection_label: Optional[str] = None
     sequence: Optional[int] = None
+    #: Payload checksum stamped at injection; input ports recompute it
+    #: and drop mismatching (corrupted) packets.
+    checksum: Optional[int] = None
+    #: Remaining best-effort relay waypoints (host-software forwarding
+    #: used to steer wormhole retries around links known to be dead).
+    relay_path: tuple = ()
 
 
 @dataclass
@@ -204,11 +226,15 @@ class Phit:
 
 
 def phits_of(packet, params: RouterParams) -> list[Phit]:
-    """Explode a packet into its wire phits."""
+    """Explode a packet into its wire phits (stamping the checksum)."""
     if isinstance(packet, TimeConstrainedPacket):
         data, vc = packet.to_bytes(params), "TC"
+        if packet.meta.checksum is None:
+            packet.meta.checksum = payload_checksum(data[TC_HEADER_BYTES:])
     elif isinstance(packet, BestEffortPacket):
         data, vc = packet.to_bytes(), "BE"
+        if packet.meta.checksum is None:
+            packet.meta.checksum = payload_checksum(data[BE_HEADER_BYTES:])
     else:
         raise TypeError(f"not a packet: {packet!r}")
     tail = len(data) - 1

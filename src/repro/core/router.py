@@ -34,7 +34,7 @@ from typing import Callable, Optional
 from repro.core.arbiter import RoundRobinArbiter
 from repro.core.clock import RolloverClock
 from repro.core.comparator_tree import ComparatorTree, SchedulerPipeline, Selection
-from repro.core.connection_table import ControlInterface
+from repro.core.connection_table import ControlInterface, UnknownConnectionError
 from repro.core.flit_buffer import CreditCounter, FlitBuffer
 from repro.core.leaf_state import LeafArray
 from repro.core.packet import (
@@ -43,6 +43,7 @@ from repro.core.packet import (
     PacketMeta,
     Phit,
     TimeConstrainedPacket,
+    payload_checksum,
     phits_of,
 )
 from repro.core.packet_memory import BusRequest, ChunkBus, PacketMemory
@@ -276,6 +277,18 @@ class RealTimeRouter:
         self.tc_transmitted = 0
         self.be_worms_routed = 0
 
+        # Fault-tolerance state: checksum verification always runs (it
+        # is free when nothing is corrupted); dropping packets for
+        # unprogrammed connections is opt-in because during automatic
+        # recovery in-flight packets legitimately outlive their table
+        # entries, whereas in a healthy fabric an unknown id is a bug.
+        self.drop_unroutable = False
+        self.tc_corrupt_dropped = 0
+        self.be_corrupt_dropped = 0
+        self.tc_unroutable_dropped = 0
+        self.tc_resync_drops = 0
+        self.be_orphan_drops = 0
+
     # ------------------------------------------------------------------
     # Host interface
     # ------------------------------------------------------------------
@@ -300,6 +313,19 @@ class RealTimeRouter:
         """Drain and return packets delivered to the local host."""
         out, self.delivered = self.delivered, []
         return out
+
+    def output_credit_debt(self, port: int) -> int:
+        """Unacknowledged best-effort bytes outstanding on one link.
+
+        Used by the fault-recovery layer: a dead link eats phits (and
+        their acknowledgements), so draining a stalled worm requires
+        spoofing exactly this many credits back — never more, or the
+        flow-control invariant breaks.
+        """
+        credits = self._outputs[port].credits
+        if credits is None:
+            return 0
+        return credits.capacity - credits.credits
 
     # ------------------------------------------------------------------
     # One chip cycle
@@ -376,13 +402,34 @@ class RealTimeRouter:
         if phit.vc == "TC":
             self._accept_tc_byte(port, phit)
         else:
-            self._be_inputs[port].push(phit)
+            state = self._be_inputs[port]
+            if not state.headers and phit.index != 0:
+                # An orphan flit: its worm's head was lost upstream (a
+                # link flap mid-worm).  Buffering it would desynchronise
+                # the wormhole state machine, so drop it at the door.
+                self.be_orphan_drops += 1
+                if port < MESH_LINKS:
+                    state.pending_acks += 1  # keep credits conserved
+                return
+            state.push(phit)
 
     def _accept_tc_byte(self, port: int, phit: Phit) -> None:
         state = self._tc_inputs[port]
         if state.cut_port is not None:
             self._cut_through_byte(state, phit)
             return
+        expected = len(state.rx_bytes) % self.params.tc_packet_bytes
+        if phit.index != expected:
+            # Bytes went missing upstream (link cut mid-packet):
+            # discard the partial frame and resynchronise on the next
+            # packet boundary so one flap cannot skew framing forever.
+            if expected != 0:
+                self.tc_resync_drops += 1
+                del state.rx_bytes[len(state.rx_bytes)
+                                   - expected:]
+                state.rx_meta = None if not state.rx_bytes else state.rx_meta
+            if phit.index != 0:
+                return
         if not state.rx_bytes and phit.packet is not None:
             state.rx_meta = getattr(phit.packet, "meta", None)
         state.rx_bytes.append(phit.byte)
@@ -482,8 +529,23 @@ class RealTimeRouter:
                          meta: Optional[PacketMeta]) -> None:
         """Look up the connection, rewrite the header, buffer the packet."""
         self.tc_received += 1
+        if (meta is not None and meta.checksum is not None
+                and payload_checksum(raw[TC_HEADER_BYTES:]) != meta.checksum):
+            # Corrupted in transit: drop at the input port, never
+            # buffer or forward (the checksum covers the payload; the
+            # header is regenerated at every hop anyway).
+            self.tc_corrupt_dropped += 1
+            return
         connection_id = raw[0]
-        entry = self.control.table.lookup(connection_id)
+        try:
+            entry = self.control.table.lookup(connection_id)
+        except UnknownConnectionError:
+            if self.drop_unroutable:
+                # In-flight packet for a connection that was torn down
+                # (e.g. rerouted around a failure): count and discard.
+                self.tc_unroutable_dropped += 1
+                return
+            raise
         # The upstream deadline in the header is this hop's logical
         # arrival time (paper section 4.1).
         arrival = raw[1]
@@ -867,13 +929,22 @@ class RealTimeRouter:
                 output.tc_rx_meta = getattr(phit.packet, "meta", None)
             output.tc_rx.append(phit.byte)
             if len(output.tc_rx) == self.params.tc_packet_bytes:
+                raw = bytes(output.tc_rx)
+                meta = output.tc_rx_meta
+                output.tc_rx.clear()
+                output.tc_rx_meta = None
+                if (meta is not None and meta.checksum is not None
+                        and payload_checksum(raw[TC_HEADER_BYTES:])
+                        != meta.checksum):
+                    # End-to-end backstop: catches corruption that the
+                    # input-port check cannot see (cut-through paths).
+                    self.tc_corrupt_dropped += 1
+                    return
                 packet = TimeConstrainedPacket.from_bytes(
-                    bytes(output.tc_rx), self.params, meta=output.tc_rx_meta,
+                    raw, self.params, meta=meta,
                 )
                 packet.meta.delivered_cycle = self.cycle
                 self.delivered.append(packet)
-                output.tc_rx.clear()
-                output.tc_rx_meta = None
         else:
             output.be_rx.append(phit.byte)
             if phit.packet is not None:
@@ -881,13 +952,24 @@ class RealTimeRouter:
                 if meta is not None:
                     output.be_rx_meta = meta
             if phit.last:
-                packet = BestEffortPacket.from_bytes(
-                    bytes(output.be_rx), meta=output.be_rx_meta,
-                )
-                packet.meta.delivered_cycle = self.cycle
-                self.delivered.append(packet)
+                raw = bytes(output.be_rx)
+                meta = output.be_rx_meta
                 output.be_rx.clear()
                 output.be_rx_meta = None
+                try:
+                    packet = BestEffortPacket.from_bytes(raw, meta=meta)
+                except ValueError:
+                    # Truncated worm (bytes lost to a link flap): the
+                    # length field no longer matches; drop and count.
+                    self.be_orphan_drops += 1
+                    return
+                if (meta is not None and meta.checksum is not None
+                        and payload_checksum(raw[BE_HEADER_BYTES:])
+                        != meta.checksum):
+                    self.be_corrupt_dropped += 1
+                    return
+                packet.meta.delivered_cycle = self.cycle
+                self.delivered.append(packet)
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests, stats)

@@ -1,0 +1,160 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is pure data: a sorted list of
+:class:`FaultEvent` entries saying *what* goes wrong on the fabric and
+*when*.  All randomness is resolved up front by :meth:`FaultPlan.random`
+from a seed, so a plan — and therefore an entire chaos run — is fully
+reproducible from ``(seed, parameters)``.  The
+:class:`~repro.faults.injector.FaultInjector` merely executes the
+schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.topology import Mesh
+
+Node = tuple[int, int]
+
+#: Event kinds.
+CUT = "cut"            # permanent link cut (until an explicit repair)
+REPAIR = "repair"      # bring a cut link back (the tail of a flap)
+CORRUPT = "corrupt"    # install a bit-flip corruptor on a link
+DROP = "drop"          # install a whole-packet-drop corruptor on a link
+BABBLE = "babble"      # a babbling host fires an unsolicited packet
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    cycle: int
+    kind: str
+    node: Node
+    direction: int = -1            # link faults; -1 for babble events
+    target: Optional[Node] = None  # babble destination
+    amount: int = 0                # corrupt/drop budget; babble bytes
+
+    def sort_key(self) -> tuple:
+        return (self.cycle, self.kind, self.node, self.direction,
+                self.target or (-1, -1), self.amount)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, reproducible schedule of fault events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=FaultEvent.sort_key)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def cut_links(self) -> set[tuple[Node, int]]:
+        """Links the plan cuts at some point (repaired or not)."""
+        return {(e.node, e.direction) for e in self.events
+                if e.kind == CUT}
+
+    @property
+    def permanent_cuts(self) -> set[tuple[Node, int]]:
+        """Links cut and never repaired by this plan."""
+        repaired = {(e.node, e.direction) for e in self.events
+                    if e.kind == REPAIR}
+        return self.cut_links - repaired
+
+    def signature(self) -> str:
+        """Stable digest of the schedule (determinism checks)."""
+        digest = hashlib.sha256()
+        for event in self.events:
+            digest.update(repr(event.sort_key()).encode())
+        return digest.hexdigest()
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        width: int,
+        height: int,
+        *,
+        cuts: int = 2,
+        flaps: int = 1,
+        corruptions: int = 2,
+        drops: int = 1,
+        babblers: int = 1,
+        window: tuple[int, int] = (400, 4000),
+        flap_duration: tuple[int, int] = (40, 160),
+        babble_count: int = 8,
+        babble_period: int = 48,
+        corrupt_budget: int = 3,
+        drop_budget: int = 2,
+    ) -> "FaultPlan":
+        """Draw a reproducible schedule for a ``width x height`` mesh.
+
+        Distinct links are used for cuts, flaps, corruption and drops
+        so the failure modes stay individually attributable.  The same
+        ``(seed, parameters)`` always produces the identical plan.
+        """
+        rng = random.Random(seed)
+        mesh = Mesh(width, height)
+        links = [(node, direction) for node, direction, __ in mesh.links()]
+        needed = cuts + flaps + corruptions + drops
+        if needed > len(links):
+            raise ValueError(
+                f"plan wants {needed} distinct links but the mesh only "
+                f"has {len(links)}"
+            )
+        chosen = rng.sample(links, needed)
+        start, end = window
+        if end <= start:
+            raise ValueError("fault window must be non-empty")
+        events: list[FaultEvent] = []
+
+        def when() -> int:
+            return rng.randrange(start, end)
+
+        index = 0
+        for __ in range(cuts):
+            node, direction = chosen[index]; index += 1
+            events.append(FaultEvent(cycle=when(), kind=CUT,
+                                     node=node, direction=direction))
+        for __ in range(flaps):
+            node, direction = chosen[index]; index += 1
+            down = when()
+            duration = rng.randrange(*flap_duration)
+            events.append(FaultEvent(cycle=down, kind=CUT,
+                                     node=node, direction=direction))
+            events.append(FaultEvent(cycle=down + duration, kind=REPAIR,
+                                     node=node, direction=direction))
+        for __ in range(corruptions):
+            node, direction = chosen[index]; index += 1
+            events.append(FaultEvent(
+                cycle=when(), kind=CORRUPT, node=node,
+                direction=direction,
+                amount=rng.randrange(1, corrupt_budget + 1),
+            ))
+        for __ in range(drops):
+            node, direction = chosen[index]; index += 1
+            events.append(FaultEvent(
+                cycle=when(), kind=DROP, node=node, direction=direction,
+                amount=rng.randrange(1, drop_budget + 1),
+            ))
+        nodes = list(mesh.nodes())
+        for __ in range(babblers):
+            babbler = rng.choice(nodes)
+            first = when()
+            for shot in range(babble_count):
+                target = rng.choice([n for n in nodes if n != babbler])
+                events.append(FaultEvent(
+                    cycle=first + shot * babble_period, kind=BABBLE,
+                    node=babbler, target=target,
+                    amount=rng.randrange(4, 17),
+                ))
+        return cls(events=events, seed=seed)

@@ -1,0 +1,340 @@
+"""Automatic failure recovery: reroute, retransmit, degrade.
+
+The :class:`RecoveryController` is the software layer that turns
+detection events into repair actions:
+
+* **Reroute** — on a ``link-failed`` / ``link-dead`` event, every
+  channel whose reservation crosses a dead link is re-established on a
+  surviving path (unicast) or shortest-path tree (multicast), with
+  admission control re-run on the detour.  A channel whose detour
+  fails admission — or that has no surviving path — is *degraded*:
+  demoted to best-effort delivery with its ``degraded`` flag set.
+* **Retransmit** — time-constrained messages are remembered in a
+  bounded source-side buffer keyed by ``(label, sequence)``; a message
+  none of whose copies was delivered by its deadline (plus margin) is
+  re-sent with exponential backoff, up to a retry limit.
+* **Drain and retry** — best-effort packets are tracked by packet id;
+  a packet overdue whose planned path crosses a known-dead link is
+  presumed eaten by the fault (its stalled worm is drained by the
+  network's drain mode) and re-sent end-to-end, relayed around the
+  dead links through intermediate hosts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channels.admission import AdmissionError
+from repro.channels.routing import RouteError, dimension_ordered_route
+from repro.core.ports import RECEPTION
+from repro.faults.injector import BABBLE_LABEL
+from repro.network.events import LINK_REPAIRED, LinkEvent
+
+Node = tuple[int, int]
+Link = tuple[Node, int]
+
+
+@dataclass
+class _TrackedMessage:
+    """One time-constrained message awaiting delivery confirmation."""
+
+    label: str
+    payload: bytes
+    #: Sequence-number sets, one per send attempt; the message is
+    #: confirmed when any attempt's fragments are all delivered.
+    attempts_seqs: list[set[int]]
+    next_check_cycle: int
+    retries: int = 0
+
+
+@dataclass
+class _TrackedBestEffort:
+    """One best-effort packet awaiting delivery confirmation."""
+
+    source: Node
+    destination: Node
+    payload: bytes
+    label: Optional[str]
+    sequence: Optional[int]
+    packet_ids: list[int]
+    path_links: set[Link]
+    next_check_cycle: int
+    retries: int = 0
+
+
+def _route_links(route) -> set[Link]:
+    return {(node, port) for node, port in route if port != RECEPTION}
+
+
+class RecoveryController:
+    """Subscribes to link events and keeps traffic flowing around them."""
+
+    def __init__(
+        self,
+        network,
+        *,
+        retransmit_limit: int = 4,
+        retransmit_buffer: int = 128,
+        tc_margin_ticks: int = 8,
+        be_timeout_cycles: Optional[int] = None,
+        be_retry_limit: int = 3,
+    ) -> None:
+        self.network = network
+        self.manager = network.manager
+        self.retransmit_limit = retransmit_limit
+        self.retransmit_buffer = retransmit_buffer
+        self.tc_margin_ticks = tc_margin_ticks
+        self.be_timeout_cycles = (
+            be_timeout_cycles if be_timeout_cycles is not None
+            else 40 * network.params.slot_cycles
+        )
+        self.be_retry_limit = be_retry_limit
+        #: Links software knows are dead (announced or detected).
+        #: Kept in lock-step with ``network.routing_avoid``.
+        self.dead_links: set[Link] = set(network.routing_avoid)
+
+        self._messages: deque[_TrackedMessage] = deque()
+        self._be_packets: deque[_TrackedBestEffort] = deque()
+        self._delivered_tc: set[tuple[str, int]] = set()
+        self._delivered_be_ids: set[int] = set()
+        self._log_index = 0
+        #: Set while the controller itself re-sends, so the send hooks
+        #: append to the existing ledger entry instead of opening a
+        #: fresh one (which would retry the retry).
+        self._resending_tc: Optional[_TrackedMessage] = None
+        self._resending_be = False
+
+        network.events.subscribe(self._on_event)
+        network.tc_send_hooks.append(self._on_tc_send)
+        network.be_send_hooks.append(self._on_be_send)
+
+    # -- event handling -----------------------------------------------------
+
+    def _on_event(self, event: LinkEvent) -> None:
+        if event.kind == LINK_REPAIRED:
+            self.dead_links.discard(event.link)
+            self.network.routing_avoid.discard(event.link)
+            return
+        if event.link in self.dead_links:
+            return
+        self.dead_links.add(event.link)
+        self.network.routing_avoid.add(event.link)
+        if event.link in self.network.failed_links:
+            # Known dead: let stalled wormhole traffic drain out of the
+            # fabric instead of blocking its whole path forever.
+            self.network.set_link_draining(*event.link)
+        self._recover_channels()
+
+    def _recover_channels(self) -> None:
+        for channel in list(self.manager.channels):
+            if not self._uses_dead_link(channel):
+                continue
+            try:
+                self.network.recover_channel(channel,
+                                             failed=self.dead_links)
+                self.network.fault_stats.channels_rerouted += 1
+            except (RouteError, AdmissionError):
+                self.manager.degrade(channel)
+                self.network.fault_stats.channels_degraded += 1
+
+    def _uses_dead_link(self, channel) -> bool:
+        return any((hop.node, hop.out_port) in self.dead_links
+                   for hop in channel.reservation.hops)
+
+    # -- send tracking ------------------------------------------------------
+
+    def _on_tc_send(self, channel, packets, payload: bytes) -> None:
+        seqs = {p.meta.sequence for p in packets}
+        slot = self.network.params.slot_cycles
+        if self._resending_tc is not None:
+            entry = self._resending_tc
+            entry.attempts_seqs.append(seqs)
+            resend_deadlines = [p.meta.absolute_deadline for p in packets
+                                if p.meta.absolute_deadline is not None]
+            if resend_deadlines:
+                entry.next_check_cycle = max(
+                    entry.next_check_cycle,
+                    (max(resend_deadlines) + self.tc_margin_ticks) * slot,
+                )
+            return
+        # Judge lateness against the message's *absolute* deadline: the
+        # regulator releases at the logical arrival tick, which can run
+        # ahead of real time when the channel is backlogged — a timeout
+        # measured from "now" would retransmit messages that are merely
+        # still held at the source.
+        deadlines = [p.meta.absolute_deadline for p in packets
+                     if p.meta.absolute_deadline is not None]
+        if deadlines:
+            check = (max(deadlines) + self.tc_margin_ticks) * slot
+        else:
+            check = self.network.cycle \
+                + (channel.deadline + self.tc_margin_ticks) * slot
+        self._messages.append(_TrackedMessage(
+            label=channel.label, payload=payload, attempts_seqs=[seqs],
+            next_check_cycle=max(check, self.network.cycle + slot),
+        ))
+        while len(self._messages) > self.retransmit_buffer:
+            self._messages.popleft()  # bounded source-side buffer
+
+    def _on_be_send(self, packet) -> None:
+        meta = packet.meta
+        if (meta.connection_label == BABBLE_LABEL or self._resending_be
+                or self._resending_tc is not None):
+            return
+        width, height = self.network.mesh.width, self.network.mesh.height
+        first_hop = ((meta.source[0] + packet.x_offset) % width,
+                     (meta.source[1] + packet.y_offset) % height)
+        waypoints = [first_hop, *meta.relay_path]
+        path_links: set[Link] = set()
+        leg_start = meta.source
+        for waypoint in waypoints:
+            path_links |= _route_links(
+                dimension_ordered_route(leg_start, waypoint))
+            leg_start = waypoint
+        self._be_packets.append(_TrackedBestEffort(
+            source=meta.source, destination=meta.destination,
+            payload=packet.payload, label=meta.connection_label,
+            sequence=meta.sequence, packet_ids=[meta.packet_id],
+            path_links=path_links,
+            next_check_cycle=self.network.cycle + self.be_timeout_cycles,
+        ))
+        while len(self._be_packets) > self.retransmit_buffer:
+            self._be_packets.popleft()
+
+    # -- per-cycle work -----------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._ingest_log()
+        if self._messages:
+            self._check_tc(cycle)
+        if self._be_packets:
+            self._check_be(cycle)
+
+    def _ingest_log(self) -> None:
+        records = self.network.log.records
+        while self._log_index < len(records):
+            record = records[self._log_index]
+            self._log_index += 1
+            if record.packet_id is not None:
+                self._delivered_be_ids.add(record.packet_id)
+            if (record.connection_label is not None
+                    and record.sequence is not None):
+                self._delivered_tc.add(
+                    (record.connection_label, record.sequence))
+
+    def _check_tc(self, cycle: int) -> None:
+        stats = self.network.fault_stats
+        for entry in list(self._messages):
+            confirmed = any(
+                all((entry.label, seq) in self._delivered_tc
+                    for seq in seqs)
+                for seqs in entry.attempts_seqs
+            )
+            if confirmed:
+                if entry.retries:
+                    stats.retransmit_recovered += 1
+                self._messages.remove(entry)
+                continue
+            if cycle < entry.next_check_cycle:
+                continue
+            if entry.retries >= self.retransmit_limit:
+                stats.retransmit_abandoned += 1
+                self._messages.remove(entry)
+                continue
+            channel = self.manager.find(entry.label)
+            if channel is None:
+                self._messages.remove(entry)  # torn down; nothing to do
+                continue
+            entry.retries += 1
+            stats.tc_retransmitted += 1
+            if channel.degraded:
+                # The degraded fallback stamps one sequence per message.
+                entry.attempts_seqs.append({channel._sequence})
+            # Exponential backoff: double the wait per retry.  The send
+            # hook raises this further if the re-sent copy's absolute
+            # deadline lands later (backlogged regulator).
+            timeout = (channel.deadline + self.tc_margin_ticks
+                       if not channel.degraded
+                       else self.tc_margin_ticks * 4) \
+                * self.network.params.slot_cycles
+            entry.next_check_cycle = cycle + timeout * (2 ** entry.retries)
+            self._resending_tc = entry
+            try:
+                self.network.send_message(channel, entry.payload)
+            except ValueError:
+                # Payload no longer fits the (re-admitted) channel spec;
+                # give up rather than loop.
+                stats.retransmit_abandoned += 1
+                self._messages.remove(entry)
+                continue
+            finally:
+                self._resending_tc = None
+
+    def _check_be(self, cycle: int) -> None:
+        stats = self.network.fault_stats
+        for entry in list(self._be_packets):
+            if any(pid in self._delivered_be_ids
+                   for pid in entry.packet_ids):
+                self._be_packets.remove(entry)
+                continue
+            if cycle < entry.next_check_cycle:
+                continue
+            if not (entry.path_links & self.dead_links):
+                # Overdue but its path is intact: congestion, not loss.
+                # Check again later without burning a retry.
+                entry.next_check_cycle = cycle + self.be_timeout_cycles
+                continue
+            if entry.retries >= self.be_retry_limit:
+                self._be_packets.remove(entry)
+                continue
+            entry.retries += 1
+            stats.be_packets_lost += 1
+            stats.be_retried += 1
+            self._resending_be = True
+            try:
+                packet = self.network.send_best_effort(
+                    entry.source, entry.destination, entry.payload,
+                    avoid=self.dead_links,
+                    connection_label=entry.label,
+                    sequence=entry.sequence,
+                )
+            except RouteError:
+                self._be_packets.remove(entry)
+                continue
+            finally:
+                self._resending_be = False
+            entry.packet_ids.append(packet.meta.packet_id)
+            waypoints = [
+                ((entry.source[0] + packet.x_offset)
+                 % self.network.mesh.width,
+                 (entry.source[1] + packet.y_offset)
+                 % self.network.mesh.height),
+                *packet.meta.relay_path,
+            ]
+            path_links: set[Link] = set()
+            leg_start = entry.source
+            for waypoint in waypoints:
+                path_links |= _route_links(
+                    dimension_ordered_route(leg_start, waypoint))
+                leg_start = waypoint
+            entry.path_links = path_links
+            entry.next_check_cycle = (
+                cycle + self.be_timeout_cycles * (2 ** entry.retries))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def pending_retransmits(self) -> int:
+        return len(self._messages)
+
+    @property
+    def pending_be_retries(self) -> int:
+        return len(self._be_packets)
+
+    def detach(self) -> None:
+        self.network.events.unsubscribe(self._on_event)
+        self.network.tc_send_hooks.remove(self._on_tc_send)
+        self.network.be_send_hooks.remove(self._on_be_send)
+        self.network.engine.remove_component(self)

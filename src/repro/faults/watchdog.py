@@ -1,0 +1,71 @@
+"""Link-death detection from missed line-level acknowledgements.
+
+The chip's links are synchronous: every phit offered to a healthy link
+is clocked across and (for best-effort traffic) acknowledged.  The
+:class:`~repro.network.network.LinkMonitor` in the wiring layer counts
+consecutive phits that were *offered but never made it* — the hardware
+symptom of a dead line.  The watchdog declares a link dead once that
+count crosses a threshold (default: one full time-constrained packet's
+worth of transfers) and publishes a ``link-dead`` event for the
+recovery controller.
+
+A link with no traffic offered is indistinguishable from a healthy
+idle link — exactly like real hardware, silent cuts are only detected
+when something tries to cross them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.events import (
+    LINK_DEAD,
+    LINK_FAILED,
+    LINK_REPAIRED,
+    LinkEvent,
+)
+
+Link = tuple[tuple[int, int], int]
+
+
+class LinkWatchdog:
+    """Engine component that turns missed-transfer counts into events."""
+
+    def __init__(self, network, miss_threshold: Optional[int] = None) -> None:
+        self.network = network
+        #: Missed transfers before a link is declared dead.  One lost
+        #: time-constrained packet (20 consecutive missed phits) is the
+        #: default — short enough to catch failures within a packet
+        #: time, long enough that a single glitch does not kill a link.
+        self.miss_threshold = (miss_threshold if miss_threshold is not None
+                               else network.params.tc_packet_bytes)
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be positive")
+        #: Links currently considered dead -> cycle of the declaration
+        #: (or of the administrative announcement).
+        self.dead: dict[Link, int] = {}
+        network.events.subscribe(self._on_event)
+
+    def _on_event(self, event: LinkEvent) -> None:
+        if event.kind == LINK_REPAIRED:
+            self.dead.pop(event.link, None)
+        elif event.kind == LINK_FAILED:
+            # Administrative failures are already known network-wide;
+            # remember them so we do not re-announce the same link.
+            self.dead.setdefault(event.link, event.cycle)
+
+    def step(self, cycle: int) -> None:
+        for link, monitor in self.network.link_monitors.items():
+            if link in self.dead:
+                continue
+            if monitor.missed_transfers >= self.miss_threshold:
+                self.dead[link] = cycle
+                self.network.fault_stats.links_detected += 1
+                self.network.events.emit(LinkEvent(
+                    kind=LINK_DEAD, node=link[0], direction=link[1],
+                    cycle=cycle,
+                ))
+
+    def detach(self) -> None:
+        self.network.events.unsubscribe(self._on_event)
+        self.network.engine.remove_component(self)

@@ -27,6 +27,19 @@ class SynchronousEngine:
     def add_component(self, component: Steppable) -> None:
         self._components.append(component)
 
+    def remove_component(self, component: Steppable) -> None:
+        """Detach a component (fault injectors, watchdogs, controllers).
+
+        The component simply stops being stepped; raises ValueError if
+        it was never registered, so detach bugs surface immediately.
+        """
+        try:
+            self._components.remove(component)
+        except ValueError:
+            raise ValueError(
+                f"component {component!r} is not registered with this engine"
+            ) from None
+
     def add_wiring(self, transfer: Callable[[], None]) -> None:
         """Register a post-step signal copy (runs every cycle)."""
         self._wiring.append(transfer)

@@ -11,19 +11,52 @@ attach traffic sources, run, and inspect statistics.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.channels.admission import AdmissionController
 from repro.channels.manager import ChannelManager, RealTimeChannel
 from repro.channels.spec import TrafficSpec
-from repro.core.packet import BestEffortPacket, PacketMeta
+from repro.core.packet import BestEffortPacket, PacketMeta, Phit
 from repro.core.params import MESH_LINKS, RouterParams
 from repro.core.ports import OPPOSITE
 from repro.core.router import LinkSignal, RealTimeRouter
 from repro.network.engine import SynchronousEngine
+from repro.network.events import (
+    LINK_FAILED,
+    LINK_REPAIRED,
+    EventBus,
+    LinkEvent,
+)
 from repro.network.node import HostNode
-from repro.network.stats import DeliveryLog, ServiceTrace
+from repro.network.stats import DeliveryLog, FaultCounters, ServiceTrace
 from repro.network.topology import Mesh, Node
+
+#: A link corruptor: maps each phit crossing the link to a (possibly
+#: modified) phit, or ``None`` to suppress it entirely.
+Corruptor = Callable[[Phit], Optional[Phit]]
+
+
+@dataclass
+class LinkMonitor:
+    """Per-directed-link health bookkeeping, updated by the wiring layer.
+
+    Models what line-level hardware can observe: whether offered phits
+    made it across (a dead link returns no acknowledgement, so
+    ``missed_transfers`` grows while the sender keeps offering), and
+    how many bytes were lost, drained, or corrupted.  The watchdog
+    reads ``missed_transfers``; the counters feed
+    :class:`~repro.network.stats.FaultCounters`.
+    """
+
+    missed_transfers: int = 0      # consecutive offered-but-lost phits
+    bytes_lost: int = 0            # phits that died on the failed link
+    bytes_drained: int = 0         # stalled wormhole bytes drained away
+    bytes_corrupted: int = 0       # phits modified by injected corruption
+    packets_dropped: int = 0       # whole packets suppressed by injection
+    #: Best-effort bytes lost since the last failure whose credits have
+    #: not yet been compensated (consumed by drain-mode entry).
+    be_lost_uncompensated: int = 0
 
 
 class MeshNetwork:
@@ -55,6 +88,30 @@ class MeshNetwork:
         self.hosts: dict[Node, HostNode] = {}
         self._traces: list[ServiceTrace] = []
         self._failed_links: set[tuple[Node, int]] = set()
+        #: Failed links currently in drain mode: best-effort phits that
+        #: die on them are acknowledged back to the sender so stalled
+        #: worms drain out instead of deadlocking (recovery layer).
+        self._draining_links: set[tuple[Node, int]] = set()
+        self._link_corruptors: dict[tuple[Node, int], Corruptor] = {}
+        #: Spoofed acknowledgements owed to link senders, applied at
+        #: most one per link per cycle by :meth:`_apply_drain_acks`.
+        self._drain_acks: dict[tuple[Node, int], int] = {}
+        self.link_monitors: dict[tuple[Node, int], LinkMonitor] = {}
+        #: Link lifecycle events (administrative + watchdog detections).
+        self.events = EventBus()
+        #: Recovery-layer counters (router/monitor counters are merged
+        #: in by :meth:`fault_counters`).
+        self.fault_stats = FaultCounters()
+        #: Links that software *knows* are down (announced failures and
+        #: watchdog detections) — what degraded/relayed best-effort
+        #: routing avoids.  Distinct from ``_failed_links``, which is
+        #: physical truth the software may not have discovered yet.
+        self.routing_avoid: set[tuple[Node, int]] = set()
+        #: Observers of time-constrained / best-effort sends (the
+        #: recovery controller's retransmit ledger taps these).  TC
+        #: hooks receive ``(channel, packets, payload)``.
+        self.tc_send_hooks: list[Callable] = []
+        self.be_send_hooks: list[Callable[[BestEffortPacket], None]] = []
 
         for node in self.mesh.nodes():
             router = RealTimeRouter(
@@ -72,9 +129,13 @@ class MeshNetwork:
         # Wire every link: a router's output signal this cycle becomes
         # its neighbour's input signal next cycle.
         for node, direction, neighbor in self.mesh.links():
+            self.link_monitors[(node, direction)] = LinkMonitor()
             self.engine.add_wiring(
                 self._make_link_transfer(node, direction, neighbor)
             )
+        # After every link transfer, so spoofed acknowledgements land
+        # on top of (never underneath) the genuine reverse-link signal.
+        self.engine.add_wiring(self._apply_drain_acks)
 
         self.admission = admission or AdmissionController(self.params)
         self.manager = ChannelManager(self.routers, self.admission,
@@ -86,53 +147,218 @@ class MeshNetwork:
         sink = self.routers[neighbor]
         into = OPPOSITE[direction]
         failed = self._failed_links
+        draining = self._draining_links
+        corruptors = self._link_corruptors
+        drain_acks = self._drain_acks
         link = (node, direction)
+        #: The link whose sender this link's ack bits serve: acks
+        #: crossing ``(node, direction)`` acknowledge bytes the
+        #: neighbour sent on its opposite-facing output.
+        served = (neighbor, into)
+        monitor = self.link_monitors[link]
 
         def transfer() -> None:
-            if link in failed:
-                return  # a failed link carries nothing
             signal = source.link_out[direction]
-            sink.link_in[into] = LinkSignal(phit=signal.phit,
-                                            ack=signal.ack)
+            if link in failed:
+                # Nothing crosses a dead link; account for what died.
+                if signal.phit is not None:
+                    monitor.missed_transfers += 1
+                    monitor.bytes_lost += 1
+                    if signal.phit.vc == "BE":
+                        if link in draining:
+                            monitor.bytes_drained += 1
+                            drain_acks[link] = drain_acks.get(link, 0) + 1
+                        else:
+                            monitor.be_lost_uncompensated += 1
+                if signal.ack:
+                    # The ack acknowledged a byte the neighbour really
+                    # delivered here; it can never be resent, so spoof
+                    # it back or the neighbour's credits leak forever.
+                    drain_acks[served] = drain_acks.get(served, 0) + 1
+                return
+            phit = signal.phit
+            if phit is not None:
+                # The line acknowledged a transfer (healthy link), so
+                # the watchdog's miss counter resets — even if injected
+                # corruption mangles the payload below.
+                monitor.missed_transfers = 0
+                corruptor = corruptors.get(link)
+                if corruptor is not None:
+                    mangled = corruptor(phit)
+                    if mangled is None:
+                        monitor.packets_dropped += phit.last
+                        if phit.vc == "BE":
+                            # The sender spent a credit on this byte and
+                            # the sink will never buffer (or ack) it.
+                            drain_acks[link] = drain_acks.get(link, 0) + 1
+                        phit = None
+                    elif mangled is not phit:
+                        monitor.bytes_corrupted += 1
+                        phit = mangled
+            sink.link_in[into] = LinkSignal(phit=phit, ack=signal.ack)
         return transfer
+
+    def _apply_drain_acks(self) -> None:
+        """Deliver owed spoofed acknowledgements, one per link per cycle.
+
+        Runs after all link transfers.  A spoofed ack is only applied
+        when the sender actually has credit debt and no genuine ack
+        arrived this cycle — both guards keep the flow-control
+        invariant (acks never exceed bytes sent) intact.
+        """
+        for link, pending in self._drain_acks.items():
+            if pending <= 0:
+                continue
+            node, direction = link
+            router = self.routers[node]
+            signal = router.link_in[direction]
+            if signal.ack:
+                continue  # a genuine ack already occupies this cycle
+            if router.output_credit_debt(direction) <= 0:
+                continue
+            router.link_in[direction] = LinkSignal(phit=signal.phit,
+                                                   ack=True)
+            self._drain_acks[link] = pending - 1
 
     # ------------------------------------------------------------------
     # Link failures and recovery
     # ------------------------------------------------------------------
 
-    def fail_link(self, node: Node, direction: int) -> None:
+    def fail_link(self, node: Node, direction: int, *,
+                  announce: bool = True) -> None:
         """Cut one unidirectional link (nothing crosses it any more).
 
         In-flight bytes on the link are lost; a wormhole packet that
         was crossing it stalls, and time-constrained packets already
         scheduled onto the dead output port stay buffered — exactly the
         failure modes that motivate rerouting over disjoint paths.
+
+        With ``announce=True`` (administrative failure) a
+        ``link-failed`` event is published for the recovery layer.
+        Fault injectors pass ``announce=False`` — a silently cut link
+        that only the watchdog can discover.
         """
+        link = (node, direction)
         if self.mesh.neighbor(node, direction) is None:
             raise ValueError("no link in that direction")
-        self._failed_links.add((node, direction))
+        if link not in self._failed_links:
+            self._failed_links.add(link)
+            monitor = self.link_monitors[link]
+            monitor.missed_transfers = 0
+            monitor.be_lost_uncompensated = 0
+        # Announcing an already-failed (silently cut) link is allowed:
+        # it upgrades the failure from physical to known.
+        if announce and link not in self.routing_avoid:
+            self.routing_avoid.add(link)
+            self.events.emit(LinkEvent(kind=LINK_FAILED, node=node,
+                                       direction=direction,
+                                       cycle=self.cycle))
 
     def repair_link(self, node: Node, direction: int) -> None:
-        self._failed_links.discard((node, direction))
+        """Bring a cut link back; publishes a ``link-repaired`` event.
+
+        Credits the sender spent on bytes that died un-drained are
+        compensated, otherwise the repaired link would come back
+        wedged at zero best-effort credits.
+        """
+        link = (node, direction)
+        if link not in self._failed_links:
+            return
+        self._failed_links.discard(link)
+        self._draining_links.discard(link)
+        self.routing_avoid.discard(link)
+        monitor = self.link_monitors[link]
+        monitor.missed_transfers = 0
+        if monitor.be_lost_uncompensated:
+            self._drain_acks[link] = (self._drain_acks.get(link, 0)
+                                      + monitor.be_lost_uncompensated)
+            monitor.be_lost_uncompensated = 0
+        self.events.emit(LinkEvent(kind=LINK_REPAIRED, node=node,
+                                   direction=direction, cycle=self.cycle))
+
+    def set_link_draining(self, node: Node, direction: int) -> None:
+        """Enable drain mode on a failed link (recovery layer).
+
+        Once a link is *known* dead, stalled wormhole traffic heading
+        into it is drained: each dying best-effort byte is acknowledged
+        back so the worm flows out of the fabric instead of blocking
+        its whole path.  Credits already burnt on the dead link are
+        compensated up front.
+        """
+        link = (node, direction)
+        if link not in self._failed_links:
+            raise ValueError("only failed links can drain")
+        if link in self._draining_links:
+            return
+        self._draining_links.add(link)
+        monitor = self.link_monitors[link]
+        if monitor.be_lost_uncompensated:
+            self._drain_acks[link] = (self._drain_acks.get(link, 0)
+                                      + monitor.be_lost_uncompensated)
+            monitor.bytes_drained += monitor.be_lost_uncompensated
+            monitor.be_lost_uncompensated = 0
+
+    def set_link_corruptor(self, node: Node, direction: int,
+                           corruptor: Corruptor) -> None:
+        """Install a fault-injection corruptor on one directed link."""
+        if self.mesh.neighbor(node, direction) is None:
+            raise ValueError("no link in that direction")
+        self._link_corruptors[(node, direction)] = corruptor
+
+    def clear_link_corruptor(self, node: Node, direction: int) -> None:
+        self._link_corruptors.pop((node, direction), None)
 
     @property
     def failed_links(self) -> set[tuple[Node, int]]:
         return set(self._failed_links)
 
-    def recover_channel(self, channel) -> object:
-        """Reroute a unicast channel around all currently failed links.
+    def recover_channel(self, channel, *,
+                        failed: Optional[set[tuple[Node, int]]] = None,
+                        ) -> RealTimeChannel:
+        """Reroute a channel (unicast or multicast) around failed links.
 
-        Chooses the shortest surviving path (any path — table-driven
-        routing is not restricted to dimension order) and re-establishes
-        the channel on it; returns the replacement handle.
+        Chooses the shortest surviving path — or, for multicast, a
+        shortest-path tree — avoiding ``failed`` (default: all links
+        currently known failed), re-runs admission on the detour, and
+        re-establishes the channel; returns the replacement handle.
+        Raises :class:`~repro.channels.routing.RouteError` with the
+        channel's identity when no surviving path exists, and
+        :class:`~repro.channels.admission.AdmissionError` when the
+        detour fails admission (the old channel is left intact).
         """
-        from repro.channels.routing import shortest_route_avoiding
-
-        route = shortest_route_avoiding(
-            self.mesh.width, self.mesh.height,
-            channel.source, channel.destinations[0],
-            failed=self._failed_links, torus=self.mesh.torus,
+        from repro.channels.routing import (
+            RouteError,
+            multicast_tree_avoiding,
+            shortest_route_avoiding,
         )
+
+        avoid = set(self._failed_links if failed is None else failed)
+        if len(channel.destinations) > 1:
+            try:
+                ports_by_node, order = multicast_tree_avoiding(
+                    self.mesh.width, self.mesh.height,
+                    channel.source, list(channel.destinations),
+                    failed=avoid, torus=self.mesh.torus,
+                )
+            except RouteError as exc:
+                raise RouteError(
+                    f"cannot recover multicast channel {channel.label!r}: "
+                    f"{exc}"
+                ) from exc
+            return self.manager.reroute_multicast(channel, ports_by_node,
+                                                  order)
+        try:
+            route = shortest_route_avoiding(
+                self.mesh.width, self.mesh.height,
+                channel.source, channel.destinations[0],
+                failed=avoid, torus=self.mesh.torus,
+            )
+        except RouteError as exc:
+            raise RouteError(
+                f"cannot recover channel {channel.label!r}: no surviving "
+                f"path from {channel.source!r} to "
+                f"{channel.destinations[0]!r}"
+            ) from exc
         return self.manager.reroute(channel, route)
 
     # ------------------------------------------------------------------
@@ -199,13 +425,52 @@ class MeshNetwork:
 
         The message is stamped at the current tick, fragmented into
         packets, and held by the source host until the regulator's
-        release tick.
+        release tick.  The handle is resolved by label first: automatic
+        recovery replaces handles behind the application's back, and a
+        channel demoted to best-effort transparently falls back to
+        (unguaranteed) wormhole delivery.
         """
+        current = self.manager.find(channel.label) or channel
         cycle = self.cycle if at_cycle is None else at_cycle
         now_tick = cycle // self.params.slot_cycles
-        packets, arrival, release = channel.make_message(payload, now_tick)
-        self.hosts[channel.source].queue_tc(packets, release)
+        if current.degraded:
+            return self._send_degraded(current, payload, cycle, now_tick)
+        packets, arrival, release = current.make_message(payload, now_tick)
+        self.hosts[current.source].queue_tc(packets, release)
+        for hook in self.tc_send_hooks:
+            hook(current, packets, payload)
         return arrival
+
+    def _send_degraded(self, channel: RealTimeChannel, payload: bytes,
+                       cycle: int, now_tick: int) -> int:
+        """Best-effort fallback delivery for a degraded channel.
+
+        The message keeps its label and a monotone sequence number so
+        delivery accounting still works; it is routed (relaying through
+        intermediate hosts when needed) around every link software
+        knows is dead.  No deadline is attached — the guarantee is
+        gone, which is exactly what ``degraded`` means.
+        """
+        from repro.channels.routing import RouteError
+
+        sequence = channel._sequence
+        channel._sequence += 1
+        delivered_any = False
+        for destination in channel.destinations:
+            try:
+                self.send_best_effort(
+                    channel.source, destination, payload,
+                    at_cycle=cycle,
+                    avoid=self.routing_avoid,
+                    connection_label=channel.label,
+                    sequence=sequence,
+                )
+                delivered_any = True
+            except RouteError:
+                self.fault_stats.degraded_undeliverable += 1
+        if delivered_any:
+            self.fault_stats.degraded_messages += 1
+        return now_tick
 
     # ------------------------------------------------------------------
     # Best-effort traffic
@@ -213,19 +478,66 @@ class MeshNetwork:
 
     def send_best_effort(self, source: Node, destination: Node,
                          payload: bytes = b"",
-                         at_cycle: Optional[int] = None) -> BestEffortPacket:
-        """Inject one wormhole packet from ``source`` to ``destination``."""
+                         at_cycle: Optional[int] = None,
+                         *,
+                         avoid: Optional[set[tuple[Node, int]]] = None,
+                         relay: Optional[list[Node]] = None,
+                         connection_label: Optional[str] = None,
+                         sequence: Optional[int] = None) -> BestEffortPacket:
+        """Inject one wormhole packet from ``source`` to ``destination``.
+
+        ``avoid`` plans a host-relay chain around the given links
+        (best-effort routing itself is hard-wired dimension order);
+        ``relay`` supplies an explicit waypoint chain instead.  Both
+        raise :class:`~repro.channels.routing.RouteError` when no
+        relay chain survives.
+        """
         if not self.mesh.contains(source) or not self.mesh.contains(destination):
             raise ValueError("source or destination outside the mesh")
-        x_offset, y_offset = self.mesh.offsets(source, destination)
+        if avoid is not None and relay is None and avoid:
+            from repro.channels.routing import best_effort_relay
+
+            waypoints = best_effort_relay(
+                self.mesh.width, self.mesh.height, source, destination,
+                avoid,
+            )
+            relay = waypoints if len(waypoints) > 1 else None
+        first_hop = destination if not relay else relay[0]
+        x_offset, y_offset = self.mesh.offsets(source, first_hop)
         packet = BestEffortPacket(
             x_offset=x_offset, y_offset=y_offset, payload=payload,
-            meta=PacketMeta(source=source, destination=destination),
+            meta=PacketMeta(
+                source=source, destination=destination,
+                connection_label=connection_label, sequence=sequence,
+                relay_path=tuple(relay[1:]) if relay else (),
+            ),
         )
         cycle = self.cycle if at_cycle is None else at_cycle
         packet.meta.injected_cycle = cycle
         self.routers[source].inject_be(packet)
+        for hook in self.be_send_hooks:
+            hook(packet)
         return packet
+
+    # ------------------------------------------------------------------
+    # Fault accounting
+    # ------------------------------------------------------------------
+
+    def fault_counters(self) -> FaultCounters:
+        """Aggregate fault/recovery counters across the whole fabric."""
+        counters = FaultCounters(**self.fault_stats.as_dict())
+        for router in self.routers.values():
+            counters.tc_corrupted += router.tc_corrupt_dropped
+            counters.be_corrupted += router.be_corrupt_dropped
+            counters.tc_unroutable += router.tc_unroutable_dropped
+            counters.tc_resync_drops += router.tc_resync_drops
+            counters.be_orphan_drops += router.be_orphan_drops
+        for monitor in self.link_monitors.values():
+            counters.link_bytes_lost += monitor.bytes_lost
+            counters.link_bytes_drained += monitor.bytes_drained
+            counters.link_bytes_corrupted += monitor.bytes_corrupted
+            counters.link_packets_dropped += monitor.packets_dropped
+        return counters
 
     # ------------------------------------------------------------------
     # Sources and instrumentation

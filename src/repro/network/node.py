@@ -80,7 +80,33 @@ class HostNode:
             packet.meta.source = self.node
             self.router.inject_tc(packet)
         for packet in self.router.take_delivered():
-            self.log.add(packet)
+            if (isinstance(packet, BestEffortPacket)
+                    and packet.meta.relay_path):
+                self._relay(packet)
+                continue
+            self.log.add(packet, delivered_node=self.node)
+
+    def _relay(self, packet: BestEffortPacket) -> None:
+        """Forward a relayed best-effort packet toward its next waypoint.
+
+        Host-software store-and-forward: wormhole routing is hard-wired
+        dimension order, so steering around a dead link means hopping
+        through intermediate hosts.  The metadata (packet id, injection
+        cycle, checksum, label) travels with the payload, so the final
+        delivery is logged as one end-to-end transfer.
+        """
+        next_target = packet.meta.relay_path[0]
+        packet.meta.relay_path = packet.meta.relay_path[1:]
+        if self.network is not None:
+            x_offset, y_offset = self.network.mesh.offsets(
+                self.node, next_target)
+        else:
+            x_offset = next_target[0] - self.node[0]
+            y_offset = next_target[1] - self.node[1]
+        self.router.inject_be(BestEffortPacket(
+            x_offset=x_offset, y_offset=y_offset,
+            payload=packet.payload, meta=packet.meta,
+        ))
 
     def _dispatch(self, send: Send, cycle: int) -> None:
         if self.network is None:

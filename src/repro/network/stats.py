@@ -35,6 +35,13 @@ class DeliveryRecord:
     sequence: Optional[int]
     absolute_deadline: Optional[int]    # ticks, TC only
     deadline_met: Optional[bool]        # None for best-effort
+    #: Simulation-unique packet id; lets the fault-recovery layer match
+    #: deliveries against its retransmit ledger.
+    packet_id: Optional[int] = None
+    #: Node whose host actually received the packet.  For multicast
+    #: this differs per copy, while ``destination`` (from the packet
+    #: header) names only one subscriber.
+    delivered_node: Optional[tuple[int, int]] = None
 
     @property
     def latency_cycles(self) -> Optional[int]:
@@ -50,7 +57,9 @@ class DeliveryLog:
         self.slot_cycles = slot_cycles
         self.records: list[DeliveryRecord] = []
 
-    def add(self, packet: object) -> DeliveryRecord:
+    def add(self, packet: object,
+            delivered_node: Optional[tuple[int, int]] = None,
+            ) -> DeliveryRecord:
         meta: Optional[PacketMeta] = getattr(packet, "meta", None)
         if meta is None:
             raise TypeError(f"not a packet: {packet!r}")
@@ -77,6 +86,8 @@ class DeliveryLog:
             sequence=meta.sequence,
             absolute_deadline=meta.absolute_deadline,
             deadline_met=deadline_met,
+            packet_id=meta.packet_id,
+            delivered_node=delivered_node,
         )
         self.records.append(record)
         return record
@@ -138,6 +149,50 @@ class DeliveryLog:
         latencies = [r.latency_cycles for r in self.of_class(traffic_class)
                      if r.latency_cycles is not None]
         return LatencySummary.from_values(latencies)
+
+
+@dataclass
+class FaultCounters:
+    """Per-class fault and recovery accounting for one network.
+
+    Aggregated by :meth:`MeshNetwork.fault_counters` from the routers
+    (corruption/framing drops), the link monitors (bytes lost on dead
+    links) and the fault-tolerance layer (detections, reroutes,
+    retransmissions, degradations).  Deterministic for a given seed and
+    plan, so two same-seed chaos runs must produce identical counters.
+    """
+
+    # Detection (router input/reception checks).
+    tc_corrupted: int = 0          # TC packets dropped on checksum mismatch
+    be_corrupted: int = 0          # BE packets dropped on checksum mismatch
+    tc_unroutable: int = 0         # TC packets with no table entry (dropped)
+    tc_resync_drops: int = 0       # partial TC frames discarded (resync)
+    be_orphan_drops: int = 0       # headless/truncated worms discarded
+    # Link-level losses (monitors in the wiring layer).
+    link_bytes_lost: int = 0       # bytes that died on failed links
+    link_bytes_drained: int = 0    # stalled wormhole bytes drained away
+    link_bytes_corrupted: int = 0  # bytes flipped by injected corruption
+    link_packets_dropped: int = 0  # whole packets suppressed by injection
+    # Recovery actions.
+    links_detected: int = 0        # watchdog link-death declarations
+    channels_rerouted: int = 0     # successful automatic reroutes
+    channels_degraded: int = 0     # channels demoted to best-effort
+    tc_retransmitted: int = 0      # TC packets re-sent from the source
+    retransmit_recovered: int = 0  # retransmissions eventually delivered
+    retransmit_abandoned: int = 0  # gave up after max backoff attempts
+    be_retried: int = 0            # best-effort packets re-sent end-to-end
+    be_packets_lost: int = 0       # BE packets judged lost on a dead link
+    degraded_messages: int = 0     # messages sent best-effort post-demotion
+    degraded_undeliverable: int = 0  # degraded sends with no surviving path
+
+    def __add__(self, other: "FaultCounters") -> "FaultCounters":
+        merged = FaultCounters()
+        for name in vars(merged):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
 
 
 @dataclass(frozen=True)

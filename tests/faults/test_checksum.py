@@ -1,0 +1,84 @@
+"""End-to-end checksums: corrupted packets are dropped and counted."""
+
+from repro import TrafficSpec, build_mesh_network
+from repro.core.packet import payload_checksum
+from repro.core.ports import EAST
+from repro.faults import BitFlipCorruptor
+
+
+class TestPayloadChecksum:
+    def test_deterministic(self):
+        assert payload_checksum(b"hello") == payload_checksum(b"hello")
+
+    def test_single_bit_sensitivity(self):
+        clean = payload_checksum(b"hello")
+        for i in range(len(b"hello")):
+            mangled = bytearray(b"hello")
+            mangled[i] ^= 0x01
+            assert payload_checksum(bytes(mangled)) != clean
+
+    def test_empty_payload_has_checksum(self):
+        assert isinstance(payload_checksum(b""), int)
+
+
+class TestCorruptedTimeConstrained:
+    def test_corrupted_packet_dropped_and_counted(self):
+        net = build_mesh_network(2, 1)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=60, adaptive=False)
+        corruptor = BitFlipCorruptor(packets=1)
+        net.set_link_corruptor((0, 0), EAST, corruptor)
+        net.send_message(channel, payload=b"poisoned")
+        net.run_ticks(40)
+        net.send_message(channel, payload=b"clean")
+        # drain() can return while the regulator still holds the second
+        # message at the host; run a fixed horizon instead.
+        net.run_ticks(120)
+
+        assert corruptor.corrupted == 1
+        # The corrupted packet was dropped, never delivered; the clean
+        # one (sent after the flip budget was spent) got through.
+        assert net.log.tc_delivered == 1
+        assert net.fault_counters().tc_corrupted == 1
+
+    def test_corruption_also_counts_bytes_on_the_wire(self):
+        net = build_mesh_network(2, 1)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=60, adaptive=False)
+        net.set_link_corruptor((0, 0), EAST, BitFlipCorruptor(packets=1))
+        net.send_message(channel)
+        net.run_ticks(80)
+        assert net.fault_counters().link_bytes_corrupted == 1
+
+
+class TestCorruptedBestEffort:
+    def test_corrupted_packet_dropped_at_reception(self):
+        net = build_mesh_network(2, 1)
+        net.set_link_corruptor((0, 0), EAST, BitFlipCorruptor(packets=1))
+        net.send_best_effort((0, 0), (1, 0), payload=b"wormfood")
+        net.drain(max_cycles=100_000)
+
+        assert net.log.be_delivered == 0
+        assert net.fault_counters().be_corrupted == 1
+
+    def test_clean_traffic_flows_after_budget_spent(self):
+        net = build_mesh_network(2, 1)
+        net.set_link_corruptor((0, 0), EAST, BitFlipCorruptor(packets=1))
+        net.send_best_effort((0, 0), (1, 0), payload=b"first")
+        net.drain(max_cycles=100_000)
+        net.send_best_effort((0, 0), (1, 0), payload=b"second")
+        net.drain(max_cycles=100_000)
+        assert net.log.be_delivered == 1
+        assert net.fault_counters().be_corrupted == 1
+
+    def test_clear_corruptor_restores_integrity(self):
+        net = build_mesh_network(2, 1)
+        net.set_link_corruptor((0, 0), EAST,
+                               BitFlipCorruptor(packets=100))
+        net.clear_link_corruptor((0, 0), EAST)
+        net.send_best_effort((0, 0), (1, 0), payload=b"intact")
+        net.drain(max_cycles=100_000)
+        assert net.log.be_delivered == 1
+        assert net.fault_counters().be_corrupted == 0

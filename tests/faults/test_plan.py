@@ -1,0 +1,72 @@
+"""FaultPlan: deterministic, reproducible fault schedules."""
+
+import pytest
+
+from repro.faults.plan import BABBLE, CUT, REPAIR, FaultEvent, FaultPlan
+
+
+class TestDeterminism:
+    def test_same_seed_identical_schedule(self):
+        a = FaultPlan.random(42, 4, 4)
+        b = FaultPlan.random(42, 4, 4)
+        assert a.events == b.events
+        assert a.signature() == b.signature()
+
+    def test_different_seed_differs(self):
+        a = FaultPlan.random(42, 4, 4)
+        b = FaultPlan.random(43, 4, 4)
+        assert a.signature() != b.signature()
+
+    def test_signature_covers_schedule_not_object_identity(self):
+        events = [FaultEvent(cycle=100, kind=CUT, node=(0, 0), direction=0)]
+        assert (FaultPlan(events=list(events)).signature()
+                == FaultPlan(events=list(events)).signature())
+
+
+class TestSchedule:
+    def test_events_sorted_by_cycle(self):
+        plan = FaultPlan.random(7, 4, 4, babblers=2)
+        cycles = [e.cycle for e in plan.events]
+        assert cycles == sorted(cycles)
+
+    def test_flaps_pair_cut_with_repair(self):
+        plan = FaultPlan.random(7, 4, 4, cuts=0, flaps=2, corruptions=0,
+                                drops=0, babblers=0)
+        cuts = [e for e in plan.events if e.kind == CUT]
+        repairs = [e for e in plan.events if e.kind == REPAIR]
+        assert len(cuts) == len(repairs) == 2
+        assert {(e.node, e.direction) for e in cuts} \
+            == {(e.node, e.direction) for e in repairs}
+        assert plan.permanent_cuts == set()
+
+    def test_permanent_cuts_exclude_flaps(self):
+        plan = FaultPlan.random(7, 4, 4, cuts=2, flaps=1, corruptions=0,
+                                drops=0, babblers=0)
+        assert len(plan.cut_links) == 3
+        assert len(plan.permanent_cuts) == 2
+
+    def test_distinct_links_per_failure_mode(self):
+        plan = FaultPlan.random(3, 4, 4, cuts=3, flaps=2, corruptions=3,
+                                drops=2, babblers=0)
+        links = [(e.node, e.direction) for e in plan.events
+                 if e.kind != BABBLE and e.kind != REPAIR]
+        assert len(links) == len(set(links))
+
+    def test_babble_events_expanded(self):
+        plan = FaultPlan.random(5, 4, 4, cuts=0, flaps=0, corruptions=0,
+                                drops=0, babblers=1, babble_count=6)
+        babbles = [e for e in plan.events if e.kind == BABBLE]
+        assert len(babbles) == 6
+        assert all(e.target is not None and e.target != e.node
+                   for e in babbles)
+        assert all(e.amount > 0 for e in babbles)
+
+
+class TestValidation:
+    def test_too_many_links_rejected(self):
+        with pytest.raises(ValueError, match="distinct links"):
+            FaultPlan.random(1, 2, 1, cuts=50)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            FaultPlan.random(1, 4, 4, window=(100, 100))

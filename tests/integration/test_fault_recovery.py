@@ -16,6 +16,7 @@ from repro.channels.routing import (
     shortest_route_avoiding,
 )
 from repro.core.ports import EAST, NORTH, RECEPTION, WEST
+from repro.faults import install_fault_tolerance
 
 
 class TestRoutingAroundFailures:
@@ -125,3 +126,125 @@ class TestChannelRecovery:
         net.fail_link((0, 0), EAST)
         net.recover_channel(channel)
         assert net.admission.link_utilisation((0, 0), EAST) == 0.0
+
+    def test_unicast_failure_message_names_endpoints(self):
+        net = build_mesh_network(2, 1)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=30, adaptive=False,
+                                        label="trapped")
+        net.fail_link((0, 0), EAST)
+        with pytest.raises(RouteError, match="no surviving path"):
+            net.recover_channel(channel)
+        with pytest.raises(RouteError, match="trapped"):
+            net.recover_channel(channel)
+
+
+class TestMulticastRecovery:
+    def _multicast(self, net):
+        return net.establish_channel((0, 0), [(2, 0), (0, 2)],
+                                     TrafficSpec(i_min=10), deadline=90,
+                                     label="fanout")
+
+    def test_recover_multicast_reroutes_every_destination(self):
+        net = build_mesh_network(3, 3)
+        channel = self._multicast(net)
+        tree_links = {(hop.node, hop.out_port)
+                      for hop in channel.reservation.hops
+                      if hop.out_port != RECEPTION}
+        victim_link = sorted(tree_links)[0]
+        net.fail_link(*victim_link)
+
+        replacement = net.recover_channel(channel)
+
+        assert replacement.label == "fanout"
+        assert set(replacement.destinations) == {(2, 0), (0, 2)}
+        new_links = {(hop.node, hop.out_port)
+                     for hop in replacement.reservation.hops}
+        assert victim_link not in new_links
+        for _ in range(3):
+            net.send_message(replacement)
+            net.run_ticks(10)
+        net.run_ticks(120)
+        # Every message reaches both destinations, deadlines intact.
+        delivered_at = [r.delivered_node for r in net.log.records
+                        if r.connection_label == "fanout"]
+        assert delivered_at.count((2, 0)) == 3
+        assert delivered_at.count((0, 2)) == 3
+        assert net.log.deadline_misses == 0
+
+    def test_multicast_failure_message_names_channel(self):
+        net = build_mesh_network(3, 1)
+        channel = net.establish_channel((0, 0), [(1, 0), (2, 0)],
+                                        TrafficSpec(i_min=10),
+                                        deadline=60, label="cutoff")
+        net.fail_link((0, 0), EAST)
+        with pytest.raises(RouteError,
+                           match="cannot recover multicast channel "
+                                 "'cutoff'"):
+            net.recover_channel(channel)
+        assert channel in net.manager.channels
+
+
+class TestEndToEndFaultTolerance:
+    def test_silent_cut_detected_rerouted_deadlines_met(self):
+        # The full loop: kill a link with zero announcement, let the
+        # watchdog notice from missed transfers, the controller reroute
+        # the channel, and retransmission replace what died in flight.
+        net = build_mesh_network(3, 3)
+        channel = net.establish_channel((0, 0), (2, 0),
+                                        TrafficSpec(i_min=8),
+                                        deadline=48, adaptive=False,
+                                        label="survivor")
+        install_fault_tolerance(net)
+
+        slot = net.params.slot_cycles
+        cut_at = None
+        sent = 0
+        while net.cycle < 8000:
+            if net.cycle % (8 * slot) == 0:
+                net.send_message(channel)
+                sent += 1
+            if net.cycle >= 600 and cut_at is None:
+                net.fail_link((1, 0), EAST, announce=False)
+                cut_at = net.cycle
+            net.run(slot)
+        net.run(4000)  # settle: let retransmissions land
+
+        assert net.fault_stats.links_detected == 1
+        assert net.fault_stats.channels_rerouted == 1
+        replacement = net.manager.find("survivor")
+        assert ((1, 0), EAST) not in {
+            (hop.node, hop.out_port)
+            for hop in replacement.reservation.hops}
+        assert not replacement.degraded
+        # Everything sent was eventually delivered (losses came back
+        # via retransmission) and no delivery missed its deadline.
+        assert net.log.tc_delivered == sent
+        assert net.log.deadline_misses == 0
+
+    def test_degradation_keeps_messages_flowing(self):
+        net = build_mesh_network(2, 2)
+        # Occupy the only detour so the reroute cannot be admitted.
+        net.establish_channel((0, 1), (1, 1), TrafficSpec(i_min=3),
+                              deadline=100, adaptive=False, label="hog")
+        victim = net.establish_channel((0, 0), (1, 0),
+                                       TrafficSpec(i_min=3),
+                                       deadline=100, adaptive=False,
+                                       label="victim")
+        install_fault_tolerance(net)
+
+        net.fail_link((0, 0), EAST)
+
+        assert "victim" in net.manager.degraded_channels
+        assert net.manager.find("victim").degraded
+        for _ in range(3):
+            net.send_message(victim, payload=b"best effort now")
+            net.run_ticks(20)
+        net.run_ticks(120)
+        degraded_deliveries = [
+            r for r in net.log.records
+            if r.connection_label == "victim"
+            and r.traffic_class == "BE"]
+        assert len(degraded_deliveries) == 3
+        assert net.fault_stats.degraded_messages == 3

@@ -47,6 +47,22 @@ class TestEngine:
         with pytest.raises(ValueError):
             SynchronousEngine().run(-1)
 
+    def test_remove_component(self):
+        engine = SynchronousEngine()
+        a, b = Ticker(), Ticker()
+        engine.add_component(a)
+        engine.add_component(b)
+        engine.run(2)
+        engine.remove_component(a)
+        engine.run(2)
+        assert a.cycles == [0, 1]
+        assert b.cycles == [0, 1, 2, 3]
+
+    def test_remove_unknown_component_rejected(self):
+        engine = SynchronousEngine()
+        with pytest.raises(ValueError, match="not registered"):
+            engine.remove_component(Ticker())
+
 
 class TestLoopbackHarness:
     def test_rejects_header_only_packet(self):

@@ -10,6 +10,7 @@ MODULES = [
     "repro.core",
     "repro.channels",
     "repro.network",
+    "repro.faults",
     "repro.model",
     "repro.traffic",
     "repro.baselines",
