@@ -2,14 +2,22 @@
 
 Not a paper result — housekeeping numbers for users planning
 experiments: how fast the cycle-accurate chip and the slot-level model
-advance, idle and loaded, and the speedup of the slot model.
+advance, idle and loaded, the speedup of the slot model, and the
+speedup of the engine's idle-cycle fast-forward path on an idle-heavy
+mesh workload.
 """
+
+import dataclasses
+import time
 
 from conftest import fmt_table
 
+from repro.channels.spec import TrafficSpec
 from repro.core import RealTimeRouter, RouterParams, TimeConstrainedPacket, port_mask
 from repro.core.ports import RECEPTION
 from repro.model import SlotSimulator
+from repro.network.network import MeshNetwork
+from repro.traffic.generators import PeriodicSource
 
 
 def loaded_router():
@@ -64,4 +72,67 @@ def test_slot_simulator_throughput(benchmark, report):
         "(see the pytest-benchmark table for measured steps/second; the",
         " slot model advances 20x more simulated time per step and does",
         " less work per step — typical end-to-end speedups are 20-100x)",
+    ])
+
+
+def _idle_heavy_mesh(fast_forward, cycles):
+    """8x8 mesh, four low-rate time-constrained channels corner to
+    corner: the fabric is idle for most of every period."""
+    net = MeshNetwork(8, 8)
+    net.engine.fast_forward = fast_forward
+    slot = net.params.slot_cycles
+    endpoints = [((0, 0), (7, 7)), ((7, 0), (0, 7)),
+                 ((0, 7), (7, 0)), ((7, 7), (0, 0))]
+    for index, (source, destination) in enumerate(endpoints):
+        channel = net.establish_channel(
+            source, destination, TrafficSpec(i_min=256), deadline=45,
+            label=f"bench{index}",
+        )
+        net.attach_source(source, PeriodicSource(channel, period=256,
+                                                 slot_cycles=slot))
+    start = time.perf_counter()
+    net.run(cycles)
+    return net, time.perf_counter() - start
+
+
+def _delivery_digest(net):
+    """Delivery records minus ``packet_id`` (a process-global counter,
+    so two runs in one process draw different ids)."""
+    return [tuple(getattr(record, field.name)
+                  for field in dataclasses.fields(record)
+                  if field.name != "packet_id")
+            for record in net.log.records]
+
+
+def test_fast_forward_idle_heavy_speedup(report):
+    """Acceptance gate: >= 3x on the idle-heavy workload, with a
+    byte-identical simulation (same delivery records, same cycles)."""
+    cycles = 20_000
+    legacy, legacy_seconds = _idle_heavy_mesh(False, cycles)
+    fast, fast_seconds = _idle_heavy_mesh(True, cycles)
+    speedup = legacy_seconds / fast_seconds
+
+    assert _delivery_digest(legacy) == _delivery_digest(fast)
+    assert len(fast.log.records) > 0
+    assert legacy.engine.cycle == fast.engine.cycle == cycles
+    assert legacy.log.deadline_misses == fast.log.deadline_misses == 0
+    assert fast.engine.cycles_fast_forwarded > cycles // 2
+    assert speedup >= 3.0, (
+        f"fast-forward speedup {speedup:.2f}x below the 3x floor "
+        f"(legacy {legacy_seconds:.2f}s, fast {fast_seconds:.2f}s)"
+    )
+
+    report("fast_forward_speedup", fmt_table(
+        ["engine", "seconds", "cycles stepped", "cycles skipped"], [
+            ["per-cycle loop", f"{legacy_seconds:.2f}",
+             legacy.engine.cycles_stepped,
+             legacy.engine.cycles_fast_forwarded],
+            ["fast-forward", f"{fast_seconds:.2f}",
+             fast.engine.cycles_stepped,
+             fast.engine.cycles_fast_forwarded],
+        ]) + [
+        "",
+        f"workload: 8x8 mesh, 4 corner-to-corner TC channels, "
+        f"period 256 ticks, {cycles} cycles",
+        f"speedup: {speedup:.2f}x  (delivery records byte-identical)",
     ])

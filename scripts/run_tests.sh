@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Test pipeline: tier-1 suite, chaos job, benchmark smoke.
+#
+#   scripts/run_tests.sh           # all three jobs
+#   scripts/run_tests.sh tier1     # fast correctness suite only
+#   scripts/run_tests.sh chaos     # seeded fault-injection soaks only
+#   scripts/run_tests.sh bench     # benchmark smoke (writes results/)
+#
+# The benchmark smoke step runs the fast-forward speedup gate — it
+# fails the pipeline if the idle-cycle fast path drops below 3x on the
+# idle-heavy workload — and refreshes benchmarks/results/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+job="${1:-all}"
+
+run_tier1() {
+    echo "== tier-1: full correctness suite (chaos soaks excluded) =="
+    python -m pytest -x -q -m "not chaos"
+}
+
+run_chaos() {
+    echo "== chaos: seeded fault-injection soaks =="
+    python -m pytest -q -m chaos
+}
+
+run_bench() {
+    echo "== benchmark smoke: engine fast-forward speedup gate =="
+    python -m pytest -q -p no:cacheprovider \
+        "benchmarks/bench_sim_performance.py::test_fast_forward_idle_heavy_speedup"
+}
+
+case "$job" in
+    tier1) run_tier1 ;;
+    chaos) run_chaos ;;
+    bench) run_bench ;;
+    all)   run_tier1; run_chaos; run_bench ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|all)" >&2; exit 2 ;;
+esac

@@ -46,7 +46,13 @@ from repro.core.ports import (
     port_mask,
 )
 from repro.core.router import BufferOverflowError, LinkSignal, RealTimeRouter
-from repro.core.sorting_key import SortingKey, compute_key, within_horizon
+from repro.core.sorting_key import (
+    SortingKey,
+    compute_key,
+    packed_key,
+    unpack_key,
+    within_horizon,
+)
 
 __all__ = [
     "BestEffortPacket",
@@ -92,7 +98,9 @@ __all__ = [
     "compute_key",
     "dimension_ordered_port",
     "estimate_cost",
+    "packed_key",
     "phits_of",
     "port_mask",
+    "unpack_key",
     "within_horizon",
 ]

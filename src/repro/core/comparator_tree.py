@@ -23,7 +23,12 @@ from typing import Optional
 from repro.core.clock import RolloverClock
 from repro.core.leaf_state import LeafArray
 from repro.core.params import RouterParams
-from repro.core.sorting_key import SortingKey, compute_key, within_horizon
+from repro.core.sorting_key import (
+    SortingKey,
+    packed_key,
+    unpack_key,
+    within_horizon,
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,20 @@ class ComparatorTree:
         self.leaves = leaves
         #: Number of scheduling tournaments evaluated (instrumentation).
         self.evaluations = 0
+        #: Packed-key computations and cache reuses (instrumentation).
+        self.keys_computed = 0
+        self.keys_reused = 0
+        # A leaf's key is a pure function of (clock tick, arrival,
+        # deadline), and the clock only ticks once per packet slot time
+        # while tournaments run far more often (one per port per
+        # pipeline completion).  Caching the packed key per leaf,
+        # validated against all three inputs, means idle leaves are not
+        # re-keyed — a cache hit returns exactly what recomputation
+        # would, so behaviour is unchanged even across clock rollover
+        # (same inputs, same output).
+        self._key_cache: list[tuple[int, int, int, int]] = (
+            [(-1, -1, -1, 0)] * len(leaves)
+        )
 
     # -- structural properties (used by the hardware cost model) --------
 
@@ -86,17 +105,30 @@ class ComparatorTree:
         """
         self.evaluations += 1
         best_index = -1
-        best_key: Optional[SortingKey] = None
+        best_packed = -1
+        now = clock.now
+        cache = self._key_cache
         for index in self.leaves.occupied_indices():
             leaf = self.leaves[index]
             if not leaf.eligible_for(port):
                 continue
-            key = compute_key(clock, leaf.arrival, leaf.deadline)
-            if best_key is None or key < best_key:
-                best_key = key
+            entry = cache[index]
+            if (entry[0] == now and entry[1] == leaf.arrival
+                    and entry[2] == leaf.deadline):
+                packed = entry[3]
+                self.keys_reused += 1
+            else:
+                packed = packed_key(clock, leaf.arrival, leaf.deadline)
+                cache[index] = (now, leaf.arrival, leaf.deadline, packed)
+                self.keys_computed += 1
+            # Strict < over ascending indices: ties break toward the
+            # lower leaf index, matching a left-biased comparator tree.
+            if best_index < 0 or packed < best_packed:
+                best_packed = packed
                 best_index = index
-        if best_key is None:
+        if best_index < 0:
             return None
+        best_key = unpack_key(best_packed, self.params.clock_bits)
         return Selection(
             leaf_index=best_index,
             key=best_key,

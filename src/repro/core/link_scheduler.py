@@ -75,7 +75,20 @@ class ReferenceLinkScheduler:
     # -- state -------------------------------------------------------------
 
     def promote(self, now: int) -> None:
-        """Move packets whose logical arrival time has passed to Queue 1."""
+        """Move packets whose logical arrival time has passed to Queue 1.
+
+        A promoted packet keeps its *original* insertion sequence
+        number rather than drawing a fresh one.  This is load-bearing
+        for the documented tie-break: a packet that waited in Queue 3
+        must still beat a later-inserted packet with the same deadline,
+        exactly as in the hardware tree where a leaf keeps its position
+        for the packet's whole residence and equal keys resolve toward
+        the lower (earlier-filled) leaf.  Re-numbering on promotion
+        would silently demote early packets behind on-time arrivals
+        that were inserted after them
+        (``tests/core/test_promotion_tiebreak.py`` pins this down,
+        including across clock rollover).
+        """
         while self._early and self._early[0][0] <= now:
             __, seq, packet = heapq.heappop(self._early)
             heapq.heappush(self._on_time, (packet.deadline, seq, packet))

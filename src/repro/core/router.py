@@ -372,6 +372,25 @@ class RealTimeRouter:
         for _ in range(cycles):
             self.step()
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Engine fast-forward contract (see ``docs/performance.md``).
+
+        Returns ``cycle`` while anything is in flight — an input signal
+        pending on a link, a scheduler tournament running, or any
+        buffered/staged packet (the :attr:`idle` predicate) — and
+        ``None`` once the chip is fully quiescent.  A quiescent router
+        has no self-scheduled future work: it only wakes when a
+        neighbour's link signal or a host injection arrives, and both
+        make *that* component report activity first.
+        """
+        if any(s.phit is not None or s.ack for s in self.link_in):
+            return cycle
+        if any(s.phit is not None or s.ack for s in self.link_out):
+            return cycle
+        if self._pipeline_busy() or not self.idle:
+            return cycle
+        return None
+
     def _pipeline_busy(self) -> bool:
         return (self.pipeline.busy
                 or any(o.held is not None for o in self._outputs))

@@ -120,6 +120,17 @@ class FaultInjector:
             self._fire(events[self._index])
             self._index += 1
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Engine fast-forward contract: the next scheduled fault.
+
+        Fault events fire on their exact planned cycles even across
+        fast-forwarded spans — the engine never skips past the cycle
+        reported here.
+        """
+        if self._index >= len(self.plan.events):
+            return None
+        return max(cycle, self.plan.events[self._index].cycle)
+
     def _fire(self, event: FaultEvent) -> None:
         network = self.network
         link = (event.node, event.direction)

@@ -212,6 +212,27 @@ class RecoveryController:
         if self._be_packets:
             self._check_be(cycle)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Engine fast-forward contract (see ``docs/performance.md``).
+
+        The controller's scheduled work is its retransmission timers.
+        With no tracked traffic there is nothing to do; with unread
+        delivery records it must run now (a confirmation could retire a
+        pending entry this cycle, exactly as in the per-cycle loop);
+        otherwise it sleeps until the earliest timeout check.  New
+        deliveries only appear on cycles where a router is active, so
+        this verdict is stable across a quiescent span.
+        """
+        if not self._messages and not self._be_packets:
+            return None
+        if len(self.network.log.records) > self._log_index:
+            return cycle
+        bound = min(
+            entry.next_check_cycle
+            for entry in (*self._messages, *self._be_packets)
+        )
+        return max(cycle, bound)
+
     def _ingest_log(self) -> None:
         records = self.network.log.records
         while self._log_index < len(records):

@@ -66,6 +66,23 @@ class LinkWatchdog:
                     cycle=cycle,
                 ))
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Engine fast-forward contract (see ``docs/performance.md``).
+
+        Miss counters only grow when a sender offers phits to a dead
+        link — which requires an active router — so while the fabric is
+        quiescent the verdict below is stable: the watchdog needs a
+        step *now* if some live link has already crossed the threshold
+        (detection must fire on this cycle, exactly as in the per-cycle
+        loop), and otherwise has nothing scheduled.
+        """
+        for link, monitor in self.network.link_monitors.items():
+            if link in self.dead:
+                continue
+            if monitor.missed_transfers >= self.miss_threshold:
+                return cycle
+        return None
+
     def detach(self) -> None:
         self.network.events.unsubscribe(self._on_event)
         self.network.engine.remove_component(self)

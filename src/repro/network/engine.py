@@ -1,15 +1,28 @@
-"""Synchronous cycle engine.
+"""Synchronous cycle engine with a quiescence-aware fast path.
 
 Everything in the fabric advances in lock step, one 20 ns cycle at a
 time: components (routers, hosts) run their ``step``, then wiring
 functions copy each router's output signals to its neighbour's inputs
 for the next cycle — giving every link a one-cycle latency, like the
 registered chip-to-chip links of the original hardware.
+
+Large fabrics are mostly idle, so stepping every component and wiring
+lambda on every cycle wastes almost all of the interpreter time on
+provably-empty work.  The engine therefore supports *fast-forward*:
+when every component reports (via ``next_event_cycle``) that it has no
+work before some future cycle, and every wiring function reports (via
+its ``idle_check``) that running it would be a no-op, the clock jumps
+directly to the earliest future event instead of looping.  The skipped
+cycles are exactly the cycles on which the per-cycle loop would have
+changed nothing, so the two execution modes produce byte-identical
+simulations (``tests/integration/test_fast_forward_equivalence.py``
+asserts this; ``docs/performance.md`` documents the contract).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+import math
+from typing import Callable, Optional, Protocol
 
 
 class Steppable(Protocol):
@@ -17,21 +30,61 @@ class Steppable(Protocol):
 
 
 class SynchronousEngine:
-    """Steps components and applies wiring once per cycle."""
+    """Steps components and applies wiring once per cycle.
 
-    def __init__(self) -> None:
+    With ``fast_forward`` enabled (the default) the engine skips spans
+    of provably idle cycles in one jump.  Fast-forward only engages
+    when *every* registered component implements ``next_event_cycle``
+    and *every* wiring function was registered with an ``idle_check``;
+    a single legacy component pins the engine to the per-cycle loop, so
+    existing harnesses keep their exact semantics.
+    """
+
+    def __init__(self, *, fast_forward: bool = True) -> None:
         self._components: list[Steppable] = []
         self._wiring: list[Callable[[], None]] = []
+        self._wiring_idle_checks: list[Optional[Callable[[], bool]]] = []
         self.cycle = 0
+        #: Master switch for the idle-span fast path.  Clearing it (or
+        #: constructing with ``fast_forward=False``) forces the legacy
+        #: per-cycle loop — the reference behaviour benchmarks and the
+        #: equivalence test compare against.
+        self.fast_forward = fast_forward
+        #: Cycles that ran the full step-components-then-wire loop.
+        self.cycles_stepped = 0
+        #: Cycles skipped by fast-forward (no component stepped).
+        self.cycles_fast_forwarded = 0
+        self._ff_capable = True
+        # Failed-jump backoff: scanning every component each cycle to
+        # discover "someone is busy" costs more than the step itself,
+        # so after a failed attempt the engine waits exponentially
+        # longer (capped) before scanning again.  At worst the start of
+        # an idle span is detected ``_FF_BACKOFF_CAP`` cycles late —
+        # negligible against the spans worth skipping.
+        self._ff_retry_cycle = 0
+        self._ff_backoff = 1
+
+    _FF_BACKOFF_CAP = 64
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
 
     def add_component(self, component: Steppable) -> None:
         self._components.append(component)
+        self._refresh_ff_capability()
 
     def remove_component(self, component: Steppable) -> None:
         """Detach a component (fault injectors, watchdogs, controllers).
 
         The component simply stops being stepped; raises ValueError if
         it was never registered, so detach bugs surface immediately.
+
+        Safe to call from inside a component's own ``step``: the engine
+        steps a snapshot of the component list each cycle, so a removal
+        mid-cycle never skips or double-steps a neighbour — it takes
+        effect at the next cycle boundary (and the removed component
+        still finishes the current cycle if it had not stepped yet).
         """
         try:
             self._components.remove(component)
@@ -39,31 +92,145 @@ class SynchronousEngine:
             raise ValueError(
                 f"component {component!r} is not registered with this engine"
             ) from None
+        self._refresh_ff_capability()
 
-    def add_wiring(self, transfer: Callable[[], None]) -> None:
-        """Register a post-step signal copy (runs every cycle)."""
+    def add_wiring(
+        self,
+        transfer: Callable[[], None],
+        *,
+        idle_check: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Register a post-step signal copy (runs every stepped cycle).
+
+        ``idle_check`` is the fast-forward contract for wiring: it must
+        return True exactly when calling ``transfer`` right now would
+        leave all simulation state unchanged (no signal to copy, no
+        pending side effect).  Wiring registered without one is treated
+        as always-active and disables fast-forward for the engine.
+        """
         self._wiring.append(transfer)
+        self._wiring_idle_checks.append(idle_check)
+        self._refresh_ff_capability()
+
+    def _refresh_ff_capability(self) -> None:
+        self._ff_capable = (
+            all(hasattr(c, "next_event_cycle") for c in self._components)
+            and all(check is not None for check in self._wiring_idle_checks)
+        )
+        # A registration change can create a newly-idle configuration;
+        # forget any backoff so the next cycle re-evaluates fresh.
+        self._ff_retry_cycle = 0
+        self._ff_backoff = 1
+
+    # ------------------------------------------------------------------
+    # The per-cycle loop and the fast path
+    # ------------------------------------------------------------------
+
+    def _step_once(self) -> None:
+        # Snapshot so add/remove_component from inside a step cannot
+        # skip or double-step a neighbour (mutation during iteration).
+        for component in tuple(self._components):
+            component.step(self.cycle)
+        for transfer in self._wiring:
+            transfer()
+        self.cycle += 1
+        self.cycles_stepped += 1
+
+    def _next_event_bound(self) -> Optional[float]:
+        """Earliest future cycle at which anything can happen.
+
+        Returns ``None`` when some component or wiring has work *now*
+        (the engine must run the normal per-cycle loop), a cycle number
+        when every component is quiescent until then, or ``math.inf``
+        when the whole fabric is quiescent with no scheduled events at
+        all — pure time passage.
+        """
+        bound: Optional[float] = None
+        for component in self._components:
+            nxt = component.next_event_cycle(self.cycle)
+            if nxt is None:
+                continue
+            if nxt <= self.cycle:
+                return None
+            if bound is None or nxt < bound:
+                bound = nxt
+        for check in self._wiring_idle_checks:
+            if not check():
+                return None
+        return bound if bound is not None else math.inf
+
+    def _try_fast_forward(self, limit: int) -> bool:
+        """Jump to the next event (capped at ``limit``) if provably idle."""
+        if not (self.fast_forward and self._ff_capable):
+            return False
+        if self.cycle < self._ff_retry_cycle:
+            return False
+        bound = self._next_event_bound()
+        if bound is None or bound <= self.cycle:
+            self._ff_retry_cycle = self.cycle + self._ff_backoff
+            self._ff_backoff = min(self._ff_backoff * 2,
+                                   self._FF_BACKOFF_CAP)
+            return False
+        jump = int(min(bound, limit))
+        if jump <= self.cycle:
+            return False
+        self._ff_backoff = 1
+        self._ff_retry_cycle = 0
+        self.cycles_fast_forwarded += jump - self.cycle
+        self.cycle = jump
+        return True
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
 
     def run(self, cycles: int) -> int:
         """Advance the fabric ``cycles`` cycles; returns the new time."""
         if cycles < 0:
             raise ValueError("cannot run a negative number of cycles")
-        for _ in range(cycles):
-            for component in self._components:
-                component.step(self.cycle)
-            for transfer in self._wiring:
-                transfer()
-            self.cycle += 1
+        target = self.cycle + cycles
+        while self.cycle < target:
+            if self._try_fast_forward(target):
+                continue
+            self._step_once()
         return self.cycle
 
     def run_until(self, predicate: Callable[[], bool],
                   max_cycles: int = 1_000_000) -> int:
-        """Run until ``predicate()`` holds; raises on timeout."""
-        start = self.cycle
-        while not predicate():
-            if self.cycle - start >= max_cycles:
+        """Run until ``predicate()`` holds; raises on timeout.
+
+        Evaluation contract: the predicate is evaluated once *before*
+        any stepping (so a condition that already holds returns
+        immediately, advancing zero cycles) and then *after* every
+        stepped cycle — i.e. post-step, with that cycle's component
+        work and wiring applied and ``self.cycle`` already incremented.
+        The returned cycle is therefore the first cycle count at which
+        the predicate was observed true.
+
+        Across a fast-forwarded span the predicate is evaluated at the
+        span's end only.  Component state is constant over such a span,
+        so any predicate that is a function of component/network state
+        sees no difference; a predicate that reads the raw cycle count
+        (e.g. ``lambda: engine.cycle >= n``) may be observed late — use
+        :meth:`run` for fixed-duration waits instead.
+
+        ``max_cycles`` bounds the *actual cycles advanced* (stepped
+        plus fast-forwarded) before :class:`TimeoutError` is raised.
+        """
+        if max_cycles < 0:
+            raise ValueError("max_cycles must be non-negative")
+        if predicate():
+            return self.cycle
+        deadline = self.cycle + max_cycles
+        while True:
+            if self.cycle >= deadline:
                 raise TimeoutError(
                     f"condition not reached within {max_cycles} cycles"
                 )
-            self.run(1)
-        return self.cycle
+            if self._try_fast_forward(deadline):
+                if predicate():
+                    return self.cycle
+                continue
+            self._step_once()
+            if predicate():
+                return self.cycle

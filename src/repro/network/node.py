@@ -69,6 +69,38 @@ class HostNode:
         packet.meta.source = self.node
         self.router.inject_be(packet)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Engine fast-forward contract (see ``docs/performance.md``).
+
+        The host's self-scheduled work is the release heap and its
+        traffic sources.  Sources advertise their next firing through
+        ``next_fire_cycle``; a source without that method (or one that
+        must observe every cycle, like a per-cycle random process)
+        keeps the host — and therefore the fabric — stepping every
+        cycle, which preserves exact legacy behaviour.
+        """
+        if self.router.delivered:
+            return cycle  # reception port waiting to be drained
+        bound: Optional[int] = None
+        for source in self.sources:
+            probe = getattr(source, "next_fire_cycle", None)
+            if probe is None:
+                return cycle  # legacy source: poll every cycle
+            nxt = probe(cycle)
+            if nxt is None:
+                continue  # exhausted: never fires again
+            if nxt <= cycle:
+                return cycle
+            if bound is None or nxt < bound:
+                bound = nxt
+        if self._release_heap:
+            head = self._release_heap[0][0]
+            if head <= cycle:
+                return cycle
+            if bound is None or head < bound:
+                bound = head
+        return bound
+
     def step(self, cycle: int) -> None:
         """Run the host for one cycle (sources, releases, deliveries)."""
         for source in self.sources:

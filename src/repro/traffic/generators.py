@@ -4,6 +4,16 @@ Sources are callables invoked once per cycle by the host node; they
 return a list of :class:`~repro.network.node.Send` requests.  The
 time-constrained sources speak in scheduler ticks (packet slot times)
 and fire on tick boundaries; best-effort sources may fire on any cycle.
+
+Sources may additionally implement ``next_fire_cycle(cycle)`` — the
+engine fast-forward contract (see ``docs/performance.md``): the
+earliest cycle at or after ``cycle`` on which calling the source could
+return sends or mutate its state, or ``None`` when it will never fire
+again.  Deterministic periodic sources implement it so idle spans can
+be skipped; :class:`PoissonBestEffortSource` deliberately does *not*
+(it consumes one random draw per cycle, so skipping cycles would change
+its seeded arrival sequence) — attaching one pins its host to the
+per-cycle loop.
 """
 
 from __future__ import annotations
@@ -54,6 +64,17 @@ class PeriodicSource:
         return [Send(traffic_class="TC", channel=self.channel,
                      payload=self.payload)]
 
+    def next_fire_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle this source fires (fast-forward contract)."""
+        if self.count is not None and self.sent >= self.count:
+            return None
+        tick = -(-cycle // self.slot_cycles)  # next tick boundary
+        tick = max(tick, self.start_tick)
+        remainder = (tick - self.start_tick) % self.period
+        if remainder:
+            tick += self.period - remainder
+        return tick * self.slot_cycles
+
 
 @dataclass
 class BurstySource:
@@ -87,6 +108,13 @@ class BurstySource:
         return [Send(traffic_class="TC", channel=self.channel,
                      payload=self.payload)] * n
 
+    def next_fire_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle this source fires (fast-forward contract)."""
+        if self.count is not None and self.sent >= self.count:
+            return None
+        span = self.period * self.slot_cycles
+        return -(-cycle // span) * span
+
 
 @dataclass
 class BackloggedSource:
@@ -107,6 +135,11 @@ class BackloggedSource:
         if tick % self.channel.spec.i_min == 0:
             return [Send(traffic_class="TC", channel=self.channel)]
         return []
+
+    def next_fire_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle this source fires (fast-forward contract)."""
+        span = self.channel.spec.i_min * self.slot_cycles
+        return -(-cycle // span) * span
 
 
 @dataclass
@@ -166,3 +199,12 @@ class BackloggedBestEffortSource:
         payload = bytes(max(0, self.packet_bytes - 4))
         return [Send(traffic_class="BE", destination=self.destination,
                      payload=payload)]
+
+    def next_fire_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle this source fires (fast-forward contract)."""
+        if self._router_probe is not None:
+            # Backlog-probing mode watches live router state, which can
+            # change on any cycle the router is active; poll every
+            # cycle (the fabric is never idle while it has backlog).
+            return cycle
+        return -(-cycle // self.packet_bytes) * self.packet_bytes

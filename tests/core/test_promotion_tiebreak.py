@@ -1,0 +1,136 @@
+"""Regression tests for the early -> on-time promotion tie-break.
+
+:meth:`ReferenceLinkScheduler.promote` keeps a promoted packet's
+*original* insertion sequence number.  That choice is what makes the
+documented "ties break in insertion order" rule hold across promotion:
+a packet that waited in Queue 3 must still beat a later-inserted packet
+with the same deadline, exactly as in the hardware tree where a leaf
+keeps its position for the packet's whole residence.  These tests pin
+the behaviour down directly and cross-check it against the comparator
+tree — at a plain deadline tie, at a tie where promotion order differs
+from insertion order, and across a clock-rollover boundary.
+"""
+
+from repro.core import (
+    ReferenceLinkScheduler,
+    RolloverClock,
+    RouterParams,
+    ScheduledPacket,
+)
+from repro.core.comparator_tree import ComparatorTree
+from repro.core.leaf_state import LeafArray
+
+
+def make_tree():
+    params = RouterParams()
+    leaves = LeafArray(params)
+    return ComparatorTree(params, leaves), leaves
+
+
+def tree_pick(tree, leaves, now):
+    """One tournament at wrapped time ``now``; returns the leaf index."""
+    clock = RolloverClock(bits=8)
+    clock.set(now)
+    selection = tree.select_for_port(0, clock, 0)
+    assert selection is not None
+    assert selection.transmissible
+    leaves.clear_port(selection.leaf_index, 0)
+    return selection.leaf_index
+
+
+class TestPromotionKeepsInsertionOrder:
+    def test_promoted_packet_beats_later_on_time_insert(self):
+        """Early packet inserted first wins a deadline tie against an
+        on-time packet inserted second."""
+        scheduler = ReferenceLinkScheduler(horizon=0)
+        early = ScheduledPacket(arrival=8, deadline=14, payload="early")
+        late = ScheduledPacket(arrival=0, deadline=14, payload="on-time")
+        scheduler.add_tc(early, now=0)     # Queue 3
+        scheduler.add_tc(late, now=0)      # Queue 1, same deadline
+        # No service until the early packet has promoted.
+        choice = scheduler.pick(now=8)
+        assert choice == ("TC", early)
+        assert scheduler.pick(now=8) == ("TC", late)
+
+    def test_promotion_order_does_not_override_insertion_order(self):
+        """Two early packets with one deadline: the one inserted first
+        wins the tie even though it promotes *second*.
+
+        This is the sharp regression for seq retention: renumbering on
+        promotion would hand the first-promoted packet a smaller seq
+        and flip this ordering.
+        """
+        scheduler = ReferenceLinkScheduler(horizon=0)
+        a = ScheduledPacket(arrival=8, deadline=14, payload="a")  # first in
+        b = ScheduledPacket(arrival=6, deadline=14, payload="b")  # first out
+        scheduler.add_tc(a, now=0)
+        scheduler.add_tc(b, now=0)
+        scheduler.promote(6)     # only b promotes here
+        scheduler.promote(8)     # a joins Queue 1
+        assert scheduler.pick(now=8) == ("TC", a)
+        assert scheduler.pick(now=8) == ("TC", b)
+
+    def test_tree_agrees_at_the_tie(self):
+        """Leaf order (== insertion order) resolves the same tie in the
+        comparator tree."""
+        tree, leaves = make_tree()
+        leaves.install(0, arrival=8, deadline=14, port_mask=1)  # "a"
+        leaves.install(1, arrival=6, deadline=14, port_mask=1)  # "b"
+        assert tree_pick(tree, leaves, now=8) == 0
+        assert tree_pick(tree, leaves, now=8) == 1
+
+    def test_tie_across_clock_rollover(self):
+        """The same tie straddling the 8-bit rollover boundary.
+
+        Unwrapped times: inserted at t=250, arrivals 256 and 254, a
+        shared deadline of 262 — all wrapped values are small while
+        ``now`` is near the top of the range.
+        """
+        scheduler = ReferenceLinkScheduler(horizon=0)
+        a = ScheduledPacket(arrival=256, deadline=262, payload="a")
+        b = ScheduledPacket(arrival=254, deadline=262, payload="b")
+        scheduler.add_tc(a, now=250)
+        scheduler.add_tc(b, now=250)
+        assert scheduler.pick(now=256) == ("TC", a)
+        assert scheduler.pick(now=256) == ("TC", b)
+
+        tree, leaves = make_tree()
+        leaves.install(0, arrival=256 & 255, deadline=262 & 255, port_mask=1)
+        leaves.install(1, arrival=254 & 255, deadline=262 & 255, port_mask=1)
+        assert tree_pick(tree, leaves, now=256 & 255) == 0
+        assert tree_pick(tree, leaves, now=256 & 255) == 1
+
+    def test_interleaved_service_matches_tree_across_rollover(self):
+        """Serve one packet per tick through a rollover boundary and
+        require identical orders from both implementations."""
+        packets = [
+            (252, 270),   # on-time at insert (t=252), latest deadline
+            (258, 264),   # early; same deadline as the next two
+            (256, 264),
+            (260, 264),
+        ]
+        scheduler = ReferenceLinkScheduler(horizon=0)
+        for index, (arrival, deadline) in enumerate(packets):
+            scheduler.add_tc(ScheduledPacket(arrival, deadline, index),
+                             now=252)
+        ref_order = []
+        for tick in range(252, 290):
+            choice = scheduler.pick(tick)
+            if choice is not None:
+                ref_order.append(choice[1].payload)
+
+        tree, leaves = make_tree()
+        clock = RolloverClock(bits=8)
+        for index, (arrival, deadline) in enumerate(packets):
+            leaves.install(index, arrival & 255, deadline & 255, port_mask=1)
+        tree_order = []
+        for tick in range(252, 290):
+            clock.set(tick)
+            selection = tree.select_for_port(0, clock, 0)
+            if selection is None or not selection.transmissible:
+                continue
+            leaves.clear_port(selection.leaf_index, 0)
+            tree_order.append(selection.leaf_index)
+
+        assert len(ref_order) == len(packets)
+        assert tree_order == ref_order

@@ -1,0 +1,97 @@
+"""Checksums must survive the recovery layer's second chances.
+
+A retransmitted time-constrained message and a retried best-effort
+packet are *re-fragmented* at the source: :meth:`ChannelManager
+.make_message` and :meth:`MeshNetwork.send_best_effort` build fresh
+packets with fresh :class:`PacketMeta`, so ``phits_of`` stamps a new
+checksum over the (unchanged) payload rather than carrying a stale one.
+These tests corrupt exactly the *retransmitted/retried* copy on the
+wire and require the checksum to catch it — proving the second copy is
+protected end-to-end just like the first, and that the recovery ledger
+keeps retrying until an intact copy lands.
+"""
+
+import pytest
+
+from repro import TrafficSpec, build_mesh_network
+from repro.core.ports import EAST
+from repro.faults import (
+    BitFlipCorruptor,
+    PacketDropCorruptor,
+    install_fault_tolerance,
+)
+
+
+def total_corrupt_drops(net):
+    return sum(r.tc_corrupt_dropped + r.be_corrupt_dropped
+               for r in net.routers.values())
+
+
+class TestRetransmittedCopyIsChecksummed:
+    @pytest.mark.chaos
+    def test_corrupted_tc_retransmit_caught_and_retried_again(self):
+        net = build_mesh_network(2, 1)
+        channel = net.establish_channel((0, 0), (1, 0),
+                                        TrafficSpec(i_min=10),
+                                        deadline=30, adaptive=False,
+                                        label="rt")
+        install_fault_tolerance(net)
+
+        # Copy 1: silently eaten on the wire.
+        dropper = PacketDropCorruptor(packets=1, vc="TC")
+        net.set_link_corruptor((0, 0), EAST, dropper)
+        net.send_message(channel, payload=b"precious")
+        net.run_ticks(5)
+        assert dropper.dropped == 1
+
+        # Copy 2 (the retransmit): one payload bit flipped in transit.
+        # If the retransmit carried the original packet's stale
+        # checksum object unverified — or no checksum at all — this
+        # corruption would reach the destination host undetected.
+        flipper = BitFlipCorruptor(packets=1)
+        net.set_link_corruptor((0, 0), EAST, flipper)
+        net.run_ticks(600)
+
+        assert flipper.corrupted == 1
+        # The flipped copy was dropped by the checksum check...
+        assert total_corrupt_drops(net) == 1
+        # ...which means the ledger kept the entry and retried again,
+        # and copy 3 arrived intact.
+        assert net.fault_stats.tc_retransmitted >= 2
+        assert net.fault_stats.retransmit_recovered == 1
+        assert net.log.tc_delivered == 1
+        records = [r for r in net.log.records if r.connection_label == "rt"]
+        assert len(records) == 1
+
+    @pytest.mark.chaos
+    def test_corrupted_be_retry_caught_and_retried_again(self):
+        net = build_mesh_network(2, 2)
+        tolerance = install_fault_tolerance(net)
+
+        # Copy 1 dies on a silently-cut link; the cut is then announced
+        # (as the watchdog would) so the retry takes the detour.
+        net.fail_link((0, 0), EAST, announce=False)
+        net.send_best_effort((0, 0), (1, 0), payload=b"take two")
+        net.fail_link((0, 0), EAST)
+
+        # Corrupt the first retried copy on the detour's middle hop
+        # ((0,0) -> (0,1) -> (1,1) -> (1,0)).
+        flipper = BitFlipCorruptor(packets=1)
+        net.set_link_corruptor((0, 1), EAST, flipper)
+        net.run(tolerance.controller.be_timeout_cycles * 8)
+        net.run(20_000)
+
+        assert flipper.corrupted == 1
+        assert net.fault_stats.be_retried >= 1
+        # The retried copy carried a *fresh* checksum over the payload,
+        # so the in-transit flip was caught and the copy dropped.  If
+        # the retry had shipped without one (or with a stale checksum
+        # object already marked verified), the corrupted payload would
+        # have been delivered here.
+        assert total_corrupt_drops(net) == 1
+        assert net.log.be_delivered == 0
+        # And a checksum-dropped copy must never confirm the ledger
+        # entry: the packet stays tracked.  (No further retry fires —
+        # the retried path has no dead link, and an overdue packet on
+        # an intact path is classed as congestion by design.)
+        assert tolerance.controller.pending_be_retries == 1

@@ -1,0 +1,115 @@
+"""Fast-forward vs per-cycle loop: byte-identical simulations.
+
+The engine's quiescence fast path skips exactly the cycles on which the
+per-cycle loop would have changed nothing, so the two execution modes
+must produce *identical* simulations: the same delivery records, the
+same fault counters, the same final cycle count.  These tests run one
+seeded mesh workload under both modes — including fault injection,
+watchdog detection, and recovery retransmission, whose timers must
+fire on their exact scheduled cycles across skipped spans — and
+compare everything observable.
+
+``packet_id`` is excluded from record comparison: it is a
+process-global allocation counter, so two runs in one process draw
+different ids for the same packets.
+"""
+
+import dataclasses
+
+from repro import TrafficSpec
+from repro.core.ports import EAST
+from repro.faults import FaultInjector, install_fault_tolerance
+from repro.faults.plan import CUT, REPAIR, FaultEvent, FaultPlan
+from repro.network.network import MeshNetwork
+from repro.traffic.generators import (
+    BurstySource,
+    PeriodicSource,
+    PoissonBestEffortSource,
+)
+
+
+def record_signature(net):
+    return [tuple(getattr(record, field.name)
+                  for field in dataclasses.fields(record)
+                  if field.name != "packet_id")
+            for record in net.log.records]
+
+
+def build_and_run(fast_forward, *, cycles=12_000, poisson=False):
+    net = MeshNetwork(4, 4)
+    net.engine.fast_forward = fast_forward
+    slot = net.params.slot_cycles
+
+    c0 = net.establish_channel((0, 0), (3, 3), TrafficSpec(i_min=64),
+                               deadline=24, label="c0")
+    net.attach_source((0, 0), PeriodicSource(c0, period=64,
+                                             slot_cycles=slot))
+    c1 = net.establish_channel((3, 0), (0, 3), TrafficSpec(i_min=96),
+                               deadline=24, label="c1")
+    net.attach_source((3, 0), BurstySource(c1, period=96, burst=2,
+                                           slot_cycles=slot))
+    c2 = net.establish_channel((0, 3), (3, 0), TrafficSpec(i_min=80),
+                               deadline=24, label="c2")
+    net.attach_source((0, 3), PeriodicSource(c2, period=80, start_tick=7,
+                                             payload=b"\x5a" * 4,
+                                             slot_cycles=slot))
+    if poisson:
+        net.attach_source((1, 1), PoissonBestEffortSource(
+            destinations=[(2, 2), (3, 1)], rate=0.002, seed=99))
+
+    tolerance = install_fault_tolerance(net)
+    plan = FaultPlan(events=[
+        FaultEvent(cycle=3_000, kind=CUT, node=(1, 0), direction=EAST),
+        FaultEvent(cycle=6_500, kind=REPAIR, node=(1, 0), direction=EAST),
+    ])
+    injector = FaultInjector(net, plan)
+    net.engine.add_component(injector)
+
+    net.run(cycles)
+    return net, tolerance, injector
+
+
+class TestFastForwardEquivalence:
+    def test_identical_simulation_with_faults(self):
+        legacy, legacy_tol, legacy_inj = build_and_run(False)
+        fast, fast_tol, fast_inj = build_and_run(True)
+
+        # The fast path actually engaged...
+        assert fast.engine.cycles_fast_forwarded > 0
+        assert (fast.engine.cycles_stepped
+                + fast.engine.cycles_fast_forwarded == 12_000)
+        # ...and the legacy loop never skipped.
+        assert legacy.engine.cycles_stepped == 12_000
+
+        # Byte-identical outcomes.
+        assert record_signature(legacy) == record_signature(fast)
+        assert len(record_signature(fast)) > 0
+        assert legacy.fault_stats == fast.fault_stats
+        assert legacy.engine.cycle == fast.engine.cycle == 12_000
+        assert legacy.log.deadline_misses == fast.log.deadline_misses
+
+        # Faults fired on their exact planned cycles in both modes.
+        assert legacy_inj.fired == fast_inj.fired
+        assert [event.cycle for event in fast_inj.fired] == [3_000, 6_500]
+        assert (legacy_tol.watchdog.dead.keys()
+                == fast_tol.watchdog.dead.keys())
+        assert (legacy_tol.controller.pending_retransmits
+                == fast_tol.controller.pending_retransmits)
+
+        # Per-router hardware counters match too.
+        for node in legacy.routers:
+            lr, fr = legacy.routers[node], fast.routers[node]
+            assert (lr.tc_received, lr.tc_transmitted, lr.tc_dropped,
+                    lr.be_worms_routed) \
+                == (fr.tc_received, fr.tc_transmitted, fr.tc_dropped,
+                    fr.be_worms_routed)
+
+    def test_poisson_source_pins_per_cycle_loop(self):
+        """A per-cycle-RNG source opts out of ``next_fire_cycle``; its
+        host reports activity every cycle, so the engine never skips —
+        preserving the seeded arrival sequence exactly."""
+        legacy, *_ = build_and_run(False, cycles=4_000, poisson=True)
+        fast, *_ = build_and_run(True, cycles=4_000, poisson=True)
+
+        assert fast.engine.cycles_fast_forwarded == 0
+        assert record_signature(legacy) == record_signature(fast)

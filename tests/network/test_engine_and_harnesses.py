@@ -64,6 +64,203 @@ class TestEngine:
             engine.remove_component(Ticker())
 
 
+class Alarm:
+    """Fast-forward-capable component firing at fixed cycles."""
+
+    def __init__(self, fire_cycles):
+        self.fire_cycles = sorted(fire_cycles)
+        self.fired = []
+
+    def step(self, cycle):
+        if cycle in self.fire_cycles:
+            self.fired.append(cycle)
+
+    def next_event_cycle(self, cycle):
+        for fire in self.fire_cycles:
+            if fire >= cycle:
+                return fire
+        return None
+
+
+class TestRunUntilSemantics:
+    def test_true_predicate_advances_zero_cycles(self):
+        engine = SynchronousEngine()
+        engine.add_component(Ticker())
+        assert engine.run_until(lambda: True) == 0
+        assert engine.cycle == 0
+
+    def test_returns_first_cycle_predicate_holds_post_step(self):
+        engine = SynchronousEngine()
+        ticker = Ticker()
+        engine.add_component(ticker)
+        # After the step of cycle 0 the list is [0]; cycle is already 1.
+        assert engine.run_until(lambda: ticker.cycles == [0]) == 1
+
+    def test_predicate_sees_wiring_effects(self):
+        engine = SynchronousEngine()
+        engine.add_component(Ticker())
+        copied = []
+        engine.add_wiring(lambda: copied.append(engine.cycle))
+        assert engine.run_until(lambda: len(copied) >= 3) == 3
+
+    def test_timeout_counts_actual_cycles_advanced(self):
+        engine = SynchronousEngine()
+        engine.add_component(Ticker())
+        start = engine.cycle
+        with pytest.raises(TimeoutError):
+            engine.run_until(lambda: False, max_cycles=10)
+        assert engine.cycle == start + 10
+
+    def test_timeout_counts_fast_forwarded_cycles(self):
+        engine = SynchronousEngine()
+        engine.add_component(Alarm([]))  # fully quiescent fabric
+        with pytest.raises(TimeoutError):
+            engine.run_until(lambda: False, max_cycles=1000)
+        assert engine.cycle == 1000
+        assert engine.cycles_fast_forwarded == 1000
+        assert engine.cycles_stepped == 0
+
+    def test_negative_max_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousEngine().run_until(lambda: True, max_cycles=-1)
+
+    def test_state_predicate_sees_same_cycle_with_fast_forward(self):
+        """A state-based predicate observes its first-true cycle
+        identically under both execution modes."""
+        def first_true(ff):
+            engine = SynchronousEngine(fast_forward=ff)
+            alarm = Alarm([25])
+            engine.add_component(alarm)
+            return engine.run_until(lambda: bool(alarm.fired))
+
+        assert first_true(False) == first_true(True) == 26
+
+
+class RemoveDuringStep:
+    """Removes target components from inside its own step."""
+
+    def __init__(self, engine, remove_at, targets):
+        self.engine = engine
+        self.remove_at = remove_at
+        self.targets = targets
+        self.cycles = []
+
+    def step(self, cycle):
+        self.cycles.append(cycle)
+        if cycle == self.remove_at:
+            for target in self.targets:
+                self.engine.remove_component(target)
+
+
+class TestRemoveComponentDuringStep:
+    def test_self_removal_does_not_skip_neighbours(self):
+        engine = SynchronousEngine()
+        before = Ticker()
+        remover = RemoveDuringStep(engine, remove_at=2, targets=())
+        remover.targets = (remover,)
+        after = Ticker()
+        engine.add_component(before)
+        engine.add_component(remover)
+        engine.add_component(after)
+        engine.run(5)
+        # The neighbour registered after the remover still stepped on
+        # the removal cycle, exactly once.
+        assert before.cycles == [0, 1, 2, 3, 4]
+        assert after.cycles == [0, 1, 2, 3, 4]
+        # The remover finished its own removal cycle and then stopped.
+        assert remover.cycles == [0, 1, 2]
+
+    def test_removing_later_neighbour_still_steps_it_this_cycle(self):
+        engine = SynchronousEngine()
+        victim = Ticker()
+        remover = RemoveDuringStep(engine, remove_at=1, targets=(victim,))
+        engine.add_component(remover)
+        engine.add_component(victim)
+        engine.run(4)
+        # Snapshot semantics: the victim was already in this cycle's
+        # snapshot, so removal takes effect at the next cycle boundary.
+        assert victim.cycles == [0, 1]
+        assert remover.cycles == [0, 1, 2, 3]
+
+    def test_removing_earlier_neighbour_never_double_steps(self):
+        engine = SynchronousEngine()
+        victim = Ticker()
+        remover = RemoveDuringStep(engine, remove_at=1, targets=(victim,))
+        engine.add_component(victim)
+        engine.add_component(remover)
+        engine.run(4)
+        assert victim.cycles == [0, 1]
+        assert remover.cycles == [0, 1, 2, 3]
+
+
+class TestFastForward:
+    def test_skips_idle_spans_and_fires_alarms_exactly(self):
+        engine = SynchronousEngine()
+        alarm = Alarm([10, 50])
+        engine.add_component(alarm)
+        engine.run(100)
+        assert alarm.fired == [10, 50]
+        assert engine.cycle == 100
+        assert engine.cycles_stepped + engine.cycles_fast_forwarded == 100
+        assert engine.cycles_fast_forwarded > 90
+
+    def test_equivalent_to_per_cycle_loop(self):
+        def run(ff):
+            engine = SynchronousEngine(fast_forward=ff)
+            alarm = Alarm([3, 7, 64, 65, 900])
+            engine.add_component(alarm)
+            engine.run(1000)
+            return alarm.fired, engine.cycle
+
+        assert run(False) == run(True)
+
+    def test_legacy_component_pins_per_cycle_loop(self):
+        engine = SynchronousEngine()
+        ticker = Ticker()           # no next_event_cycle
+        engine.add_component(ticker)
+        engine.add_component(Alarm([]))
+        engine.run(50)
+        assert engine.cycles_fast_forwarded == 0
+        assert ticker.cycles == list(range(50))
+
+    def test_wiring_without_idle_check_pins_per_cycle_loop(self):
+        engine = SynchronousEngine()
+        engine.add_component(Alarm([]))
+        runs = []
+        engine.add_wiring(lambda: runs.append(True))
+        engine.run(20)
+        assert engine.cycles_fast_forwarded == 0
+        assert len(runs) == 20
+
+    def test_busy_wiring_idle_check_blocks_skipping(self):
+        engine = SynchronousEngine()
+        engine.add_component(Alarm([]))
+        runs = []
+        engine.add_wiring(lambda: runs.append(True),
+                          idle_check=lambda: False)
+        engine.run(20)
+        assert engine.cycles_fast_forwarded == 0
+        assert len(runs) == 20
+
+    def test_idle_wiring_is_skipped(self):
+        engine = SynchronousEngine()
+        engine.add_component(Alarm([5]))
+        runs = []
+        engine.add_wiring(lambda: runs.append(True),
+                          idle_check=lambda: True)
+        engine.run(20)
+        assert engine.cycles_fast_forwarded > 0
+        # Wiring only ran on the cycles that actually stepped.
+        assert len(runs) == engine.cycles_stepped
+
+    def test_disabled_fast_forward_steps_every_cycle(self):
+        engine = SynchronousEngine(fast_forward=False)
+        engine.add_component(Alarm([]))
+        engine.run(30)
+        assert engine.cycles_stepped == 30
+        assert engine.cycles_fast_forwarded == 0
+
+
 class TestLoopbackHarness:
     def test_rejects_header_only_packet(self):
         with pytest.raises(ValueError):
