@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Test pipeline: tier-1 suite, chaos job, benchmark smoke.
 #
-#   scripts/run_tests.sh           # all three jobs
-#   scripts/run_tests.sh tier1     # fast correctness suite only
-#   scripts/run_tests.sh chaos     # seeded fault-injection soaks only
-#   scripts/run_tests.sh bench     # benchmark smoke (writes results/)
+#   scripts/run_tests.sh                # all jobs
+#   scripts/run_tests.sh tier1          # fast correctness suite only
+#   scripts/run_tests.sh chaos          # seeded fault-injection soaks only
+#   scripts/run_tests.sh bench          # benchmark smoke (writes results/)
+#   scripts/run_tests.sh observability  # tracing/metrics suite + overhead gate
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
-# idle-heavy workload — and refreshes benchmarks/results/.
+# idle-heavy workload — and refreshes benchmarks/results/.  The
+# observability job runs the tracing/metrics/snapshot suites, the
+# trace-replay acceptance test and the disabled-tracer overhead gate
+# (within 5% of the plain fast-forward baseline).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,10 +36,25 @@ run_bench() {
         "benchmarks/bench_sim_performance.py::test_fast_forward_idle_heavy_speedup"
 }
 
+run_observability() {
+    echo "== observability: tracing/metrics suites + overhead gate =="
+    python -m pytest -q \
+        tests/observability \
+        tests/network/test_delivery_duplicates.py \
+        tests/network/test_engine_accounting.py \
+        tests/integration/test_trace_replay.py \
+        tests/test_reporting.py \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        "benchmarks/bench_sim_performance.py::test_disabled_tracer_overhead_within_bound"
+}
+
 case "$job" in
     tier1) run_tier1 ;;
     chaos) run_chaos ;;
     bench) run_bench ;;
-    all)   run_tier1; run_chaos; run_bench ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|all)" >&2; exit 2 ;;
+    observability) run_observability ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|all)" >&2
+           exit 2 ;;
 esac

@@ -7,12 +7,20 @@ Subcommands::
     repro-router simulate    [--width W] [--height H] [--channels N]
                              [--ticks T] [--seed S] [--csv PATH]
     repro-router chaos       [--seed S] [--cycles N] [--cuts N] [...]
+    repro-router trace       OUTPUT.jsonl [--snapshots PATH] [...]
+    repro-router metrics     [--json PATH] [--period N] [...]
 
 ``datasheet`` prints the Table-4-style chip summary; ``experiment``
 regenerates one of the paper's results; ``simulate`` runs a random
 admitted workload on a mesh and reports delivery statistics; ``chaos``
 runs a seeded fault-injection soak and reports the fault counters
-(exit status 1 if an undegraded channel missed a deadline).
+(exit status 1 if an undegraded channel missed a deadline); ``trace``
+runs the ``simulate`` workload with packet-lifecycle tracing on and
+exports the events as JSON Lines; ``metrics`` runs it with periodic
+registry snapshots and prints the final metric values.
+
+Errors are reported on stderr and through the exit status (2 for bad
+usage or unreadable inputs), never as tracebacks.
 """
 
 from __future__ import annotations
@@ -117,27 +125,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return _EXPERIMENTS[args.name]()
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _build_random_workload(width: int, height: int, channels: int,
+                           seed: int):
+    """Admit a seeded random channel set on a fresh mesh.
+
+    Returns ``(net, rng, admitted)``; the rng's state carries into
+    :func:`_drive_random_workload` so that splitting setup from
+    traffic leaves the ``simulate`` output byte-identical.
+    """
     from repro import TrafficSpec, build_mesh_network
     from repro.channels import AdmissionError
 
-    rng = random.Random(args.seed)
-    net = build_mesh_network(args.width, args.height)
+    rng = random.Random(seed)
+    net = build_mesh_network(width, height)
     nodes = list(net.mesh.nodes())
-    channels = []
-    for _ in range(args.channels):
+    admitted = []
+    for _ in range(channels):
         src, dst = rng.sample(nodes, 2)
         i_min = rng.choice([6, 10, 16, 24])
         deadline = i_min * (net.mesh.hop_distance(src, dst) + 1) + 10
         try:
-            channels.append((net.establish_channel(
+            admitted.append((net.establish_channel(
                 src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
             ), i_min))
         except AdmissionError:
             continue
-    print(f"admitted {len(channels)} of {args.channels} channels")
-    for tick in range(0, args.ticks, 2):
-        for channel, i_min in channels:
+    return net, rng, admitted
+
+
+def _drive_random_workload(net, rng, admitted, ticks: int) -> None:
+    """Run the admitted workload to completion (including drain)."""
+    nodes = list(net.mesh.nodes())
+    for tick in range(0, ticks, 2):
+        for channel, i_min in admitted:
             if tick % i_min == 0:
                 net.send_message(channel)
         if rng.random() < 0.25:
@@ -146,6 +166,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                  payload=bytes(rng.randrange(8, 100)))
         net.run_ticks(2)
     net.drain(max_cycles=2_000_000)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    net, rng, channels = _build_random_workload(
+        args.width, args.height, args.channels, args.seed)
+    print(f"admitted {len(channels)} of {args.channels} channels")
+    _drive_random_workload(net, rng, channels, args.ticks)
     tc = net.log.latency_summary("TC")
     be = net.log.latency_summary("BE")
     print("\n".join(format_kv([
@@ -160,6 +187,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         path = write_log_csv(args.csv, net.log)
         print(f"wrote {path}")
     return 0 if net.log.deadline_misses == 0 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.reporting import write_snapshots_jsonl, write_trace_jsonl
+
+    net, rng, channels = _build_random_workload(
+        args.width, args.height, args.channels, args.seed)
+    net.enable_tracing(capacity=args.capacity)
+    if args.snapshots:
+        net.enable_snapshots(args.period)
+    print(f"admitted {len(channels)} of {args.channels} channels")
+    _drive_random_workload(net, rng, channels, args.ticks)
+    path = write_trace_jsonl(args.output, net.tracer.events())
+    dropped = f" ({net.tracer.dropped} dropped)" if net.tracer.dropped else ""
+    print(f"wrote {len(net.tracer)} events to {path}{dropped}")
+    print("\n".join(format_kv(sorted(net.tracer.counts().items()))))
+    if args.snapshots:
+        snapshots = net.snapshotter.snapshots
+        spath = write_snapshots_jsonl(args.snapshots, snapshots)
+        print(f"wrote {len(snapshots)} snapshots to {spath}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    net, rng, channels = _build_random_workload(
+        args.width, args.height, args.channels, args.seed)
+    if args.json:
+        net.enable_snapshots(args.period)
+    print(f"admitted {len(channels)} of {args.channels} channels")
+    _drive_random_workload(net, rng, channels, args.ticks)
+    print("\n".join(format_kv(net.metrics.rows())))
+    if args.json:
+        from repro.reporting import write_snapshots_jsonl
+
+        final = dict(net.metrics.snapshot())
+        final["cycle"] = net.cycle
+        snapshots = [*net.snapshotter.snapshots, final]
+        path = write_snapshots_jsonl(args.json, snapshots)
+        print(f"wrote {len(snapshots)} snapshots to {path}")
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -286,13 +353,62 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--width", type=int, default=4)
     replay.add_argument("--height", type=int, default=4)
     replay.set_defaults(func=_cmd_replay)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="run the simulate workload with packet tracing "
+                      "and export the events as JSONL")
+    trace_cmd.add_argument("output", help="trace JSONL output path")
+    trace_cmd.add_argument("--width", type=int, default=4)
+    trace_cmd.add_argument("--height", type=int, default=4)
+    trace_cmd.add_argument("--channels", type=int, default=8)
+    trace_cmd.add_argument("--ticks", type=int, default=100)
+    trace_cmd.add_argument("--seed", type=int, default=0)
+    trace_cmd.add_argument("--capacity", type=int, default=65536,
+                           help="trace ring-buffer capacity (events)")
+    trace_cmd.add_argument("--snapshots", default=None,
+                           help="also write metrics snapshots to this "
+                                "JSONL path")
+    trace_cmd.add_argument("--period", type=int, default=1000,
+                           help="snapshot period in cycles")
+    trace_cmd.set_defaults(func=_cmd_trace)
+
+    metrics_cmd = commands.add_parser(
+        "metrics", help="run the simulate workload and report the "
+                        "metrics registry")
+    metrics_cmd.add_argument("--width", type=int, default=4)
+    metrics_cmd.add_argument("--height", type=int, default=4)
+    metrics_cmd.add_argument("--channels", type=int, default=8)
+    metrics_cmd.add_argument("--ticks", type=int, default=100)
+    metrics_cmd.add_argument("--seed", type=int, default=0)
+    metrics_cmd.add_argument("--json", default=None,
+                             help="write periodic + final snapshots to "
+                                  "this JSONL path")
+    metrics_cmd.add_argument("--period", type=int, default=1000,
+                             help="snapshot period in cycles")
+    metrics_cmd.set_defaults(func=_cmd_metrics)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed its usage/error message; turn the
+        # exit into a return code so embedding callers (and tests)
+        # never see a raised SystemExit or a traceback.
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
+    try:
+        return args.func(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -24,6 +24,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.observability.trace import PROMOTE
+
 
 @dataclass(frozen=True)
 class ScheduledPacket:
@@ -57,6 +59,9 @@ class ReferenceLinkScheduler:
         self.tc_served = 0
         self.be_served = 0
         self.early_served = 0
+        #: Optional packet-lifecycle tracer; queue-3-to-queue-1
+        #: promotions are emitted when set (None = zero overhead).
+        self.tracer = None
 
     # -- enqueue -----------------------------------------------------------
 
@@ -92,6 +97,14 @@ class ReferenceLinkScheduler:
         while self._early and self._early[0][0] <= now:
             __, seq, packet = heapq.heappop(self._early)
             heapq.heappush(self._on_time, (packet.deadline, seq, packet))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, PROMOTE,
+                    meta=getattr(packet.payload, "meta", None),
+                    traffic_class="TC", queue=1,
+                    info={"arrival": packet.arrival,
+                          "deadline": packet.deadline},
+                )
 
     @property
     def tc_backlog(self) -> int:

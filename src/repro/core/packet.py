@@ -87,6 +87,12 @@ class PacketMeta:
     #: Remaining best-effort relay waypoints (host-software forwarding
     #: used to steer wormhole retries around links known to be dead).
     relay_path: tuple = ()
+    #: For a retransmitted copy: the sequence number of the original
+    #: attempt's corresponding fragment.  Retransmission stamps fresh
+    #: sequence numbers, so this is the only link back to the logical
+    #: packet — the delivery log uses it to keep a re-sent copy that
+    #: reaches an already-delivered destination out of the counts.
+    retransmit_of: Optional[int] = None
 
 
 @dataclass

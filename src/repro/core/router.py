@@ -55,6 +55,12 @@ from repro.core.params import (
     RouterParams,
 )
 from repro.core.ports import RECEPTION, dimension_ordered_port
+from repro.observability.trace import (
+    BUFFER,
+    CORRUPT_DROP,
+    HORIZON_DEFER,
+    LINK_WIN,
+)
 
 #: Best-effort data crosses the internal bus in half-width chunks.
 BE_CHUNK_BYTES = MEMORY_CHUNK_BYTES // 2
@@ -226,6 +232,10 @@ class RealTimeRouter:
         self.router_id = router_id
         self.on_memory_full = on_memory_full
         self.service_hook = service_hook
+        #: Packet-lifecycle tracer (see repro.observability.trace);
+        #: None by default — every emit site is guarded by a single
+        #: ``is not None`` test, so disabled tracing allocates nothing.
+        self.tracer = None
 
         self.clock = RolloverClock(bits=self.params.clock_bits)
         self.control = ControlInterface(self.params)
@@ -496,6 +506,11 @@ class RealTimeRouter:
         state.rx_bytes.clear()
         self.tc_received += 1
         self.cut_through_count += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.cycle, LINK_WIN, meta=state.rx_meta,
+                             node=self.router_id, port=port,
+                             traffic_class="TC",
+                             info={"cut_through": True})
 
     def _cut_through_byte(self, state: _TCInput, phit: Phit) -> None:
         output = self._outputs[state.cut_port]
@@ -554,6 +569,11 @@ class RealTimeRouter:
             # buffer or forward (the checksum covers the payload; the
             # header is regenerated at every hop anyway).
             self.tc_corrupt_dropped += 1
+            if self.tracer is not None:
+                self.tracer.emit(self.cycle, CORRUPT_DROP, meta=meta,
+                                 node=self.router_id, port=port,
+                                 traffic_class="TC",
+                                 info={"where": "input"})
             return
         connection_id = raw[0]
         try:
@@ -580,6 +600,16 @@ class RealTimeRouter:
             )
         rewritten = bytes([entry.outgoing_id, deadline]) + raw[2:]
         self._slot_meta[slot] = meta
+        if self.tracer is not None:
+            # Queue placement in paper Table 1 terms: on-time packets
+            # belong to queue 1 (EDF), early ones to queue 3 (by
+            # logical arrival, horizon-gated).
+            on_time = self.clock.is_past(self.clock.wrap(arrival))
+            self.tracer.emit(self.cycle, BUFFER, meta=meta,
+                             node=self.router_id, port=port,
+                             traffic_class="TC",
+                             queue=1 if on_time else 3,
+                             info={"slot": slot})
         chunks = self.params.chunks_per_packet
         for chunk in range(chunks):
             start = chunk * MEMORY_CHUNK_BYTES
@@ -627,6 +657,15 @@ class RealTimeRouter:
                 output.bound_input = winner
                 self._be_inputs[winner].bound = True
                 self.be_worms_routed += 1
+                if self.tracer is not None:
+                    # Wormhole worm routed and bound to its output:
+                    # the best-effort FIFO is paper Table 1's queue 2.
+                    self.tracer.emit(
+                        self.cycle, BUFFER,
+                        meta=self._be_inputs[winner].active_meta(),
+                        node=self.router_id, port=out_port,
+                        traffic_class="BE", queue=2,
+                        info={"input_port": winner})
 
     def _update_worm_routing(self, state: _BEInput) -> None:
         """Derive the routing decision for the head worm, if possible.
@@ -855,6 +894,13 @@ class RealTimeRouter:
             # Early but within the horizon, and the link is otherwise
             # idle: transmit ahead of the logical arrival time.
             self._commit_tc(port, selection)
+        elif self.tracer is not None:
+            self.tracer.emit(
+                self.cycle, HORIZON_DEFER,
+                meta=self._slot_meta[selection.leaf_index],
+                node=self.router_id, port=port, traffic_class="TC",
+                info={"remaining_ticks": remaining,
+                      "horizon": self.control.horizons[port]})
         # Early decisions that cannot start are dropped so the next
         # tournament sees fresh state (the hardware pipeline similarly
         # re-evaluates continuously).
@@ -903,6 +949,13 @@ class RealTimeRouter:
         self._slot_readers[slot] += 1
         output = self._outputs[port]
         output.tc_stream = _TCStream(slot=slot, meta=self._slot_meta[slot])
+        if self.tracer is not None:
+            early = not self.clock.is_past(self.leaves[slot].arrival)
+            self.tracer.emit(self.cycle, LINK_WIN,
+                             meta=self._slot_meta[slot],
+                             node=self.router_id, port=port,
+                             traffic_class="TC",
+                             info={"slot": slot, "early": early})
         for chunk in range(self.params.chunks_per_packet):
             self.bus.request(BusRequest(
                 port=OUTPUT_PORTS + port,
@@ -958,6 +1011,12 @@ class RealTimeRouter:
                     # End-to-end backstop: catches corruption that the
                     # input-port check cannot see (cut-through paths).
                     self.tc_corrupt_dropped += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(self.cycle, CORRUPT_DROP,
+                                         meta=meta, node=self.router_id,
+                                         port=RECEPTION,
+                                         traffic_class="TC",
+                                         info={"where": "reception"})
                     return
                 packet = TimeConstrainedPacket.from_bytes(
                     raw, self.params, meta=meta,
@@ -986,6 +1045,12 @@ class RealTimeRouter:
                         and payload_checksum(raw[BE_HEADER_BYTES:])
                         != meta.checksum):
                     self.be_corrupt_dropped += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(self.cycle, CORRUPT_DROP,
+                                         meta=meta, node=self.router_id,
+                                         port=RECEPTION,
+                                         traffic_class="BE",
+                                         info={"where": "reception"})
                     return
                 packet.meta.delivered_cycle = self.cycle
                 self.delivered.append(packet)

@@ -31,6 +31,7 @@ from repro.channels.routing import RouteError, dimension_ordered_route
 from repro.core.ports import RECEPTION
 from repro.faults.injector import BABBLE_LABEL
 from repro.network.events import LINK_REPAIRED, LinkEvent
+from repro.observability.trace import RETRANSMIT
 
 Node = tuple[int, int]
 Link = tuple[Node, int]
@@ -43,8 +44,11 @@ class _TrackedMessage:
     label: str
     payload: bytes
     #: Sequence-number sets, one per send attempt; the message is
-    #: confirmed when any attempt's fragments are all delivered.
+    #: confirmed when every destination received all fragments of
+    #: some attempt (multicast: each subscriber confirms separately —
+    #: one subscriber's copy must not confirm for the others).
     attempts_seqs: list[set[int]]
+    destinations: tuple[Node, ...]
     next_check_cycle: int
     retries: int = 0
 
@@ -97,7 +101,10 @@ class RecoveryController:
 
         self._messages: deque[_TrackedMessage] = deque()
         self._be_packets: deque[_TrackedBestEffort] = deque()
-        self._delivered_tc: set[tuple[str, int]] = set()
+        #: (label, sequence, delivered_node) triples — per-node, so a
+        #: multicast message is only confirmed at subscribers that
+        #: actually received it.
+        self._delivered_tc: set[tuple[str, int, object]] = set()
         self._delivered_be_ids: set[int] = set()
         self._log_index = 0
         #: Set while the controller itself re-sends, so the send hooks
@@ -150,6 +157,16 @@ class RecoveryController:
         slot = self.network.params.slot_cycles
         if self._resending_tc is not None:
             entry = self._resending_tc
+            # Stamp each re-sent fragment with the *original* attempt's
+            # sequence number: retransmission draws fresh sequences, so
+            # without this link a re-sent copy reaching an
+            # already-delivered destination (multicast: only one
+            # subscriber missed it) would be counted as a brand-new
+            # delivery by the stats layer.
+            original = sorted(entry.attempts_seqs[0])
+            resent = sorted(packets, key=lambda p: p.meta.sequence)
+            for packet, orig_seq in zip(resent, original):
+                packet.meta.retransmit_of = orig_seq
             entry.attempts_seqs.append(seqs)
             resend_deadlines = [p.meta.absolute_deadline for p in packets
                                 if p.meta.absolute_deadline is not None]
@@ -173,6 +190,7 @@ class RecoveryController:
                 + (channel.deadline + self.tc_margin_ticks) * slot
         self._messages.append(_TrackedMessage(
             label=channel.label, payload=payload, attempts_seqs=[seqs],
+            destinations=tuple(channel.destinations),
             next_check_cycle=max(check, self.network.cycle + slot),
         ))
         while len(self._messages) > self.retransmit_buffer:
@@ -243,15 +261,20 @@ class RecoveryController:
             if (record.connection_label is not None
                     and record.sequence is not None):
                 self._delivered_tc.add(
-                    (record.connection_label, record.sequence))
+                    (record.connection_label, record.sequence,
+                     record.delivered_node))
 
     def _check_tc(self, cycle: int) -> None:
         stats = self.network.fault_stats
         for entry in list(self._messages):
-            confirmed = any(
-                all((entry.label, seq) in self._delivered_tc
-                    for seq in seqs)
-                for seqs in entry.attempts_seqs
+            # Every destination must hold all fragments of some attempt
+            # (attempts may cover different subscribers: the original
+            # reached one, a retransmission the other).
+            confirmed = all(
+                any(all((entry.label, seq, node) in self._delivered_tc
+                        for seq in seqs)
+                    for seqs in entry.attempts_seqs)
+                for node in entry.destinations
             )
             if confirmed:
                 if entry.retries:
@@ -270,6 +293,13 @@ class RecoveryController:
                 continue
             entry.retries += 1
             stats.tc_retransmitted += 1
+            if self.network.tracer is not None:
+                self.network.tracer.emit(
+                    cycle, RETRANSMIT, label=entry.label,
+                    traffic_class="TC",
+                    info={"retries": entry.retries,
+                          "degraded": channel.degraded},
+                )
             if channel.degraded:
                 # The degraded fallback stamps one sequence per message.
                 entry.attempts_seqs.append({channel._sequence})
@@ -313,6 +343,14 @@ class RecoveryController:
             entry.retries += 1
             stats.be_packets_lost += 1
             stats.be_retried += 1
+            if self.network.tracer is not None:
+                self.network.tracer.emit(
+                    cycle, RETRANSMIT, label=entry.label,
+                    sequence=entry.sequence, node=entry.source,
+                    traffic_class="BE",
+                    info={"retries": entry.retries,
+                          "destination": list(entry.destination)},
+                )
             self._resending_be = True
             try:
                 packet = self.network.send_best_effort(

@@ -31,6 +31,13 @@ from repro.network.events import (
 from repro.network.node import HostNode
 from repro.network.stats import DeliveryLog, FaultCounters, ServiceTrace
 from repro.network.topology import Mesh, Node
+from repro.observability import (
+    DEFAULT_LATENCY_BUCKETS,
+    ENQUEUE,
+    MetricsRegistry,
+    PacketTracer,
+    SnapshotEmitter,
+)
 
 #: A link corruptor: maps each phit crossing the link to a (possibly
 #: modified) phit, or ``None`` to suppress it entirely.
@@ -142,6 +149,19 @@ class MeshNetwork:
         self.admission = admission or AdmissionController(self.params)
         self.manager = ChannelManager(self.routers, self.admission,
                                       self.params)
+
+        #: Packet-lifecycle tracer; ``None`` until
+        #: :meth:`enable_tracing` — the disabled hot path is a single
+        #: ``is not None`` test at every emit site.
+        self.tracer: Optional[PacketTracer] = None
+        #: Installed periodic snapshot emitter (see
+        #: :meth:`enable_snapshots`).
+        self.snapshotter: Optional[SnapshotEmitter] = None
+        #: Metrics registry pre-wired with probes over every counter
+        #: the fabric already keeps (engine, schedulers, fault layer,
+        #: delivery log) plus per-class delivery latency histograms.
+        self.metrics = MetricsRegistry()
+        self._register_default_metrics()
 
     def _make_link_transfer(self, node: Node, direction: int,
                             neighbor: Node):
@@ -461,6 +481,14 @@ class MeshNetwork:
             return self._send_degraded(current, payload, cycle, now_tick)
         packets, arrival, release = current.make_message(payload, now_tick)
         self.hosts[current.source].queue_tc(packets, release)
+        if self.tracer is not None:
+            for packet in packets:
+                self.tracer.emit(
+                    cycle, ENQUEUE, meta=packet.meta,
+                    node=current.source, traffic_class="TC",
+                    info={"release_tick": release,
+                          "logical_arrival": arrival},
+                )
         for hook in self.tc_send_hooks:
             hook(current, packets, payload)
         return arrival
@@ -539,6 +567,9 @@ class MeshNetwork:
         cycle = self.cycle if at_cycle is None else at_cycle
         packet.meta.injected_cycle = cycle
         self.routers[source].inject_be(packet)
+        if self.tracer is not None:
+            self.tracer.emit(cycle, ENQUEUE, meta=packet.meta,
+                             node=source, traffic_class="BE")
         for hook in self.be_send_hooks:
             hook(packet)
         return packet
@@ -562,6 +593,110 @@ class MeshNetwork:
             counters.link_bytes_corrupted += monitor.bytes_corrupted
             counters.link_packets_dropped += monitor.packets_dropped
         return counters
+
+    # ------------------------------------------------------------------
+    # Observability: metrics registry, tracing, snapshots
+    # ------------------------------------------------------------------
+
+    def _register_default_metrics(self) -> None:
+        """Probe every counter the fabric already keeps.
+
+        The counters stay plain attributes on their owners (their
+        existing API, and the zero-overhead hot path, are untouched);
+        the registry samples them only when a snapshot is taken.
+        """
+        metrics = self.metrics
+        engine = self.engine
+        metrics.register_probe("engine.cycle", lambda: engine.cycle)
+        metrics.register_probe("engine.cycles_stepped",
+                               lambda: engine.cycles_stepped)
+        metrics.register_probe("engine.cycles_fast_forwarded",
+                               lambda: engine.cycles_fast_forwarded)
+
+        routers = self.routers
+
+        def summed(attr):
+            return lambda: sum(getattr(r, attr) for r in routers.values())
+
+        for attr in ("tc_received", "tc_transmitted", "tc_dropped",
+                     "be_worms_routed", "cut_through_count"):
+            metrics.register_probe(f"router.{attr}", summed(attr))
+
+        def tree_summed(attr):
+            return lambda: sum(getattr(r.tree, attr)
+                               for r in routers.values())
+
+        for attr in ("evaluations", "keys_computed", "keys_reused"):
+            metrics.register_probe(f"scheduler.{attr}", tree_summed(attr))
+
+        log = self.log
+        metrics.register_probe("delivery.tc_delivered",
+                               lambda: log.tc_delivered)
+        metrics.register_probe("delivery.be_delivered",
+                               lambda: log.be_delivered)
+        metrics.register_probe("delivery.deadline_misses",
+                               lambda: log.deadline_misses)
+        metrics.register_probe("delivery.duplicates",
+                               lambda: log.duplicate_deliveries)
+        log.latency_histograms = {
+            "TC": metrics.histogram("delivery.latency_tc_cycles",
+                                    DEFAULT_LATENCY_BUCKETS),
+            "BE": metrics.histogram("delivery.latency_be_cycles",
+                                    DEFAULT_LATENCY_BUCKETS),
+        }
+
+        def fault_field(name):
+            return lambda: getattr(self.fault_counters(), name)
+
+        for name in FaultCounters().as_dict():
+            metrics.register_probe(f"faults.{name}", fault_field(name))
+
+    def enable_tracing(self, capacity: int = 65536) -> PacketTracer:
+        """Install a packet-lifecycle tracer on the whole fabric.
+
+        Every router and host starts stamping structured events (see
+        :mod:`repro.observability.trace`) into one shared ring buffer
+        of ``capacity`` events; returns the tracer.  Idempotent per
+        network: re-enabling replaces the previous tracer.
+        """
+        tracer = PacketTracer(capacity)
+        self.tracer = tracer
+        for router in self.routers.values():
+            router.tracer = tracer
+        for host in self.hosts.values():
+            host.tracer = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Stop tracing; emit sites fall back to the zero-cost guard."""
+        self.tracer = None
+        for router in self.routers.values():
+            router.tracer = None
+        for host in self.hosts.values():
+            host.tracer = None
+
+    def enable_snapshots(self, period_cycles: int, *,
+                         sink=None, keep=None) -> SnapshotEmitter:
+        """Record a metrics snapshot every ``period_cycles`` cycles.
+
+        The emitter is registered as an engine component implementing
+        the fast-forward contract, so snapshots fire on their exact
+        scheduled cycles even across skipped idle spans (like the
+        fault watchdog's detections do).
+        """
+        if self.snapshotter is not None:
+            self.engine.remove_component(self.snapshotter)
+        emitter = SnapshotEmitter(self.metrics, period_cycles,
+                                  start_cycle=self.cycle, sink=sink,
+                                  keep=keep)
+        self.engine.add_component(emitter)
+        self.snapshotter = emitter
+        return emitter
+
+    def disable_snapshots(self) -> None:
+        if self.snapshotter is not None:
+            self.engine.remove_component(self.snapshotter)
+            self.snapshotter = None
 
     # ------------------------------------------------------------------
     # Sources and instrumentation

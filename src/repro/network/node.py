@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from repro.core.packet import BestEffortPacket, TimeConstrainedPacket
 from repro.core.router import RealTimeRouter
 from repro.network.stats import DeliveryLog
+from repro.observability.trace import DELIVER, RELEASE
 
 #: A traffic source: called once per cycle, returns send requests.
 SourceFn = Callable[[int], list["Send"]]
@@ -50,6 +51,9 @@ class HostNode:
         self._tiebreak = itertools.count()
         self.sources: list[SourceFn] = []
         self.network = None  # set by MeshNetwork for source sends
+        #: Packet-lifecycle tracer (set by MeshNetwork.enable_tracing);
+        #: None keeps the hot path allocation-free.
+        self.tracer = None
 
     def attach_source(self, source: SourceFn) -> None:
         self.sources.append(source)
@@ -111,12 +115,28 @@ class HostNode:
             packet.meta.injected_cycle = cycle
             packet.meta.source = self.node
             self.router.inject_tc(packet)
+            if self.tracer is not None:
+                self.tracer.emit(cycle, RELEASE, meta=packet.meta,
+                                 node=self.node, traffic_class="TC")
         for packet in self.router.take_delivered():
             if (isinstance(packet, BestEffortPacket)
                     and packet.meta.relay_path):
                 self._relay(packet)
                 continue
-            self.log.add(packet, delivered_node=self.node)
+            record = self.log.add(packet, delivered_node=self.node)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    cycle, DELIVER, meta=packet.meta, node=self.node,
+                    traffic_class=record.traffic_class,
+                    info={
+                        "injected_cycle": record.injected_cycle,
+                        "delivered_cycle": record.delivered_cycle,
+                        "latency_cycles": record.latency_cycles,
+                        "deadline_met": record.deadline_met,
+                        "duplicate": record.duplicate,
+                        "delivered_node": list(self.node),
+                    },
+                )
 
     def _relay(self, packet: BestEffortPacket) -> None:
         """Forward a relayed best-effort packet toward its next waypoint.

@@ -42,6 +42,13 @@ class DeliveryRecord:
     #: this differs per copy, while ``destination`` (from the packet
     #: header) names only one subscriber.
     delivered_node: Optional[tuple[int, int]] = None
+    #: True when an earlier record already covered this logical
+    #: delivery — the same ``(class, connection, sequence)`` reaching
+    #: the same node again, which happens when a retransmitted copy
+    #: arrives at a destination the original already reached.
+    #: Duplicates stay in :attr:`DeliveryLog.records` for forensics
+    #: but are excluded from every delivery count and latency query.
+    duplicate: bool = False
 
     @property
     def latency_cycles(self) -> Optional[int]:
@@ -51,11 +58,25 @@ class DeliveryRecord:
 
 
 class DeliveryLog:
-    """Collects delivered packets and answers deadline/latency queries."""
+    """Collects delivered packets and answers deadline/latency queries.
+
+    Retransmission can land two physical copies of one logical packet
+    at the same destination (the original was late, not lost).  The
+    log detects such duplicates by ``(class, connection, sequence,
+    node)`` identity and keeps them out of the delivery counts — a
+    retransmitted copy reaching an already-delivered destination must
+    not inflate ``tc_delivered`` or charge a second deadline verdict.
+    Unlabelled traffic has no cross-copy identity and is never marked.
+    """
 
     def __init__(self, slot_cycles: int) -> None:
         self.slot_cycles = slot_cycles
         self.records: list[DeliveryRecord] = []
+        self._seen: set[tuple] = set()
+        #: Optional per-class latency histograms (see
+        #: :mod:`repro.observability.registry`); wired by MeshNetwork.
+        #: Duplicates are not observed.
+        self.latency_histograms: dict[str, object] = {}
 
     def add(self, packet: object,
             delivered_node: Optional[tuple[int, int]] = None,
@@ -76,6 +97,17 @@ class DeliveryLog:
             deadline_met = None
         else:
             raise TypeError(f"not a packet: {packet!r}")
+        duplicate = False
+        # A retransmitted copy carries fresh sequence numbers but
+        # remembers the original fragment it re-sends; dedup on that
+        # logical identity, not the wire-level sequence.
+        identity = (meta.retransmit_of if meta.retransmit_of is not None
+                    else meta.sequence)
+        if meta.connection_label is not None and identity is not None:
+            key = (traffic_class, meta.connection_label, identity,
+                   delivered_node)
+            duplicate = key in self._seen
+            self._seen.add(key)
         record = DeliveryRecord(
             traffic_class=traffic_class,
             source=meta.source,
@@ -88,21 +120,36 @@ class DeliveryLog:
             deadline_met=deadline_met,
             packet_id=meta.packet_id,
             delivered_node=delivered_node,
+            duplicate=duplicate,
         )
         self.records.append(record)
+        if not duplicate and self.latency_histograms:
+            latency = record.latency_cycles
+            if latency is not None:
+                histogram = self.latency_histograms.get(traffic_class)
+                if histogram is not None:
+                    histogram.observe(latency)
         return record
 
     # -- queries ------------------------------------------------------------
 
     def of_class(self, traffic_class: str) -> list[DeliveryRecord]:
-        return [r for r in self.records if r.traffic_class == traffic_class]
+        return [r for r in self.records
+                if r.traffic_class == traffic_class and not r.duplicate]
 
     def of_connection(self, label: str) -> list[DeliveryRecord]:
-        return [r for r in self.records if r.connection_label == label]
+        return [r for r in self.records
+                if r.connection_label == label and not r.duplicate]
 
     @property
     def deadline_misses(self) -> int:
-        return sum(1 for r in self.records if r.deadline_met is False)
+        return sum(1 for r in self.records
+                   if r.deadline_met is False and not r.duplicate)
+
+    @property
+    def duplicate_deliveries(self) -> int:
+        """Physical copies that re-delivered an already-counted packet."""
+        return sum(1 for r in self.records if r.duplicate)
 
     @property
     def tc_delivered(self) -> int:

@@ -1,0 +1,62 @@
+"""Shared instrumentation layer: metrics registry + packet tracing.
+
+Three pieces (see ``docs/observability.md``):
+
+* :mod:`repro.observability.registry` — named counters, gauges and
+  fixed-bucket histograms, plus zero-overhead *probes* that sample
+  counters living as plain attributes on simulator objects.
+* :mod:`repro.observability.trace` — the packet-lifecycle tracer: an
+  opt-in ring buffer of structured per-packet events (enqueue, queue
+  placement, promotion, horizon deferral, link win, retransmit,
+  corruption drop, delivery) with cycle timestamps.
+* :mod:`repro.observability.snapshot` — periodic registry snapshots as
+  an engine component, firing on exact scheduled cycles even across
+  fast-forwarded idle spans.
+
+:class:`~repro.network.network.MeshNetwork` wires a registry by
+default (``net.metrics``) and exposes ``enable_tracing`` /
+``enable_snapshots``; the ``trace`` and ``metrics`` CLI subcommands
+drive both from a shell.
+"""
+
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.snapshot import SnapshotEmitter
+from repro.observability.trace import (
+    BUFFER,
+    CORRUPT_DROP,
+    DELIVER,
+    ENQUEUE,
+    EVENT_FIELDS,
+    HORIZON_DEFER,
+    LINK_WIN,
+    PROMOTE,
+    RELEASE,
+    RETRANSMIT,
+    PacketTracer,
+)
+
+__all__ = [
+    "BUFFER",
+    "CORRUPT_DROP",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DELIVER",
+    "ENQUEUE",
+    "EVENT_FIELDS",
+    "Gauge",
+    "HORIZON_DEFER",
+    "Histogram",
+    "LINK_WIN",
+    "MetricsRegistry",
+    "PROMOTE",
+    "PacketTracer",
+    "RELEASE",
+    "RETRANSMIT",
+    "SnapshotEmitter",
+]

@@ -1,0 +1,265 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+One registry gathers every number the simulator exposes — engine
+cycle accounting, scheduler cache hits, fault/recovery counters,
+delivery statistics — behind a single named namespace, so snapshots,
+the CLI and tests all read the same source of truth.
+
+Two kinds of instruments coexist:
+
+* **Owned instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) live inside the registry and are updated through
+  their methods.  Histograms use fixed bucket boundaries and answer
+  p50/p95/p99/max queries from the bucket counts.
+* **Probes** wrap counters that already exist as plain attributes on
+  simulator objects (``engine.cycles_stepped``, a comparator tree's
+  ``keys_reused``, the fault counters).  The owning object keeps its
+  attribute API — and its zero-overhead hot path — unchanged; the
+  registry samples the attribute only when a snapshot is taken.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Optional, Union
+
+#: Default histogram bucket upper bounds (simulation cycles): roughly
+#: geometric, sized for end-to-end latencies on meshes up to ~16x16.
+DEFAULT_LATENCY_BUCKETS = (
+    32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+)
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A named value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``buckets`` is an ascending sequence of upper bounds; one implicit
+    overflow bucket catches values above the top bound.  Exact minimum
+    and maximum are tracked alongside the bucket counts, so percentile
+    answers are always clamped into the observed value range:
+
+    * an **empty** histogram answers ``None`` to every percentile
+      query (and reports ``count == 0``) rather than raising;
+    * a **single-sample** histogram answers that exact sample for any
+      percentile (the clamp collapses the bucket bound to it);
+    * values **above the top bucket** land in the overflow bucket and
+      percentile queries that fall there answer the observed maximum —
+      never infinity, never a bound that was not seen.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Optional[tuple[int, ...]] = None) -> None:
+        bounds = tuple(buckets if buckets is not None
+                       else DEFAULT_LATENCY_BUCKETS)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly ascending")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """Estimate the ``pct``-th percentile from the bucket counts.
+
+        Returns ``None`` on an empty histogram.  The answer is the
+        upper bound of the bucket containing the target rank, clamped
+        to the observed ``[min, max]`` range (so single samples come
+        back exactly, and overflow-bucket ranks answer the maximum).
+        """
+        if not 0 <= pct <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(pct / 100.0 * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                bound = (self.bounds[index] if index < len(self.bounds)
+                         else self.max)
+                return float(min(max(bound, self.min), self.max))
+        return float(self.max)  # unreachable; defensive
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99)
+
+    def summary(self) -> dict:
+        """The histogram reduced to its headline numbers."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus live probes, snapshotted on demand."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._probes: dict[str, Callable[[], Union[int, float]]] = {}
+
+    # -- instrument creation (get-or-create, idempotent) -----------------
+
+    def counter(self, name: str) -> Counter:
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Optional[tuple[int, ...]] = None) -> Histogram:
+        self._check_free(name, self._histograms)
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if buckets is not None and tuple(buckets) != existing.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already exists with different "
+                    f"buckets"
+                )
+            return existing
+        created = Histogram(name, buckets)
+        self._histograms[name] = created
+        return created
+
+    def register_probe(self, name: str,
+                       fn: Callable[[], Union[int, float]]) -> None:
+        """Expose an existing attribute/derived value under ``name``.
+
+        The callable is evaluated at snapshot time only, so probing an
+        object adds nothing to its hot path.  Re-registering a name
+        replaces the previous probe (components detach and reattach).
+        """
+        self._check_free(name, self._probes)
+        self._probes[name] = fn
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms,
+                     self._probes):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric name {name!r} already registered as a "
+                    f"different instrument kind"
+                )
+
+    # -- reading ----------------------------------------------------------
+
+    def value(self, name: str) -> Union[int, float, dict, None]:
+        """Current value of one metric (histograms: their summary)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._histograms:
+            return self._histograms[name].summary()
+        if name in self._probes:
+            return self._probes[name]()
+        raise KeyError(name)
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges,
+                       *self._histograms, *self._probes])
+
+    def snapshot(self) -> dict:
+        """One flat point-in-time reading of every registered metric."""
+        out: dict = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, probe in self._probes.items():
+            out[name] = probe()
+        for name, hist in self._histograms.items():
+            out[name] = hist.summary()
+        return dict(sorted(out.items()))
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Snapshot rendered as (name, value) display rows."""
+        rows: list[tuple[str, str]] = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                if value["count"]:
+                    rendered = (
+                        f"n={value['count']} mean={value['mean']:.1f} "
+                        f"p50={value['p50']:.0f} p95={value['p95']:.0f} "
+                        f"p99={value['p99']:.0f} max={value['max']:.0f}"
+                    )
+                else:
+                    rendered = "n=0"
+            else:
+                rendered = str(value)
+            rows.append((name, rendered))
+        return rows

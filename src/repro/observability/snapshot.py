@@ -1,0 +1,74 @@
+"""Periodic metrics snapshots, fast-forward aware.
+
+:class:`SnapshotEmitter` is a :class:`~repro.network.engine.SynchronousEngine`
+component: registered alongside the routers, it samples a
+:class:`~repro.observability.registry.MetricsRegistry` every ``period``
+cycles.  Like the fault watchdog, it implements the engine's
+``next_event_cycle`` contract, so snapshots fire on their *exact*
+scheduled cycles even when the engine fast-forwards across idle spans —
+the jump stops at the snapshot cycle instead of skipping over it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.observability.registry import MetricsRegistry
+
+
+class SnapshotEmitter:
+    """Engine component that records registry snapshots on a period."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        period: int,
+        *,
+        start_cycle: int = 0,
+        sink: Optional[Callable[[dict], None]] = None,
+        keep: Optional[int] = None,
+    ) -> None:
+        if period < 1:
+            raise ValueError("snapshot period must be positive")
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be positive (or None for all)")
+        self.registry = registry
+        self.period = period
+        self.sink = sink
+        self.keep = keep
+        #: Recorded snapshots, oldest first (bounded by ``keep``).
+        self.snapshots: list[dict] = []
+        # First snapshot lands one full period after installation.
+        self._next_due = start_cycle + period
+
+    def step(self, cycle: int) -> None:
+        if cycle < self._next_due:
+            return
+        snapshot = self.registry.snapshot()
+        snapshot["cycle"] = cycle
+        self.snapshots.append(snapshot)
+        if self.keep is not None and len(self.snapshots) > self.keep:
+            del self.snapshots[0]
+        if self.sink is not None:
+            self.sink(snapshot)
+        # Next due point strictly after this cycle, on the same grid
+        # (a stall past one due point yields one catch-up snapshot,
+        # not a burst).
+        while self._next_due <= cycle:
+            self._next_due += self.period
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Engine fast-forward contract (see ``docs/performance.md``).
+
+        The emitter's only self-scheduled work is the next snapshot;
+        returning its cycle makes any fast-forward jump stop exactly
+        there, so snapshot cadence is identical in both engine modes.
+        """
+        return max(cycle, self._next_due)
+
+    @property
+    def next_due_cycle(self) -> int:
+        return self._next_due
+
+    def latest(self) -> Optional[dict]:
+        return self.snapshots[-1] if self.snapshots else None

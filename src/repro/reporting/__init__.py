@@ -3,8 +3,12 @@
 from repro.reporting.ascii_chart import histogram, line_chart
 from repro.reporting.export import (
     read_series_csv,
+    read_snapshots_jsonl,
+    read_trace_jsonl,
     write_log_csv,
     write_series_csv,
+    write_snapshots_jsonl,
+    write_trace_jsonl,
 )
 from repro.reporting.tables import format_kv, format_table
 
@@ -14,6 +18,10 @@ __all__ = [
     "histogram",
     "line_chart",
     "read_series_csv",
+    "read_snapshots_jsonl",
+    "read_trace_jsonl",
     "write_log_csv",
     "write_series_csv",
+    "write_snapshots_jsonl",
+    "write_trace_jsonl",
 ]

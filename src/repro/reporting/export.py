@@ -1,12 +1,17 @@
-"""CSV export of experiment series and delivery logs."""
+"""CSV/JSONL export of experiment series, delivery logs and traces."""
 
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.network.stats import DeliveryLog
+
+#: Trace-event keys holding node coordinates, which JSON flattens to
+#: lists; :func:`read_trace_jsonl` restores them to tuples.
+_NODE_KEYS = ("node",)
 
 
 def write_series_csv(path: str | pathlib.Path,
@@ -46,6 +51,65 @@ def write_log_csv(path: str | pathlib.Path,
                 record.deadline_met,
             ])
     return path
+
+
+def write_trace_jsonl(path: str | pathlib.Path,
+                      events: Iterable[Mapping[str, object]],
+                      ) -> pathlib.Path:
+    """Write packet-lifecycle trace events as JSON Lines.
+
+    One event per line, keys in :data:`repro.observability.EVENT_FIELDS`
+    order (``sort_keys=False`` keeps the emitted order).  Accepts any
+    iterable of event dicts — typically ``tracer.events()``.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, separators=(",", ":")))
+            handle.write("\n")
+    return path
+
+
+def read_trace_jsonl(path: str | pathlib.Path) -> list[dict[str, object]]:
+    """Inverse of :func:`write_trace_jsonl`.
+
+    JSON has no tuple type, so node coordinates come back as lists;
+    they are restored to tuples so replayed events compare equal to
+    live ``tracer.events()`` output.
+    """
+    events: list[dict[str, object]] = []
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            for key in _NODE_KEYS:
+                value = event.get(key)
+                if isinstance(value, list):
+                    event[key] = tuple(value)
+            events.append(event)
+    return events
+
+
+def write_snapshots_jsonl(path: str | pathlib.Path,
+                          snapshots: Iterable[Mapping[str, object]],
+                          ) -> pathlib.Path:
+    """Write periodic metrics snapshots as JSON Lines (one per line)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for snapshot in snapshots:
+            handle.write(json.dumps(snapshot, separators=(",", ":")))
+            handle.write("\n")
+    return path
+
+
+def read_snapshots_jsonl(path: str | pathlib.Path) -> list[dict[str, object]]:
+    """Inverse of :func:`write_snapshots_jsonl`."""
+    with pathlib.Path(path).open() as handle:
+        return [json.loads(line) for line in handle if line.strip()]
 
 
 def read_series_csv(path: str | pathlib.Path) -> dict[str, list[tuple[float, float]]]:

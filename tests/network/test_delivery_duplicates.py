@@ -1,0 +1,117 @@
+"""Delivery accounting under retransmission: no double counting.
+
+Satellite audit for the observability PR: with per-node delivery
+attribution plus TC retransmission, a re-sent copy that reaches a
+destination the original already reached must not inflate the delivery
+counts, charge a second deadline verdict, or skew the latency
+histograms.
+"""
+
+from repro import TrafficSpec, build_mesh_network
+from repro.core.packet import PacketMeta, TimeConstrainedPacket
+from repro.core.ports import EAST
+from repro.faults import PacketDropCorruptor, install_fault_tolerance
+from repro.network.stats import DeliveryLog
+from repro.observability import MetricsRegistry
+
+
+def _packet(label, sequence, *, retransmit_of=None, deadline=100):
+    meta = PacketMeta(
+        source=(0, 0), destination=(1, 0), injected_cycle=0,
+        delivered_cycle=40, absolute_deadline=deadline,
+        connection_label=label, sequence=sequence,
+        retransmit_of=retransmit_of,
+    )
+    return TimeConstrainedPacket(connection_id=0, header_deadline=0,
+                                 payload=b"\x00" * 18, meta=meta)
+
+
+class TestDeliveryLogDedup:
+    def test_same_sequence_same_node_is_duplicate(self):
+        log = DeliveryLog(slot_cycles=20)
+        first = log.add(_packet("c", 5), delivered_node=(1, 0))
+        second = log.add(_packet("c", 5), delivered_node=(1, 0))
+        assert not first.duplicate
+        assert second.duplicate
+        assert log.tc_delivered == 1
+        assert log.duplicate_deliveries == 1
+        assert len(log.records) == 2  # kept for forensics
+
+    def test_same_sequence_different_node_counts_twice(self):
+        """Multicast: one copy per subscriber is two real deliveries."""
+        log = DeliveryLog(slot_cycles=20)
+        log.add(_packet("c", 5), delivered_node=(1, 0))
+        log.add(_packet("c", 5), delivered_node=(0, 1))
+        assert log.tc_delivered == 2
+        assert log.duplicate_deliveries == 0
+
+    def test_retransmit_identity_beats_fresh_sequence(self):
+        """A re-sent copy carries a fresh sequence but the original
+        fragment identity; dedup must key on the identity."""
+        log = DeliveryLog(slot_cycles=20)
+        log.add(_packet("c", 5), delivered_node=(1, 0))
+        resent = log.add(_packet("c", 9, retransmit_of=5),
+                         delivered_node=(1, 0))
+        assert resent.duplicate
+        assert log.tc_delivered == 1
+
+    def test_retransmit_to_node_that_missed_original_counts(self):
+        log = DeliveryLog(slot_cycles=20)
+        log.add(_packet("c", 5), delivered_node=(1, 0))
+        resent = log.add(_packet("c", 9, retransmit_of=5),
+                         delivered_node=(0, 1))
+        assert not resent.duplicate
+        assert log.tc_delivered == 2
+
+    def test_unlabelled_traffic_never_marked(self):
+        log = DeliveryLog(slot_cycles=20)
+        log.add(_packet(None, None), delivered_node=(1, 0))
+        log.add(_packet(None, None), delivered_node=(1, 0))
+        assert log.tc_delivered == 2
+        assert log.duplicate_deliveries == 0
+
+    def test_duplicates_excluded_from_deadline_verdicts(self):
+        log = DeliveryLog(slot_cycles=20)
+        log.add(_packet("c", 5, deadline=1), delivered_node=(1, 0))
+        log.add(_packet("c", 5, deadline=1), delivered_node=(1, 0))
+        assert log.deadline_misses == 1  # not 2
+
+    def test_duplicates_not_observed_in_latency_histograms(self):
+        registry = MetricsRegistry()
+        log = DeliveryLog(slot_cycles=20)
+        log.latency_histograms = {
+            "TC": registry.histogram("lat", buckets=(64, 128)),
+        }
+        log.add(_packet("c", 5), delivered_node=(1, 0))
+        log.add(_packet("c", 5), delivered_node=(1, 0))
+        assert registry.value("lat")["count"] == 1
+
+
+class TestMulticastRetransmitRegression:
+    def test_retransmitted_copy_not_double_counted(self):
+        """One subscriber misses the multicast copy; the recovery
+        layer re-sends to the whole group.  The subscriber that had
+        already received it must not be counted twice — and the one
+        that missed it must actually get the retransmission (per-node
+        confirmation, not any-subscriber confirmation)."""
+        net = build_mesh_network(2, 2)
+        channel = net.establish_channel(
+            (0, 0), [(1, 0), (0, 1)], TrafficSpec(i_min=10),
+            deadline=60, label="fanout")
+        install_fault_tolerance(net)
+        # Eat the copy heading east to (1, 0); (0, 1) still gets its.
+        net.set_link_corruptor((0, 0), EAST,
+                               PacketDropCorruptor(packets=1, vc="TC"))
+
+        net.send_message(channel, payload=b"group update")
+        net.run_ticks(600)
+
+        assert net.fault_stats.tc_retransmitted >= 1
+        delivered_at = {r.delivered_node for r in net.log.records
+                        if not r.duplicate}
+        assert delivered_at == {(1, 0), (0, 1)}
+        # One logical message, two subscribers: exactly two countable
+        # deliveries, with the re-sent copy to (0, 1) flagged.
+        assert net.log.tc_delivered == 2
+        assert net.log.duplicate_deliveries >= 1
+        assert net.fault_stats.retransmit_recovered == 1

@@ -1,0 +1,138 @@
+"""Fast-forward cycle accounting: stepped + skipped == advanced.
+
+``cycles_stepped`` and ``cycles_fast_forwarded`` partition the cycles
+the engine advances; their sum must equal ``engine.cycle`` exactly, in
+every mode — including when a jump attempt fails and the engine backs
+off before scanning again.
+"""
+
+from repro.network.engine import SynchronousEngine
+
+
+class _Idle:
+    def step(self, cycle):
+        pass
+
+    def next_event_cycle(self, cycle):
+        return None
+
+
+class _Periodic:
+    """Has work every ``period`` cycles (lets spans fast-forward)."""
+
+    def __init__(self, period):
+        self.period = period
+        self.fired = 0
+
+    def step(self, cycle):
+        if cycle % self.period == 0:
+            self.fired += 1
+
+    def next_event_cycle(self, cycle):
+        if cycle % self.period == 0:
+            return cycle
+        return cycle + (self.period - cycle % self.period)
+
+
+class _BusyUntil:
+    """Claims work every cycle until ``until``, then goes idle.
+
+    While busy, every fast-forward attempt fails, exercising the
+    failed-jump backoff path; afterwards the engine can jump.
+    """
+
+    def __init__(self, until):
+        self.until = until
+
+    def step(self, cycle):
+        pass
+
+    def next_event_cycle(self, cycle):
+        return cycle if cycle < self.until else None
+
+
+def _check(engine):
+    assert engine.cycles_stepped + engine.cycles_fast_forwarded \
+        == engine.cycle
+
+
+class TestAccounting:
+    def test_pure_idle_run(self):
+        engine = SynchronousEngine()
+        engine.add_component(_Idle())
+        engine.run(10_000)
+        assert engine.cycle == 10_000
+        assert engine.cycles_stepped == 0
+        assert engine.cycles_fast_forwarded == 10_000
+        _check(engine)
+
+    def test_periodic_work(self):
+        engine = SynchronousEngine()
+        component = _Periodic(100)
+        engine.add_component(component)
+        engine.run(1_000)
+        _check(engine)
+        assert component.fired == 10  # cycles 0, 100, ..., 900
+        assert engine.cycles_fast_forwarded > 0
+
+    def test_failed_jump_backoff_does_not_leak_cycles(self):
+        engine = SynchronousEngine()
+        engine.add_component(_BusyUntil(500))
+        engine.run(2_000)
+        _check(engine)
+        # The busy prefix was stepped; at most the backoff window of
+        # extra stepped cycles is tolerated before the jump engages.
+        assert engine.cycles_stepped >= 500
+        assert engine.cycles_stepped \
+            <= 500 + SynchronousEngine._FF_BACKOFF_CAP
+        assert engine.cycles_fast_forwarded \
+            == 2_000 - engine.cycles_stepped
+
+    def test_alternating_busy_idle_phases(self):
+        engine = SynchronousEngine()
+        engine.add_component(_Periodic(7))
+        engine.add_component(_BusyUntil(100))
+        for _ in range(20):
+            engine.run(137)
+            _check(engine)
+        assert engine.cycle == 20 * 137
+
+    def test_run_until_accounting(self):
+        engine = SynchronousEngine()
+        component = _Periodic(50)
+        engine.add_component(component)
+        engine.run_until(lambda: component.fired >= 5, max_cycles=10_000)
+        _check(engine)
+
+    def test_component_churn_mid_run(self):
+        engine = SynchronousEngine()
+        engine.add_component(_Idle())
+        busy = _BusyUntil(10**9)  # pins the per-cycle loop while present
+        engine.add_component(busy)
+        engine.run(100)
+        assert engine.cycles_stepped == 100
+        engine.remove_component(busy)
+        engine.run(1_000)
+        _check(engine)
+        assert engine.cycles_fast_forwarded >= 1_000 \
+            - SynchronousEngine._FF_BACKOFF_CAP
+
+    def test_legacy_component_disables_fast_forward(self):
+        class Legacy:  # no next_event_cycle
+            def step(self, cycle):
+                pass
+
+        engine = SynchronousEngine()
+        engine.add_component(Legacy())
+        engine.run(500)
+        assert engine.cycles_stepped == 500
+        assert engine.cycles_fast_forwarded == 0
+        _check(engine)
+
+    def test_fast_forward_disabled_engine(self):
+        engine = SynchronousEngine(fast_forward=False)
+        engine.add_component(_Idle())
+        engine.run(500)
+        assert engine.cycles_stepped == 500
+        assert engine.cycles_fast_forwarded == 0
+        _check(engine)

@@ -1,0 +1,171 @@
+"""Tests for the metrics registry: instruments, probes, snapshots."""
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(7)
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_empty_percentiles_are_none(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.p50 is None
+        assert hist.p95 is None
+        assert hist.p99 is None
+        assert hist.mean is None
+        assert hist.percentile(100) is None
+        assert hist.summary()["count"] == 0
+
+    def test_single_sample_is_exact(self):
+        hist = Histogram("h", buckets=(10, 100, 1000))
+        hist.observe(37)
+        # 37 falls in the (10, 100] bucket, but the clamp to the
+        # observed range must answer the exact sample for every
+        # percentile, not the bucket's upper bound.
+        for pct in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(pct) == 37.0
+        assert hist.min == 37 and hist.max == 37
+        assert hist.mean == 37.0
+
+    def test_above_top_bucket_answers_observed_max(self):
+        hist = Histogram("h", buckets=(10, 20))
+        hist.observe(5)
+        hist.observe(99999)  # overflow bucket
+        assert hist.max == 99999
+        # The overflow bucket has no upper bound; the percentile that
+        # lands there must answer the observed maximum, never infinity.
+        assert hist.p99 == 99999.0
+        assert hist.percentile(100) == 99999.0
+        assert hist.p50 == 10.0  # first sample's bucket bound
+
+    def test_percentiles_use_bucket_bounds(self):
+        hist = Histogram("h", buckets=(10, 20, 40, 80))
+        for value in (1, 12, 13, 35, 70):
+            hist.observe(value)
+        assert hist.p50 == 20.0       # rank 3 of 5 -> (10, 20] bucket
+        # Rank 5 falls in the (40, 80] bucket, but the bound is
+        # clamped to the observed maximum.
+        assert hist.percentile(90) == 70.0
+        assert hist.count == 5
+        assert hist.min == 1 and hist.max == 70
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        hist = Histogram("h", buckets=(10, 20))
+        hist.observe(10)  # exactly on a bound: counts as <= 10
+        assert hist.counts[0] == 1
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10, 10))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(20, 10))
+
+    def test_rejects_bad_percentile(self):
+        hist = Histogram("h")
+        hist.observe(1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+    def test_default_buckets(self):
+        assert Histogram("h").bounds == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_conflicts_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        with pytest.raises(ValueError):
+            registry.register_probe("x", lambda: 0)
+
+    def test_histogram_bucket_mismatch(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2))
+        assert registry.histogram("h").bounds == (1, 2)
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(3, 4))
+
+    def test_probe_samples_live_attribute(self):
+        class Thing:
+            hits = 0
+
+        thing = Thing()
+        registry = MetricsRegistry()
+        registry.register_probe("thing.hits", lambda: thing.hits)
+        assert registry.value("thing.hits") == 0
+        thing.hits = 7
+        assert registry.value("thing.hits") == 7
+        assert registry.snapshot()["thing.hits"] == 7
+
+    def test_probe_reregistration_replaces(self):
+        registry = MetricsRegistry()
+        registry.register_probe("p", lambda: 1)
+        registry.register_probe("p", lambda: 2)
+        assert registry.value("p") == 2
+
+    def test_value_unknown_name(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("nope")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.depth").set(3)
+        registry.histogram("c.lat", buckets=(10,)).observe(4)
+        registry.register_probe("d.probe", lambda: 9)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b.count"] == 2
+        assert snap["a.depth"] == 3
+        assert snap["d.probe"] == 9
+        assert snap["c.lat"]["count"] == 1
+
+    def test_names_and_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("one").inc()
+        registry.histogram("two", buckets=(8,))
+        assert registry.names() == ["one", "two"]
+        rows = dict(registry.rows())
+        assert rows["one"] == "1"
+        assert rows["two"] == "n=0"

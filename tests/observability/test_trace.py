@@ -1,0 +1,96 @@
+"""Tests for the packet-lifecycle tracer ring buffer."""
+
+import pytest
+
+from repro.core.packet import PacketMeta
+from repro.observability import (
+    BUFFER,
+    DELIVER,
+    ENQUEUE,
+    EVENT_FIELDS,
+    PacketTracer,
+)
+
+
+def _meta(packet_id=1, label="c0", sequence=5):
+    return PacketMeta(packet_id=packet_id, connection_label=label,
+                      sequence=sequence)
+
+
+class TestEmit:
+    def test_event_dict_has_all_fields(self):
+        tracer = PacketTracer(capacity=8)
+        tracer.emit(10, ENQUEUE, node=(0, 0), traffic_class="TC")
+        (event,) = tracer.events()
+        assert tuple(event) == EVENT_FIELDS
+        assert event["cycle"] == 10
+        assert event["event"] == ENQUEUE
+        assert event["node"] == (0, 0)
+        assert event["traffic_class"] == "TC"
+        assert event["packet_id"] is None
+
+    def test_meta_defaults_identity_fields(self):
+        tracer = PacketTracer(capacity=8)
+        tracer.emit(3, BUFFER, meta=_meta(7, "chan", 2), queue=1)
+        (event,) = tracer.events()
+        assert event["packet_id"] == 7
+        assert event["label"] == "chan"
+        assert event["sequence"] == 2
+        assert event["queue"] == 1
+
+    def test_explicit_fields_beat_meta_defaults(self):
+        tracer = PacketTracer(capacity=8)
+        tracer.emit(3, BUFFER, meta=_meta(7, "chan", 2),
+                    label="other", sequence=9)
+        (event,) = tracer.events()
+        assert event["label"] == "other"
+        assert event["sequence"] == 9
+
+    def test_events_oldest_first(self):
+        tracer = PacketTracer(capacity=8)
+        for cycle in range(5):
+            tracer.emit(cycle, ENQUEUE)
+        assert [e["cycle"] for e in tracer.events()] == [0, 1, 2, 3, 4]
+
+
+class TestRing:
+    def test_wraparound_evicts_oldest(self):
+        tracer = PacketTracer(capacity=3)
+        for cycle in range(5):
+            tracer.emit(cycle, ENQUEUE)
+        assert len(tracer) == 3
+        assert tracer.emitted == 5
+        assert tracer.dropped == 2
+        assert [e["cycle"] for e in tracer.events()] == [2, 3, 4]
+
+    def test_clear_resets_everything(self):
+        tracer = PacketTracer(capacity=3)
+        for cycle in range(5):
+            tracer.emit(cycle, ENQUEUE)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+        assert tracer.dropped == 0
+        assert tracer.events() == []
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PacketTracer(capacity=0)
+
+
+class TestQueries:
+    def test_of_packet(self):
+        tracer = PacketTracer(capacity=8)
+        tracer.emit(1, ENQUEUE, meta=_meta(1))
+        tracer.emit(2, ENQUEUE, meta=_meta(2))
+        tracer.emit(3, DELIVER, meta=_meta(1))
+        lifecycle = tracer.of_packet(1)
+        assert [e["event"] for e in lifecycle] == [ENQUEUE, DELIVER]
+        assert [e["cycle"] for e in lifecycle] == [1, 3]
+
+    def test_counts(self):
+        tracer = PacketTracer(capacity=8)
+        tracer.emit(1, ENQUEUE)
+        tracer.emit(2, ENQUEUE)
+        tracer.emit(3, DELIVER)
+        assert tracer.counts() == {DELIVER: 1, ENQUEUE: 2}

@@ -1,6 +1,6 @@
 """Tests for the command-line interface."""
 
-import pytest
+import json
 
 from repro.cli import main
 
@@ -45,9 +45,9 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "cut-through" in out
 
-    def test_unknown_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["experiment", "zz"])
+    def test_unknown_rejected(self, capsys):
+        assert main(["experiment", "zz"]) != 0
+        assert "invalid choice" in capsys.readouterr().err
 
 
 class TestTraceCommands:
@@ -75,6 +75,70 @@ class TestSimulate:
         assert "deadline misses" in out
         assert csv_path.exists()
 
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            main([])
+    def test_requires_command(self, capsys):
+        assert main([]) != 0
+        assert "usage" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    """Bad usage and unreadable inputs: stderr + exit status, never a
+    traceback or an escaping SystemExit."""
+
+    def test_unknown_subcommand(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_replay_missing_file(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_replay_directory(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "repro-router" in capsys.readouterr().out
+
+    def test_bad_option_value(self, capsys):
+        assert main(["simulate", "--width", "wide"]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_trace_export(self, capsys, tmp_path):
+        out_path = tmp_path / "events.jsonl"
+        snap_path = tmp_path / "snaps.jsonl"
+        assert main(["trace", str(out_path),
+                     "--width", "2", "--height", "2",
+                     "--channels", "2", "--ticks", "30", "--seed", "3",
+                     "--snapshots", str(snap_path),
+                     "--period", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        events = [json.loads(line)
+                  for line in out_path.read_text().splitlines()]
+        assert events
+        assert {"enqueue", "deliver"} <= {e["event"] for e in events}
+        snaps = [json.loads(line)
+                 for line in snap_path.read_text().splitlines()]
+        assert snaps
+        assert all(s["cycle"] % 200 == 0 for s in snaps)
+
+    def test_metrics_report(self, capsys, tmp_path):
+        json_path = tmp_path / "metrics.jsonl"
+        assert main(["metrics", "--width", "2", "--height", "2",
+                     "--channels", "2", "--ticks", "30", "--seed", "3",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.cycles_stepped" in out
+        assert "delivery.tc_delivered" in out
+        snaps = [json.loads(line)
+                 for line in json_path.read_text().splitlines()]
+        assert snaps
+        final = snaps[-1]
+        assert final["engine.cycle"] == final["cycle"]
