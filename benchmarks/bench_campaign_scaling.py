@@ -1,0 +1,86 @@
+"""Campaign runner scaling: worker-pool speedup and cache hits.
+
+Not a paper result — infrastructure numbers for the campaign layer.
+One 24-run sweep is executed twice from scratch (1 worker, then 4
+workers) and once more against a warm cache.  Gates:
+
+* the 4-worker sweep must produce the bit-identical aggregate
+  signature (parallelism must not change results);
+* the warm-cache re-invocation must execute **zero** simulations;
+* on hosts with >= 4 cores, the 4-worker sweep must be at least 2x
+  faster than the 1-worker sweep.  Single-core hosts record the
+  measured ratio in the artefact but skip the gate (there is no
+  parallelism to win there).
+"""
+
+import multiprocessing
+import time
+
+from conftest import fmt_table
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+
+#: 24 runs x ~0.4s of real simulation each: enough work per run that
+#: process startup does not dominate, small enough for CI.
+SPEC = CampaignSpec(
+    name="scaling", master_seed=2024, mode="grid",
+    base={"workload": "random", "width": 3, "height": 3,
+          "channels": 4, "ticks": 120},
+    axes={"replica": list(range(24))},
+)
+
+SPEEDUP_FLOOR = 2.0
+CORES_NEEDED = 4
+
+
+def timed_run(cache_dir, workers):
+    runner = CampaignRunner(SPEC, ResultCache(cache_dir),
+                            workers=workers)
+    started = time.monotonic()
+    result = runner.run()
+    return result, time.monotonic() - started
+
+
+def test_campaign_worker_scaling(report, tmp_path):
+    cores = multiprocessing.cpu_count()
+
+    serial, serial_s = timed_run(tmp_path / "w1", 1)
+    parallel, parallel_s = timed_run(tmp_path / "w4", 4)
+    cached, cached_s = timed_run(tmp_path / "w4", 4)
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    gated = cores >= CORES_NEEDED
+
+    rows = [
+        ["1 worker (cold)", f"{serial_s:.2f}", len(serial.executed),
+         len(serial.cached)],
+        ["4 workers (cold)", f"{parallel_s:.2f}",
+         len(parallel.executed), len(parallel.cached)],
+        ["4 workers (warm cache)", f"{cached_s:.2f}",
+         len(cached.executed), len(cached.cached)],
+    ]
+    lines = fmt_table(["configuration", "seconds", "executed", "cached"],
+                      rows)
+    lines += [
+        "",
+        f"runs per sweep:   {serial.total}",
+        f"cpu cores:        {cores}",
+        f"parallel speedup: {speedup:.2f}x "
+        + (f"(gate: >= {SPEEDUP_FLOOR}x)" if gated
+           else f"(gate skipped: needs >= {CORES_NEEDED} cores)"),
+        f"signatures match: {serial.signature() == parallel.signature()}",
+    ]
+    report("campaign_scaling", lines)
+
+    assert serial.ok and parallel.ok and cached.ok
+    assert serial.total == 24
+    # Parallel execution must not change a single byte of the results.
+    assert parallel.signature() == serial.signature()
+    assert cached.signature() == serial.signature()
+    # Warm-cache re-invocation completes without running anything.
+    assert cached.executed == []
+    assert len(cached.cached) == cached.total
+    if gated:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"4-worker speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
+            f"on a {cores}-core host")

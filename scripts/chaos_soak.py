@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
-"""Seeded multi-fault chaos soak for the real-time router fabric.
+"""Seeded multi-fault chaos soak, run as a campaign sweep.
 
-Runs mixed time-constrained / best-effort traffic on a mesh while a
-seeded :class:`~repro.faults.plan.FaultPlan` cuts links, flaps them,
-corrupts packets, drops packets, and babbles — then asserts the
-fabric's invariants:
+A thin spec over the campaign runner: the configured fault mix (one
+fault-plan axis, optionally widened by ``--plan-sweep``) crossed with a
+seed axis (``--seeds`` replicas) is fanned out over worker processes
+(:class:`repro.campaign.CampaignRunner`), each run executing one
+:func:`repro.faults.run_chaos_soak` soak.  The aggregated report
+asserts the fabric's invariants across the whole sweep:
 
-* every corrupted packet was dropped and counted, never delivered;
-* every channel touched by a failure was rerouted (deadlines still
-  met) or explicitly degraded to best-effort;
-* the routers' structural invariants held throughout;
-* with ``--repeat``, two runs with the same seed are bit-identical.
+* the routers' structural invariants held in every run;
+* every undegraded channel met every deadline;
+* every run completed (a crashed/hung soak is quarantined and fails
+  the script, never silently dropped);
+* with ``--repeat``, re-executing the sweep from scratch produces a
+  bit-identical aggregate signature.
 
 Usage::
 
     PYTHONPATH=src python scripts/chaos_soak.py [--seed S] [--cycles N]
         [--cuts N] [--flaps N] [--corruptions N] [--drops N]
-        [--babblers N] [--repeat]
+        [--babblers N] [--seeds R] [--plan-sweep] [--workers W]
+        [--cache DIR] [--repeat]
 
 Exit status is non-zero when any assertion fails.  The default
 configuration injects at least three link faults plus corruption, the
@@ -27,11 +31,58 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+
+
+def build_spec(args) -> "CampaignSpec":
+    """The soak's campaign spec: fault-plan axis x seed axis."""
+    from repro.campaign import CampaignSpec
+
+    mixes = [{
+        "cuts": args.cuts, "flaps": args.flaps,
+        "corruptions": args.corruptions, "drops": args.drops,
+        "babblers": args.babblers,
+    }]
+    if args.plan_sweep:
+        # Widen the fault-plan axis: a link-fault-heavy mix and a
+        # data-fault-heavy mix alongside the configured one.
+        mixes.append({"cuts": args.cuts + 1, "flaps": args.flaps + 1,
+                      "corruptions": 0, "drops": 0, "babblers": 0})
+        mixes.append({"cuts": 0, "flaps": 0,
+                      "corruptions": args.corruptions + 1,
+                      "drops": args.drops + 1,
+                      "babblers": args.babblers})
+    return CampaignSpec(
+        name="chaos-soak",
+        master_seed=args.seed,
+        mode="list",
+        base={
+            "workload": "chaos", "width": args.width,
+            "height": args.height, "cycles": args.cycles,
+            "settle_cycles": args.settle, "channels": 4,
+        },
+        runs=[{**mix, "replica": replica}
+              for mix in mixes for replica in range(args.seeds)],
+    )
+
+
+def run_campaign(spec, cache_dir: str, workers: int, *,
+                 reuse_cache: bool = True, quiet: bool = False):
+    from repro.campaign import CampaignRunner, ResultCache
+
+    runner = CampaignRunner(
+        spec, ResultCache(cache_dir), workers=workers,
+        reuse_cache=reuse_cache,
+        progress=None if quiet else print,
+    )
+    return runner.run()
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="campaign master seed (per-run seeds are "
+                             "derived from it)")
     parser.add_argument("--width", type=int, default=4)
     parser.add_argument("--height", type=int, default=4)
     parser.add_argument("--cycles", type=int, default=12_000)
@@ -41,54 +92,64 @@ def main(argv=None) -> int:
     parser.add_argument("--corruptions", type=int, default=2)
     parser.add_argument("--drops", type=int, default=1)
     parser.add_argument("--babblers", type=int, default=1)
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="seed-axis replicas per fault mix")
+    parser.add_argument("--plan-sweep", action="store_true",
+                        help="widen the fault-plan axis with a "
+                             "link-heavy and a data-heavy mix")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
+    parser.add_argument("--cache", default=None,
+                        help="persistent result cache directory "
+                             "(default: a throwaway temp dir)")
     parser.add_argument("--repeat", action="store_true",
-                        help="run twice; fail unless bit-identical")
+                        help="re-execute the sweep; fail unless "
+                             "bit-identical")
     args = parser.parse_args(argv)
 
-    from repro.faults import ChaosConfig, run_chaos_soak
-
-    config = ChaosConfig(
-        seed=args.seed, width=args.width, height=args.height,
-        cycles=args.cycles, settle_cycles=args.settle,
-        cuts=args.cuts, flaps=args.flaps, corruptions=args.corruptions,
-        drops=args.drops, babblers=args.babblers,
-    )
     link_faults = args.cuts + args.flaps
-    if link_faults < 3:
+    if link_faults < 3 and not args.plan_sweep:
         print(f"note: only {link_faults} link faults configured "
               "(acceptance soak wants >= 3)")
 
-    report = run_chaos_soak(config)
-    print(f"seed {report.seed}: {report.cycles} cycles, "
-          f"{report.faults_fired} fault events, "
-          f"{report.channels_established} channels")
-    for name, value in report.summary_rows():
-        print(f"  {name}: {value}")
-    if report.degraded_labels:
-        print(f"  degraded: {', '.join(report.degraded_labels)}")
+    spec = build_spec(args)
+    print(f"chaos campaign: master seed {args.seed}, "
+          f"{len(spec.expand())} runs, {args.workers} workers")
 
-    failures = []
-    if report.invariant_failures:
-        failures.append(
-            f"{len(report.invariant_failures)} invariant violations "
-            f"(first: {report.invariant_failures[0]})")
-    if report.deadline_misses_undegraded:
-        failures.append(
-            f"{report.deadline_misses_undegraded} deadline misses on "
-            "undegraded channels")
-    if args.repeat:
-        again = run_chaos_soak(config)
-        if again.signature() != report.signature():
-            failures.append("repeat run with the same seed diverged")
-        else:
-            print("repeat run identical (deterministic)")
+    with tempfile.TemporaryDirectory() as scratch:
+        report = run_campaign(spec, args.cache or scratch, args.workers)
+        for line in report.summary_lines():
+            print(line)
 
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        return 1
-    print(f"ok (signature {report.signature()[:16]})")
-    return 0
+        failures = []
+        invariant_failures = sum(
+            stats.get("invariant_failures", 0)
+            for stats in report.results.values())
+        misses_undegraded = sum(
+            stats.get("deadline_misses_undegraded", 0)
+            for stats in report.results.values())
+        if invariant_failures:
+            failures.append(f"{invariant_failures} invariant violations")
+        if misses_undegraded:
+            failures.append(f"{misses_undegraded} deadline misses on "
+                            "undegraded channels")
+        if report.quarantined:
+            failures.append(f"{len(report.quarantined)} runs quarantined")
+        if args.repeat:
+            with tempfile.TemporaryDirectory() as fresh:
+                again = run_campaign(spec, fresh, args.workers,
+                                     reuse_cache=False, quiet=True)
+            if again.signature() != report.signature():
+                failures.append("repeat sweep with the same seed diverged")
+            else:
+                print("repeat sweep identical (deterministic)")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(f"ok (signature {report.signature()[:16]})")
+        return 0
 
 
 if __name__ == "__main__":

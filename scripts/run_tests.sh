@@ -6,13 +6,17 @@
 #   scripts/run_tests.sh chaos          # seeded fault-injection soaks only
 #   scripts/run_tests.sh bench          # benchmark smoke (writes results/)
 #   scripts/run_tests.sh observability  # tracing/metrics suite + overhead gate
+#   scripts/run_tests.sh campaign       # campaign runner/cache/determinism suite
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
 # idle-heavy workload — and refreshes benchmarks/results/.  The
 # observability job runs the tracing/metrics/snapshot suites, the
 # trace-replay acceptance test and the disabled-tracer overhead gate
-# (within 5% of the plain fast-forward baseline).
+# (within 5% of the plain fast-forward baseline).  The campaign job
+# runs the sweep-runner suites (spec/cache/retry/kill-and-resume) plus
+# the campaign scaling benchmark (cache-hit re-invocation gate always;
+# the >=2x parallel speedup gate only on hosts with >=4 cores).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,12 +53,23 @@ run_observability() {
         "benchmarks/bench_sim_performance.py::test_disabled_tracer_overhead_within_bound"
 }
 
+run_campaign() {
+    echo "== campaign: sweep runner, cache, determinism, kill/resume =="
+    python -m pytest -q \
+        tests/campaign \
+        tests/test_reporting.py \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        benchmarks/bench_campaign_scaling.py
+}
+
 case "$job" in
     tier1) run_tier1 ;;
     chaos) run_chaos ;;
     bench) run_bench ;;
     observability) run_observability ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|all)" >&2
+    campaign) run_campaign ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|all)" >&2
            exit 2 ;;
 esac

@@ -1,0 +1,137 @@
+"""Aggregation of campaign run results into summary tables.
+
+Consumes the canonical stats dicts the workers produce (see
+:mod:`repro.campaign.workloads` for the schema) and reduces a whole
+campaign to:
+
+* a per-class delivery table — runs, delivered, deadline misses, miss
+  rate, and latency percentiles answered by *merging* the runs'
+  :class:`~repro.observability.Histogram` states (per-run summaries
+  cannot be combined into campaign percentiles; bucket counts can);
+* a fault/recovery counter table (non-zero totals only);
+* a stable :func:`campaign_signature` over every run's stats, the
+  digest the kill-and-resume acceptance test compares.
+
+Rendering goes through :mod:`repro.reporting.tables` so campaign
+artefacts diff cleanly like every other artefact in the repo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Optional
+
+from repro.campaign.spec import canonical_dumps
+from repro.observability.registry import Histogram
+from repro.reporting.tables import format_rate, format_table
+
+#: Traffic classes summarised by every campaign table.
+CLASSES = ("TC", "BE")
+
+
+def merged_latency(results: Iterable[Mapping],
+                   traffic_class: str) -> Optional[Histogram]:
+    """One histogram holding every run's latency samples for a class.
+
+    Returns ``None`` when no run shipped a histogram state for the
+    class.  All shipped states must share bucket bounds (they do —
+    everything uses ``DEFAULT_LATENCY_BUCKETS``); mismatched bounds
+    raise rather than merge wrongly.
+    """
+    merged: Optional[Histogram] = None
+    for stats in results:
+        state = (stats.get("latency") or {}).get(traffic_class)
+        if state is None:
+            continue
+        loaded = Histogram.from_state(
+            f"campaign.latency_{traffic_class.lower()}", state)
+        if merged is None:
+            merged = loaded
+        else:
+            merged.merge(loaded)
+    return merged
+
+
+def per_class_rows(results: Iterable[Mapping]) -> list[list[str]]:
+    """Per-class summary rows (the body of the delivery table)."""
+    results = list(results)
+    rows = []
+    for cls in CLASSES:
+        runs = delivered = misses = 0
+        for stats in results:
+            class_stats = (stats.get("classes") or {}).get(cls)
+            if class_stats is None:
+                continue
+            runs += 1
+            delivered += class_stats.get("delivered", 0)
+            misses += class_stats.get("deadline_misses", 0)
+        histogram = merged_latency(results, cls)
+
+        def cell(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:.0f}"
+
+        if histogram is not None and histogram.count:
+            latency = [cell(histogram.mean), cell(histogram.p50),
+                       cell(histogram.p95), cell(histogram.p99),
+                       cell(histogram.max)]
+        else:
+            latency = ["-"] * 5
+        rows.append([cls, str(runs), str(delivered), str(misses),
+                     format_rate(misses, delivered), *latency])
+    return rows
+
+
+def delivery_table(results: Iterable[Mapping]) -> list[str]:
+    """The campaign's per-class delivery/latency summary table."""
+    return format_table(
+        ["class", "runs", "delivered", "misses", "miss rate",
+         "mean", "p50", "p95", "p99", "max"],
+        per_class_rows(results),
+    )
+
+
+def fault_totals(results: Iterable[Mapping]) -> dict[str, int]:
+    """Fault/recovery counters summed across runs (all keys kept)."""
+    totals: dict[str, int] = {}
+    for stats in results:
+        for name, value in (stats.get("faults") or {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def fault_table(results: Iterable[Mapping]) -> list[str]:
+    """Non-zero fault/recovery totals as a table (empty list if none)."""
+    rows = [[name, str(value)] for name, value
+            in sorted(fault_totals(results).items()) if value]
+    if not rows:
+        return []
+    return format_table(["fault counter", "total"], rows)
+
+
+def campaign_signature(results: Mapping[str, Mapping]) -> str:
+    """Stable digest of every run's stats, keyed by config hash.
+
+    Two campaigns that executed the same grid — in any order, with any
+    worker count, across any interrupt/resume split — produce the same
+    signature iff every run produced identical stats.
+    """
+    payload = canonical_dumps({h: dict(results[h]) for h in sorted(results)})
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def summary_lines(results: Mapping[str, Mapping]) -> list[str]:
+    """The full aggregated summary, ready to print or archive."""
+    stats_list = [results[h] for h in sorted(results)]
+    lines = delivery_table(stats_list)
+    faults = fault_table(stats_list)
+    if faults:
+        lines += ["", *faults]
+    degraded = sorted({label for stats in stats_list
+                       for label in stats.get("degraded") or ()})
+    if degraded:
+        lines += ["", f"degraded channels: {', '.join(degraded)}"]
+    invariant_failures = sum(stats.get("invariant_failures", 0)
+                             for stats in stats_list)
+    if invariant_failures:
+        lines += ["", f"INVARIANT VIOLATIONS: {invariant_failures}"]
+    return lines

@@ -1,0 +1,78 @@
+"""Campaign worker: execute one run and persist its result shard.
+
+:func:`execute_run` is the pure core (config in, canonical stats out);
+:func:`run_and_store` adds the cache write; :func:`subprocess_entry` is
+the ``multiprocessing.Process`` target the runner launches — it never
+lets an exception escape as a traceback storm, but records the failure
+in the cache's error sidecar and exits non-zero so the parent can
+retry or quarantine the config.
+
+The parent judges success by *both* signals: a zero exit code **and** a
+valid shard on disk.  A worker that dies hard (``os._exit``, a signal,
+an OOM kill) produces neither, and is handled exactly like a raised
+exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import traceback
+from typing import Callable, Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import RunConfig, canonical_dumps
+from repro.campaign.workloads import workload_for
+
+#: An executor maps a config to its canonical stats dict.
+Executor = Callable[[RunConfig], dict]
+
+
+def execute_run(config: RunConfig) -> dict:
+    """Run one config with its registered workload; returns stats.
+
+    Deterministic: the same config yields the same stats dict in any
+    process (pinned by ``tests/campaign/test_determinism.py``).
+    """
+    stats = workload_for(config)(config)
+    stats["config_hash"] = config.content_hash()
+    return stats
+
+
+def run_and_store(config: RunConfig, cache: ResultCache,
+                  executor: Optional[Executor] = None) -> dict:
+    """Execute one run and atomically persist its shard."""
+    stats = (executor or execute_run)(config)
+    cache.store(config, stats)
+    return stats
+
+
+def subprocess_entry(executor: Optional[Executor], config_dict: dict,
+                     cache_root: str) -> None:
+    """Worker-process entry point (one process per run).
+
+    On success the shard is on disk and the process exits 0.  On any
+    exception the failure (message + traceback) lands in the cache's
+    error sidecar and the process exits 1.
+    """
+    cache = ResultCache(cache_root)
+    config: Optional[RunConfig] = None
+    try:
+        config = RunConfig.from_dict(config_dict)
+        run_and_store(config, cache, executor)
+    except BaseException as exc:  # noqa: BLE001 — report, then exit(1)
+        if config is not None:
+            config_hash = config.content_hash()
+        else:
+            # from_dict itself failed; hash the raw dict (it matches
+            # what the parent computed for a well-formed config).
+            config_hash = hashlib.sha256(
+                canonical_dumps(config_dict).encode()).hexdigest()
+        try:
+            cache.store_error(config_hash, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            })
+        except OSError:
+            pass  # reporting must not mask the failure itself
+        sys.exit(1)

@@ -1,0 +1,179 @@
+"""Executable workloads behind campaign runs.
+
+A workload is a pure function ``RunConfig -> stats dict``: it builds a
+fresh simulation from the config, runs it to completion, and reduces
+the outcome to a canonical, JSON-serialisable stats dictionary.  Purity
+is the load-bearing property — the result cache and the determinism
+tests rely on the same config producing byte-identical stats in any
+process.
+
+Two workloads ship by default:
+
+* ``random`` — the CLI's seeded random admitted workload (mixed
+  time-constrained and best-effort traffic on a mesh), shared with
+  ``repro-router simulate`` so the CLI and campaigns measure the same
+  thing.
+* ``chaos`` — one seeded fault-injection soak
+  (:func:`repro.faults.run_chaos_soak`).
+
+RNG streams inside a workload are derived with
+:func:`~repro.campaign.spec.derive_seed` per stage (admission vs.
+traffic), so restructuring one stage can never perturb another's
+stream.
+
+The stats schema shared by all workloads::
+
+    workload, cycles, channels_established,
+    classes: {TC: {delivered, deadline_misses, latency}, BE: {...}},
+    latency: {TC: histogram state | None, BE: ...},
+    faults: {fault-counter name: total},
+    degraded: [labels], duplicates, invariant_failures,
+    deadline_misses_undegraded, faults_fired, signature | None
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.campaign.spec import RunConfig, derive_seed
+
+#: Registered workload executors, keyed by ``RunConfig.workload``.
+WORKLOADS: dict[str, Callable[[RunConfig], dict]] = {}
+
+
+def register_workload(name: str,
+                      fn: Callable[[RunConfig], dict]) -> None:
+    """Register (or replace) a workload executor under ``name``."""
+    WORKLOADS[name] = fn
+
+
+def workload_for(config: RunConfig) -> Callable[[RunConfig], dict]:
+    try:
+        return WORKLOADS[config.workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {config.workload!r} "
+            f"(registered: {sorted(WORKLOADS)})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# The random admitted workload (shared with the CLI's ``simulate``)
+# ---------------------------------------------------------------------------
+
+def build_random_workload(width: int, height: int, channels: int,
+                          seed: int):
+    """Admit a seeded random channel set on a fresh mesh.
+
+    Returns ``(net, admitted)`` where ``admitted`` pairs each channel
+    with its period.  Admission draws from its own derived RNG
+    substream (``derive_seed(seed, "admit")``), independent of the
+    traffic stream, so setup and driving are separately reproducible.
+    """
+    from repro import TrafficSpec, build_mesh_network
+    from repro.channels import AdmissionError
+
+    rng = random.Random(derive_seed(seed, "admit"))
+    net = build_mesh_network(width, height)
+    nodes = list(net.mesh.nodes())
+    admitted = []
+    for _ in range(channels):
+        src, dst = rng.sample(nodes, 2)
+        i_min = rng.choice([6, 10, 16, 24])
+        deadline = i_min * (net.mesh.hop_distance(src, dst) + 1) + 10
+        try:
+            admitted.append((net.establish_channel(
+                src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
+            ), i_min))
+        except AdmissionError:
+            continue
+    return net, admitted
+
+
+def drive_random_workload(net, admitted, ticks: int, seed: int) -> None:
+    """Run the admitted workload to completion (including drain).
+
+    Best-effort background traffic draws from its own derived RNG
+    substream (``derive_seed(seed, "traffic")``).
+    """
+    rng = random.Random(derive_seed(seed, "traffic"))
+    nodes = list(net.mesh.nodes())
+    for tick in range(0, ticks, 2):
+        for channel, i_min in admitted:
+            if tick % i_min == 0:
+                net.send_message(channel)
+        if rng.random() < 0.25:
+            src, dst = rng.sample(nodes, 2)
+            net.send_best_effort(src, dst,
+                                 payload=bytes(rng.randrange(8, 100)))
+        net.run_ticks(2)
+    net.drain(max_cycles=2_000_000)
+
+
+def run_random(config: RunConfig) -> dict:
+    """Execute one ``random``-workload run and reduce it to stats."""
+    net, admitted = build_random_workload(
+        config.width, config.height, config.channels, config.seed)
+    drive_random_workload(net, admitted, config.ticks, config.seed)
+    log = net.log
+    misses = log.deadline_misses
+    return {
+        "workload": "random",
+        "cycles": net.cycle,
+        "channels_established": len(admitted),
+        "classes": {cls: log.class_stats(cls) for cls in ("TC", "BE")},
+        "latency": {cls: histogram.state() for cls, histogram
+                    in log.latency_histograms.items()},
+        "faults": net.fault_counters().as_dict(),
+        "degraded": [],
+        "duplicates": log.duplicate_deliveries,
+        "invariant_failures": 0,
+        "deadline_misses_undegraded": misses,
+        "faults_fired": 0,
+        "signature": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The chaos soak workload
+# ---------------------------------------------------------------------------
+
+def run_chaos(config: RunConfig) -> dict:
+    """Execute one seeded fault-injection soak and reduce it to stats."""
+    from repro.faults import ChaosConfig, run_chaos_soak
+    from repro.network.stats import LatencySummary
+
+    report = run_chaos_soak(ChaosConfig(
+        seed=config.seed, width=config.width, height=config.height,
+        cycles=config.cycles, settle_cycles=config.settle_cycles,
+        cuts=config.cuts, flaps=config.flaps,
+        corruptions=config.corruptions, drops=config.drops,
+        babblers=config.babblers, unicast_channels=config.channels,
+    ))
+    empty = LatencySummary.from_values([]).as_dict()
+    return {
+        "workload": "chaos",
+        "cycles": report.cycles,
+        "channels_established": report.channels_established,
+        "classes": {
+            "TC": {"delivered": report.tc_delivered,
+                   "deadline_misses": report.deadline_misses_total,
+                   "latency": empty},
+            "BE": {"delivered": report.be_delivered,
+                   "deadline_misses": 0,
+                   "latency": empty},
+        },
+        "latency": dict(report.latency),
+        "faults": dict(report.counters),
+        "degraded": list(report.degraded_labels),
+        "duplicates": 0,
+        "invariant_failures": len(report.invariant_failures),
+        "deadline_misses_undegraded": report.deadline_misses_undegraded,
+        "faults_fired": report.faults_fired,
+        "signature": report.signature(),
+    }
+
+
+register_workload("random", run_random)
+register_workload("chaos", run_chaos)

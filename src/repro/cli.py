@@ -9,6 +9,8 @@ Subcommands::
     repro-router chaos       [--seed S] [--cycles N] [--cuts N] [...]
     repro-router trace       OUTPUT.jsonl [--snapshots PATH] [...]
     repro-router metrics     [--json PATH] [--period N] [...]
+    repro-router campaign    SPEC.json [--workers N] [--resume|--rerun]
+                             [--cache DIR] [--retries N] [...]
 
 ``datasheet`` prints the Table-4-style chip summary; ``experiment``
 regenerates one of the paper's results; ``simulate`` runs a random
@@ -17,7 +19,15 @@ runs a seeded fault-injection soak and reports the fault counters
 (exit status 1 if an undegraded channel missed a deadline); ``trace``
 runs the ``simulate`` workload with packet-lifecycle tracing on and
 exports the events as JSON Lines; ``metrics`` runs it with periodic
-registry snapshots and prints the final metric values.
+registry snapshots and prints the final metric values; ``campaign``
+fans a sweep spec out over worker processes with result caching (see
+``docs/campaigns.md``; exit status 1 when any run was quarantined).
+
+Seeding: every seeded subcommand derives independent RNG substreams
+from ``--seed`` via :func:`repro.campaign.derive_seed`, the same
+derivation campaign sweeps use — so a CLI run is reproducible from the
+command line alone, and a campaign run with the same config produces
+the same workload.
 
 Errors are reported on stderr and through the exit status (2 for bad
 usage or unreadable inputs), never as tracebacks.
@@ -26,7 +36,6 @@ usage or unreadable inputs), never as tracebacks.
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import Optional, Sequence
 
@@ -129,50 +138,29 @@ def _build_random_workload(width: int, height: int, channels: int,
                            seed: int):
     """Admit a seeded random channel set on a fresh mesh.
 
-    Returns ``(net, rng, admitted)``; the rng's state carries into
-    :func:`_drive_random_workload` so that splitting setup from
-    traffic leaves the ``simulate`` output byte-identical.
+    Thin wrapper over the campaign workload builder: the CLI and
+    campaign sweeps share one workload definition and one explicit
+    seed-derivation path (``derive_seed(seed, "admit")`` for
+    admission, ``derive_seed(seed, "traffic")`` for driving), so a
+    ``simulate`` invocation is reproducible from its ``--seed`` alone.
     """
-    from repro import TrafficSpec, build_mesh_network
-    from repro.channels import AdmissionError
+    from repro.campaign.workloads import build_random_workload
 
-    rng = random.Random(seed)
-    net = build_mesh_network(width, height)
-    nodes = list(net.mesh.nodes())
-    admitted = []
-    for _ in range(channels):
-        src, dst = rng.sample(nodes, 2)
-        i_min = rng.choice([6, 10, 16, 24])
-        deadline = i_min * (net.mesh.hop_distance(src, dst) + 1) + 10
-        try:
-            admitted.append((net.establish_channel(
-                src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
-            ), i_min))
-        except AdmissionError:
-            continue
-    return net, rng, admitted
+    return build_random_workload(width, height, channels, seed)
 
 
-def _drive_random_workload(net, rng, admitted, ticks: int) -> None:
+def _drive_random_workload(net, admitted, ticks: int, seed: int) -> None:
     """Run the admitted workload to completion (including drain)."""
-    nodes = list(net.mesh.nodes())
-    for tick in range(0, ticks, 2):
-        for channel, i_min in admitted:
-            if tick % i_min == 0:
-                net.send_message(channel)
-        if rng.random() < 0.25:
-            src, dst = rng.sample(nodes, 2)
-            net.send_best_effort(src, dst,
-                                 payload=bytes(rng.randrange(8, 100)))
-        net.run_ticks(2)
-    net.drain(max_cycles=2_000_000)
+    from repro.campaign.workloads import drive_random_workload
+
+    drive_random_workload(net, admitted, ticks, seed)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    net, rng, channels = _build_random_workload(
+    net, channels = _build_random_workload(
         args.width, args.height, args.channels, args.seed)
     print(f"admitted {len(channels)} of {args.channels} channels")
-    _drive_random_workload(net, rng, channels, args.ticks)
+    _drive_random_workload(net, channels, args.ticks, args.seed)
     tc = net.log.latency_summary("TC")
     be = net.log.latency_summary("BE")
     print("\n".join(format_kv([
@@ -192,13 +180,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.reporting import write_snapshots_jsonl, write_trace_jsonl
 
-    net, rng, channels = _build_random_workload(
+    net, channels = _build_random_workload(
         args.width, args.height, args.channels, args.seed)
     net.enable_tracing(capacity=args.capacity)
     if args.snapshots:
         net.enable_snapshots(args.period)
     print(f"admitted {len(channels)} of {args.channels} channels")
-    _drive_random_workload(net, rng, channels, args.ticks)
+    _drive_random_workload(net, channels, args.ticks, args.seed)
     path = write_trace_jsonl(args.output, net.tracer.events())
     dropped = f" ({net.tracer.dropped} dropped)" if net.tracer.dropped else ""
     print(f"wrote {len(net.tracer)} events to {path}{dropped}")
@@ -211,12 +199,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    net, rng, channels = _build_random_workload(
+    net, channels = _build_random_workload(
         args.width, args.height, args.channels, args.seed)
     if args.json:
         net.enable_snapshots(args.period)
     print(f"admitted {len(channels)} of {args.channels} channels")
-    _drive_random_workload(net, rng, channels, args.ticks)
+    _drive_random_workload(net, channels, args.ticks, args.seed)
     print("\n".join(format_kv(net.metrics.rows())))
     if args.json:
         from repro.reporting import write_snapshots_jsonl
@@ -258,6 +246,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print("NON-DETERMINISTIC: repeat run diverged")
             return 1
         print("repeat run identical (deterministic)")
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+
+    spec = CampaignSpec.from_file(args.spec)
+    cache_dir = args.cache or str(
+        pathlib.Path(args.spec).parent / f"{spec.name}.cache")
+    progress = None if args.quiet else print
+    runner = CampaignRunner(
+        spec, ResultCache(cache_dir),
+        workers=args.workers,
+        max_attempts=args.retries,
+        timeout_seconds=args.timeout,
+        backoff_base=args.backoff,
+        reuse_cache=args.resume,
+        progress=progress,
+    )
+    report = runner.run()
+    lines = report.summary_lines()
+    lines.append(f"cache: {cache_dir}")
+    lines.append(f"signature: {report.signature()}")
+    print("\n".join(lines))
+    if args.summary:
+        path = pathlib.Path(args.summary)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(lines) + "\n")
+        print(f"wrote {path}")
     return 0 if report.ok else 1
 
 
@@ -335,6 +354,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--repeat", action="store_true",
                        help="run twice and verify identical signatures")
     chaos.set_defaults(func=_cmd_chaos)
+
+    campaign = commands.add_parser(
+        "campaign", help="run a sharded simulation sweep from a spec "
+                         "file (see docs/campaigns.md)")
+    campaign.add_argument("spec", help="campaign spec JSON path")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (default 1)")
+    campaign.add_argument("--cache", default=None,
+                          help="result cache directory (default: "
+                               "<spec dir>/<name>.cache)")
+    campaign.add_argument("--resume", dest="resume", action="store_true",
+                          default=True,
+                          help="reuse cached results and execute only "
+                               "the missing runs (default)")
+    campaign.add_argument("--rerun", dest="resume", action="store_false",
+                          help="ignore cached results and re-execute "
+                               "every run")
+    campaign.add_argument("--retries", type=int, default=3,
+                          help="max attempts per run before quarantine")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-run timeout in seconds")
+    campaign.add_argument("--backoff", type=float, default=0.5,
+                          help="retry backoff base in seconds "
+                               "(doubles per attempt)")
+    campaign.add_argument("--summary", default=None,
+                          help="also write the summary to this text file")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-run progress lines")
+    campaign.set_defaults(func=_cmd_campaign)
 
     generate = commands.add_parser(
         "generate-trace", help="write a seeded random workload trace")

@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.channels.admission import AdmissionError
@@ -66,6 +66,12 @@ class ChaosReport:
     invariant_failures: list[str]
     channels_established: int
     faults_fired: int
+    #: Per-class delivery-latency histogram states (see
+    #: :meth:`repro.observability.Histogram.state`); lets campaign
+    #: aggregation answer latency percentiles across many soaks.
+    #: Not part of :meth:`signature` — the signed counters already
+    #: pin the outcome, and the signature predates this field.
+    latency: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -225,4 +231,6 @@ def run_chaos_soak(config: ChaosConfig,
         invariant_failures=invariant_failures,
         channels_established=len(channels),
         faults_fired=len(injector.fired),
+        latency={cls: histogram.state() for cls, histogram
+                 in network.log.latency_histograms.items()},
     )

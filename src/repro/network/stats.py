@@ -197,6 +197,21 @@ class DeliveryLog:
                      if r.latency_cycles is not None]
         return LatencySummary.from_values(latencies)
 
+    def class_stats(self, traffic_class: str) -> dict:
+        """Canonical JSON-ready per-class delivery stats.
+
+        The shape campaign result shards store per traffic class:
+        delivery count, deadline misses and the latency summary.
+        Duplicates are excluded, like every other query.
+        """
+        records = self.of_class(traffic_class)
+        return {
+            "delivered": len(records),
+            "deadline_misses": sum(1 for r in records
+                                   if r.deadline_met is False),
+            "latency": self.latency_summary(traffic_class).as_dict(),
+        }
+
 
 @dataclass
 class FaultCounters:
@@ -263,6 +278,16 @@ class LatencySummary:
     maximum: int
     minimum: int
     p99: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (campaign result shards, snapshots)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "maximum": self.maximum,
+            "minimum": self.minimum,
+            "p99": self.p99,
+        }
 
     @classmethod
     def from_values(cls, values: Iterable[int]) -> "LatencySummary":

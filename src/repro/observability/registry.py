@@ -160,6 +160,63 @@ class Histogram:
             "p99": self.p99,
         }
 
+    # -- serialisation and merging (campaign result shards) ---------------
+
+    def state(self) -> dict:
+        """Full JSON-serialisable state (not just the summary).
+
+        Unlike :meth:`summary`, the state round-trips: a histogram
+        rebuilt by :meth:`from_state` answers every percentile query
+        identically.  Campaign workers ship histogram states across
+        process boundaries so the aggregator can *merge* runs and
+        answer campaign-wide percentiles, which per-run summaries
+        cannot provide.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> "Histogram":
+        """Inverse of :meth:`state`."""
+        histogram = cls(name, tuple(state["bounds"]))
+        counts = list(state["counts"])
+        if len(counts) != len(histogram.counts):
+            raise ValueError("histogram state has wrong bucket count")
+        histogram.counts = counts
+        histogram.count = state["count"]
+        histogram.total = state["total"]
+        histogram.min = state["min"]
+        histogram.max = state["max"]
+        return histogram
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Both histograms must use identical bucket bounds (merging
+        across different bucketings would silently misplace counts).
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+
 
 class MetricsRegistry:
     """Named instruments plus live probes, snapshotted on demand."""

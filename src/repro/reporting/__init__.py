@@ -1,25 +1,30 @@
-"""Artefact rendering: tables, ASCII charts and CSV export."""
+"""Artefact rendering: tables, ASCII charts and CSV/JSONL export."""
 
 from repro.reporting.ascii_chart import histogram, line_chart
 from repro.reporting.export import (
+    read_jsonl,
     read_series_csv,
     read_snapshots_jsonl,
     read_trace_jsonl,
+    write_jsonl,
     write_log_csv,
     write_series_csv,
     write_snapshots_jsonl,
     write_trace_jsonl,
 )
-from repro.reporting.tables import format_kv, format_table
+from repro.reporting.tables import format_kv, format_rate, format_table
 
 __all__ = [
     "format_kv",
+    "format_rate",
     "format_table",
     "histogram",
     "line_chart",
+    "read_jsonl",
     "read_series_csv",
     "read_snapshots_jsonl",
     "read_trace_jsonl",
+    "write_jsonl",
     "write_log_csv",
     "write_series_csv",
     "write_snapshots_jsonl",

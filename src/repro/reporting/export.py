@@ -53,6 +53,32 @@ def write_log_csv(path: str | pathlib.Path,
     return path
 
 
+def write_jsonl(path: str | pathlib.Path,
+                records: Iterable[Mapping[str, object]],
+                *, canonical: bool = False) -> pathlib.Path:
+    """Write record dicts as JSON Lines (one compact object per line).
+
+    With ``canonical=True`` keys are sorted, making the output
+    byte-stable for equal values — the encoding campaign result shards
+    rely on for cache validation and determinism checks.  Without it,
+    insertion order is kept (trace events preserve their field order).
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":"),
+                                    sort_keys=canonical))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict[str, object]]:
+    """Inverse of :func:`write_jsonl` (blank lines skipped)."""
+    with pathlib.Path(path).open() as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
 def write_trace_jsonl(path: str | pathlib.Path,
                       events: Iterable[Mapping[str, object]],
                       ) -> pathlib.Path:
@@ -62,13 +88,7 @@ def write_trace_jsonl(path: str | pathlib.Path,
     order (``sort_keys=False`` keeps the emitted order).  Accepts any
     iterable of event dicts — typically ``tracer.events()``.
     """
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        for event in events:
-            handle.write(json.dumps(event, separators=(",", ":")))
-            handle.write("\n")
-    return path
+    return write_jsonl(path, events)
 
 
 def read_trace_jsonl(path: str | pathlib.Path) -> list[dict[str, object]]:
@@ -97,19 +117,12 @@ def write_snapshots_jsonl(path: str | pathlib.Path,
                           snapshots: Iterable[Mapping[str, object]],
                           ) -> pathlib.Path:
     """Write periodic metrics snapshots as JSON Lines (one per line)."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        for snapshot in snapshots:
-            handle.write(json.dumps(snapshot, separators=(",", ":")))
-            handle.write("\n")
-    return path
+    return write_jsonl(path, snapshots)
 
 
 def read_snapshots_jsonl(path: str | pathlib.Path) -> list[dict[str, object]]:
     """Inverse of :func:`write_snapshots_jsonl`."""
-    with pathlib.Path(path).open() as handle:
-        return [json.loads(line) for line in handle if line.strip()]
+    return read_jsonl(path)
 
 
 def read_series_csv(path: str | pathlib.Path) -> dict[str, list[tuple[float, float]]]:

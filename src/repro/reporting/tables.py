@@ -30,6 +30,19 @@ def format_table(headers: Sequence[str],
     ]
 
 
+def format_rate(numerator: int, denominator: int,
+                *, places: int = 4) -> str:
+    """Render a ratio as a fixed-point rate cell; ``n/a`` on 0/0.
+
+    Campaign summary tables report deadline-miss *rates*; a class with
+    zero delivered packets has no meaningful rate (``n/a``), which is
+    distinct from a true zero rate over delivered traffic.
+    """
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.{places}f}"
+
+
 def format_kv(pairs: Iterable[tuple[str, object]]) -> list[str]:
     """Aligned key/value listing (datasheet style)."""
     items = [(str(k), str(v)) for k, v in pairs]

@@ -1,0 +1,146 @@
+"""Tests for campaign aggregation: tables, merges, signatures."""
+
+import pytest
+
+from repro.campaign import (
+    campaign_signature,
+    delivery_table,
+    fault_table,
+    fault_totals,
+    merged_latency,
+    summary_lines,
+)
+from repro.observability.registry import Histogram
+
+
+def hist_state(values, buckets=(10, 100, 1000)):
+    histogram = Histogram("t", buckets=buckets)
+    for value in values:
+        histogram.observe(value)
+    return histogram.state()
+
+
+def run_stats(cls="TC", delivered=10, misses=1, latencies=(5, 50)):
+    return {
+        "classes": {cls: {"delivered": delivered,
+                          "deadline_misses": misses}},
+        "latency": {cls: hist_state(latencies)},
+        "faults": {},
+    }
+
+
+class TestMergedLatency:
+    def test_none_without_states(self):
+        assert merged_latency([{"classes": {}}], "TC") is None
+        assert merged_latency([], "TC") is None
+
+    def test_merge_combines_counts_and_extrema(self):
+        merged = merged_latency(
+            [run_stats(latencies=[5, 8]), run_stats(latencies=[900])],
+            "TC")
+        assert merged.count == 3
+        assert merged.min == 5
+        assert merged.max == 900
+        assert merged.total == 913
+
+    def test_merged_percentiles_match_single_histogram(self):
+        values = [3, 7, 40, 80, 500, 950]
+        split = merged_latency(
+            [run_stats(latencies=values[:3]),
+             run_stats(latencies=values[3:])], "TC")
+        whole = Histogram("w", buckets=(10, 100, 1000))
+        for value in values:
+            whole.observe(value)
+        for pct in (50, 95, 99):
+            assert split.percentile(pct) == whole.percentile(pct)
+
+    def test_mismatched_bounds_raise(self):
+        with pytest.raises(ValueError):
+            merged_latency(
+                [run_stats(), run_stats(latencies=[1])
+                 | {"latency": {"TC": hist_state([1], buckets=(5, 50))}}],
+                "TC")
+
+
+class TestDeliveryTable:
+    def test_empty_results_render(self):
+        lines = delivery_table([])
+        assert lines[0].startswith("class")
+        body = lines[2:]
+        assert len(body) == 2  # one row per class, placeholders only
+        assert all("-" in line for line in body)
+
+    def test_single_run(self):
+        lines = delivery_table([run_stats(delivered=4, misses=2,
+                                          latencies=[5, 5, 50, 600])])
+        tc_row = next(line for line in lines if line.lstrip()
+                      .startswith("TC"))
+        cells = tc_row.split()
+        assert cells[1:5] == ["1", "4", "2", "0.5000"]
+
+    def test_mixed_classes(self):
+        results = [run_stats("TC", delivered=10, misses=0),
+                   run_stats("BE", delivered=6, misses=3)]
+        lines = delivery_table(results)
+        be_row = next(line for line in lines if line.lstrip()
+                      .startswith("BE"))
+        assert be_row.split()[1:5] == ["1", "6", "3", "0.5000"]
+
+    def test_zero_delivered_rate_is_na(self):
+        lines = delivery_table([run_stats(delivered=0, misses=0,
+                                          latencies=[])])
+        tc_row = next(line for line in lines if line.lstrip()
+                      .startswith("TC"))
+        assert "n/a" in tc_row
+
+
+class TestFaults:
+    def test_totals_summed(self):
+        results = [
+            {"faults": {"links_detected": 1, "tc_retransmitted": 2}},
+            {"faults": {"links_detected": 3}},
+        ]
+        assert fault_totals(results) == {"links_detected": 4,
+                                         "tc_retransmitted": 2}
+
+    def test_table_drops_zero_rows(self):
+        lines = fault_table([{"faults": {"a": 0, "b": 2}}])
+        joined = "\n".join(lines)
+        assert "b" in joined
+        assert " a " not in joined
+
+    def test_table_empty_when_all_zero(self):
+        assert fault_table([{"faults": {"a": 0}}]) == []
+        assert fault_table([]) == []
+
+
+class TestSignature:
+    def test_order_independent(self):
+        a = {"h1": {"v": 1}, "h2": {"v": 2}}
+        b = {"h2": {"v": 2}, "h1": {"v": 1}}
+        assert campaign_signature(a) == campaign_signature(b)
+
+    def test_sensitive_to_stats(self):
+        assert (campaign_signature({"h1": {"v": 1}})
+                != campaign_signature({"h1": {"v": 2}}))
+
+
+class TestSummaryLines:
+    def test_includes_all_sections(self):
+        results = {
+            "h1": run_stats() | {
+                "faults": {"links_detected": 2},
+                "degraded": ["c0"],
+                "invariant_failures": 1,
+            },
+        }
+        text = "\n".join(summary_lines(results))
+        assert "class" in text
+        assert "links_detected" in text
+        assert "degraded channels: c0" in text
+        assert "INVARIANT VIOLATIONS: 1" in text
+
+    def test_clean_results_omit_failure_sections(self):
+        text = "\n".join(summary_lines({"h1": run_stats()}))
+        assert "INVARIANT" not in text
+        assert "degraded" not in text

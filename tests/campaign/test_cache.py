@@ -1,0 +1,108 @@
+"""Tests for the content-addressed campaign result cache."""
+
+from repro.campaign import ResultCache, RunConfig
+
+
+def make_cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestStoreLoad:
+    def test_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        config = RunConfig(width=2, height=2, seed=3)
+        stats = {"classes": {"TC": {"delivered": 5}}, "cycles": 100}
+        cache.store(config, stats)
+        assert cache.load(config) == stats
+        assert cache.has(config)
+
+    def test_miss_for_unknown_config(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.load(RunConfig()) is None
+        assert not cache.has(RunConfig())
+
+    def test_different_config_different_shard(self, tmp_path):
+        cache = make_cache(tmp_path)
+        a, b = RunConfig(seed=1), RunConfig(seed=2)
+        cache.store(a, {"v": 1})
+        assert cache.load(b) is None
+        cache.store(b, {"v": 2})
+        assert cache.load(a) == {"v": 1}
+        assert cache.load(b) == {"v": 2}
+
+    def test_shards_are_canonical_bytes(self, tmp_path):
+        # Byte-identical shards for identical results: the property the
+        # determinism suite and resume signature checks rely on.
+        cache_a = ResultCache(tmp_path / "a")
+        cache_b = ResultCache(tmp_path / "b")
+        config = RunConfig(seed=9)
+        stats = {"b": 2, "a": 1}
+        path_a = cache_a.store(config, stats)
+        path_b = cache_b.store(config, dict(reversed(stats.items())))
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_hashes_listing_and_evict(self, tmp_path):
+        cache = make_cache(tmp_path)
+        config = RunConfig(seed=4)
+        cache.store(config, {})
+        assert cache.hashes() == [config.content_hash()]
+        cache.evict(config.content_hash())
+        assert cache.hashes() == []
+        assert cache.load(config) is None
+
+
+class TestCorruptShards:
+    def _store(self, tmp_path):
+        cache = make_cache(tmp_path)
+        config = RunConfig(seed=7)
+        cache.store(config, {"ok": True})
+        return cache, config, cache.shard_path(config.content_hash())
+
+    def test_truncated_shard_is_a_miss(self, tmp_path):
+        cache, config, path = self._store(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n")
+        assert cache.load(config) is None
+
+    def test_garbage_shard_is_a_miss(self, tmp_path):
+        cache, config, path = self._store(tmp_path)
+        path.write_text("{not json\n")
+        assert cache.load(config) is None
+
+    def test_partial_json_line_is_a_miss(self, tmp_path):
+        cache, config, path = self._store(tmp_path)
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        assert cache.load(config) is None
+
+    def test_mismatched_config_is_a_miss(self, tmp_path):
+        # A shard renamed to another hash must not satisfy that config.
+        cache, config, path = self._store(tmp_path)
+        other = RunConfig(seed=8)
+        path.rename(cache.shard_path(other.content_hash()))
+        assert cache.load(other) is None
+
+    def test_rewrite_replaces_corrupt_shard(self, tmp_path):
+        cache, config, path = self._store(tmp_path)
+        path.write_text("junk\n")
+        cache.store(config, {"ok": True})
+        assert cache.load(config) == {"ok": True}
+
+
+class TestErrorSidecars:
+    def test_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store_error("abc123", {"error": "boom"})
+        assert cache.load_error("abc123") == {"error": "boom"}
+        cache.clear_error("abc123")
+        assert cache.load_error("abc123") is None
+
+    def test_store_clears_error(self, tmp_path):
+        cache = make_cache(tmp_path)
+        config = RunConfig(seed=5)
+        cache.store_error(config.content_hash(), {"error": "flaky"})
+        cache.store(config, {"ok": True})
+        assert cache.load_error(config.content_hash()) is None
+
+    def test_missing_error_is_none(self, tmp_path):
+        assert make_cache(tmp_path).load_error("nope") is None

@@ -1,0 +1,72 @@
+"""Seed-determinism regression: the campaign cache's core invariant.
+
+A :class:`~repro.campaign.RunConfig` must map to byte-identical
+exported stats wherever it executes — twice in this process, and once
+in a freshly spawned interpreter.  If this breaks, cached shards stop
+being trustworthy and resume/repeat signature checks become noise.
+"""
+
+import subprocess
+import sys
+
+from repro.campaign import ResultCache, RunConfig, run_and_store
+
+#: Small but non-trivial: real routing, multiple channels, both classes.
+CONFIG = RunConfig(workload="random", width=2, height=2, channels=3,
+                   ticks=40, seed=20260806)
+
+CHAOS_CONFIG = RunConfig(workload="chaos", width=2, height=2, channels=2,
+                         cycles=1500, settle_cycles=800, cuts=1,
+                         corruptions=1, seed=7)
+
+
+def shard_bytes(tmp_path, name, config):
+    cache = ResultCache(tmp_path / name)
+    run_and_store(config, cache)
+    return cache.shard_path(config.content_hash()).read_bytes()
+
+
+class TestInProcess:
+    def test_random_workload_bytes_identical(self, tmp_path):
+        first = shard_bytes(tmp_path, "a", CONFIG)
+        second = shard_bytes(tmp_path, "b", CONFIG)
+        assert first == second
+        assert len(first) > 100  # a real result, not an empty shard
+
+    def test_chaos_workload_bytes_identical(self, tmp_path):
+        assert (shard_bytes(tmp_path, "a", CHAOS_CONFIG)
+                == shard_bytes(tmp_path, "b", CHAOS_CONFIG))
+
+    def test_seed_actually_matters(self, tmp_path):
+        import dataclasses
+        other = dataclasses.replace(CONFIG, seed=CONFIG.seed + 1)
+        assert (shard_bytes(tmp_path, "a", CONFIG)
+                != shard_bytes(tmp_path, "b", other))
+
+
+class TestCrossProcess:
+    def test_spawned_interpreter_bytes_identical(self, tmp_path):
+        """The same config in a fresh interpreter writes the same bytes.
+
+        Guards against hidden process-level state (hash randomisation,
+        import-order side effects, global RNG reuse) leaking into
+        results.
+        """
+        local = shard_bytes(tmp_path, "local", CONFIG)
+        remote_cache = tmp_path / "remote"
+        script = (
+            "import json, sys\n"
+            "from repro.campaign import ResultCache, RunConfig, "
+            "run_and_store\n"
+            "config = RunConfig.from_dict(json.loads(sys.argv[1]))\n"
+            "run_and_store(config, ResultCache(sys.argv[2]))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script,
+             CONFIG.canonical_json(), str(remote_cache)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        remote = (remote_cache
+                  / f"{CONFIG.content_hash()}.jsonl").read_bytes()
+        assert remote == local

@@ -142,3 +142,66 @@ class TestObservabilityCommands:
         assert snaps
         final = snaps[-1]
         assert final["engine.cycle"] == final["cycle"]
+
+
+class TestCampaignCommand:
+    def _spec_path(self, tmp_path):
+        from repro.campaign import CampaignSpec
+        spec = CampaignSpec(
+            name="mini", master_seed=3, mode="grid",
+            base={"workload": "random", "width": 2, "height": 2,
+                  "channels": 2, "ticks": 10},
+            axes={"replica": [0, 1]},
+        )
+        return spec.save(tmp_path / "spec.json")
+
+    def test_run_then_resume_from_cache(self, capsys, tmp_path):
+        spec_path = self._spec_path(tmp_path)
+        assert main(["campaign", str(spec_path), "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert "runs: 2 total, 2 executed, 0 cached" in first
+        assert (tmp_path / "mini.cache").is_dir()
+
+        # Re-invocation resumes from the cache: zero simulations run.
+        assert main(["campaign", str(spec_path), "--quiet"]) == 0
+        second = capsys.readouterr().out
+        assert "runs: 2 total, 0 executed, 2 cached" in second
+
+        def signature(text):
+            return [line for line in text.splitlines()
+                    if line.startswith("signature: ")]
+        assert signature(first) == signature(second)
+
+    def test_rerun_flag_ignores_cache(self, capsys, tmp_path):
+        spec_path = self._spec_path(tmp_path)
+        assert main(["campaign", str(spec_path), "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", str(spec_path), "--quiet",
+                     "--rerun"]) == 0
+        assert "2 executed, 0 cached" in capsys.readouterr().out
+
+    def test_summary_file(self, capsys, tmp_path):
+        spec_path = self._spec_path(tmp_path)
+        summary = tmp_path / "out" / "summary.txt"
+        assert main(["campaign", str(spec_path), "--quiet",
+                     "--summary", str(summary)]) == 0
+        text = summary.read_text()
+        assert "class" in text
+        assert "signature: " in text
+
+    def test_progress_lines_by_default(self, capsys, tmp_path):
+        spec_path = self._spec_path(tmp_path)
+        assert main(["campaign", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2] " in out
+        assert "[2/2] " in out
+
+    def test_missing_spec_is_an_error(self, capsys, tmp_path):
+        assert main(["campaign", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_spec_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "mode": "shuffle"}\n')
+        assert main(["campaign", str(bad)]) == 2
+        assert "mode" in capsys.readouterr().err

@@ -8,12 +8,15 @@ from repro.network.stats import DeliveryLog
 from repro.observability import ENQUEUE, PacketTracer
 from repro.reporting import (
     format_kv,
+    format_rate,
     format_table,
     histogram,
     line_chart,
+    read_jsonl,
     read_series_csv,
     read_snapshots_jsonl,
     read_trace_jsonl,
+    write_jsonl,
     write_log_csv,
     write_series_csv,
     write_snapshots_jsonl,
@@ -38,6 +41,20 @@ class TestTables:
 
     def test_kv_empty(self):
         assert format_kv([]) == []
+
+    def test_headers_only_table(self):
+        lines = format_table(["a", "b"], [])
+        assert len(lines) == 2  # header + rule, no body
+        assert lines[0].endswith("b")
+
+    def test_rate(self):
+        assert format_rate(1, 4) == "0.2500"
+        assert format_rate(1, 3, places=2) == "0.33"
+        assert format_rate(0, 10) == "0.0000"
+
+    def test_rate_zero_denominator_is_na(self):
+        assert format_rate(0, 0) == "n/a"
+        assert format_rate(5, 0) == "n/a"
 
 
 class TestAsciiChart:
@@ -106,6 +123,24 @@ class TestJsonlExport:
     def test_trace_empty(self, tmp_path):
         path = write_trace_jsonl(tmp_path / "empty.jsonl", [])
         assert read_trace_jsonl(path) == []
+
+    def test_generic_round_trip(self, tmp_path):
+        records = [{"a": 1}, {"b": [1, 2]}, {"c": {"d": None}}]
+        path = write_jsonl(tmp_path / "r.jsonl", records)
+        assert read_jsonl(path) == records
+
+    def test_canonical_mode_bytes_stable(self, tmp_path):
+        # Canonical shards must not depend on dict insertion order.
+        a = write_jsonl(tmp_path / "a.jsonl", [{"x": 1, "y": 2}],
+                        canonical=True)
+        b = write_jsonl(tmp_path / "b.jsonl", [{"y": 2, "x": 1}],
+                        canonical=True)
+        assert a.read_bytes() == b.read_bytes()
+        assert b" " not in a.read_bytes().replace(b"\n", b"")
+
+    def test_empty_generic(self, tmp_path):
+        path = write_jsonl(tmp_path / "e.jsonl", [])
+        assert read_jsonl(path) == []
 
     def test_snapshots_round_trip(self, tmp_path):
         snapshots = [
