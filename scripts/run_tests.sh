@@ -7,6 +7,7 @@
 #   scripts/run_tests.sh bench          # benchmark smoke (writes results/)
 #   scripts/run_tests.sh observability  # tracing/metrics suite + overhead gate
 #   scripts/run_tests.sh campaign       # campaign runner/cache/determinism suite
+#   scripts/run_tests.sh checkpoint     # checkpoint/restore suites + overhead gate
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
@@ -16,7 +17,11 @@
 # (within 5% of the plain fast-forward baseline).  The campaign job
 # runs the sweep-runner suites (spec/cache/retry/kill-and-resume) plus
 # the campaign scaling benchmark (cache-hit re-invocation gate always;
-# the >=2x parallel speedup gate only on hosts with >=4 cores).
+# the >=2x parallel speedup gate only on hosts with >=4 cores).  The
+# checkpoint job runs the crash-consistent checkpoint/restore suites —
+# byte-identical resume equivalence, the SIGKILL-and-resume CLI
+# acceptance test — and the checkpoint overhead gate (within 5% of the
+# plain run at the default 100k-cycle interval).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,13 +68,23 @@ run_campaign() {
         benchmarks/bench_campaign_scaling.py
 }
 
+run_checkpoint() {
+    echo "== checkpoint: resume equivalence, kill/resume, overhead gate =="
+    python -m pytest -q \
+        tests/checkpoint \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        benchmarks/bench_checkpoint.py
+}
+
 case "$job" in
     tier1) run_tier1 ;;
     chaos) run_chaos ;;
     bench) run_bench ;;
     observability) run_observability ;;
     campaign) run_campaign ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|all)" >&2
+    checkpoint) run_checkpoint ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|all)" >&2
            exit 2 ;;
 esac

@@ -41,9 +41,22 @@ def execute_run(config: RunConfig) -> dict:
 
 def run_and_store(config: RunConfig, cache: ResultCache,
                   executor: Optional[Executor] = None) -> dict:
-    """Execute one run and atomically persist its shard."""
+    """Execute one run and atomically persist its shard.
+
+    A checkpointed run's checkpoint files are deleted only *after* the
+    result shard is safely on disk — a crash in between leaves the
+    checkpoints behind, so the retry resumes instead of restarting.
+    """
+    from repro.checkpoint import checkpoint_context, clear_checkpoints
+
     stats = (executor or execute_run)(config)
     cache.store(config, stats)
+    context = checkpoint_context()
+    if context is not None:
+        import pathlib
+
+        clear_checkpoints(
+            pathlib.Path(context.directory) / config.content_hash())
     return stats
 
 
@@ -55,7 +68,15 @@ def subprocess_entry(executor: Optional[Executor], config_dict: dict,
     exception the failure (message + traceback) lands in the cache's
     error sidecar and the process exits 1.
     """
+    import os
+
+    from repro.checkpoint import set_checkpoint_context
+
     cache = ResultCache(cache_root)
+    # Long runs checkpoint under the cache so a killed worker's retry
+    # resumes mid-run instead of restarting (interval overridable via
+    # REPRO_CHECKPOINT_INTERVAL).
+    set_checkpoint_context(os.path.join(cache_root, "checkpoints"))
     config: Optional[RunConfig] = None
     try:
         config = RunConfig.from_dict(config_dict)

@@ -111,11 +111,39 @@ def drive_random_workload(net, admitted, ticks: int, seed: int) -> None:
     net.drain(max_cycles=2_000_000)
 
 
+def _run_store_for(config: RunConfig, kind: str, fingerprint: str):
+    """This run's checkpoint store, or ``None`` outside a checkpointing
+    worker (see :mod:`repro.checkpoint.runtime`)."""
+    import pathlib
+
+    from repro.checkpoint import CheckpointStore, checkpoint_context
+
+    context = checkpoint_context()
+    if context is None:
+        return None, None
+    directory = pathlib.Path(context.directory) / config.content_hash()
+    return CheckpointStore(directory, kind, fingerprint), context.interval
+
+
 def run_random(config: RunConfig) -> dict:
     """Execute one ``random``-workload run and reduce it to stats."""
-    net, admitted = build_random_workload(
-        config.width, config.height, config.channels, config.seed)
-    drive_random_workload(net, admitted, config.ticks, config.seed)
+    from repro.checkpoint import RandomWorkloadSession, open_random_session
+
+    store, interval = _run_store_for(
+        config, "random",
+        RandomWorkloadSession.fingerprint_for(
+            config.width, config.height, config.channels, config.ticks,
+            config.seed))
+    if store is None:
+        net, admitted = build_random_workload(
+            config.width, config.height, config.channels, config.seed)
+        drive_random_workload(net, admitted, config.ticks, config.seed)
+    else:
+        session = open_random_session(
+            config.width, config.height, config.channels, config.ticks,
+            config.seed, store)
+        net = session.run(store=store, interval=interval)
+        admitted = session.admitted
     log = net.log
     misses = log.deadline_misses
     return {
@@ -141,16 +169,24 @@ def run_random(config: RunConfig) -> dict:
 
 def run_chaos(config: RunConfig) -> dict:
     """Execute one seeded fault-injection soak and reduce it to stats."""
+    from repro.checkpoint import ChaosSession, open_chaos_session
     from repro.faults import ChaosConfig, run_chaos_soak
     from repro.network.stats import LatencySummary
 
-    report = run_chaos_soak(ChaosConfig(
+    chaos_config = ChaosConfig(
         seed=config.seed, width=config.width, height=config.height,
         cycles=config.cycles, settle_cycles=config.settle_cycles,
         cuts=config.cuts, flaps=config.flaps,
         corruptions=config.corruptions, drops=config.drops,
         babblers=config.babblers, unicast_channels=config.channels,
-    ))
+    )
+    store, interval = _run_store_for(
+        config, "chaos", ChaosSession.fingerprint_for(chaos_config))
+    if store is None:
+        report = run_chaos_soak(chaos_config)
+    else:
+        session = open_chaos_session(chaos_config, store)
+        report = session.run(store=store, interval=interval)
     empty = LatencySummary.from_values([]).as_dict()
     return {
         "workload": "chaos",

@@ -371,6 +371,47 @@ class AdmissionController:
         for node, port, packets in reservation.buffers:
             self.node(node).release(port, packets)
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state: every link schedule and buffer account.
+
+        Loads are stored by value; :meth:`LinkSchedule.remove` works by
+        value equality, so reservations restored elsewhere (channel
+        handles) release cleanly against the rebuilt schedules.
+        """
+        return {
+            "links": [
+                [list(node), port,
+                 [[load.packets, load.i_min, load.b_max, load.deadline]
+                  for load in schedule.loads]]
+                for (node, port), schedule in sorted(self._links.items())
+            ],
+            "nodes": [
+                [list(node), buffers.reserved_total,
+                 [[port, packets] for port, packets in sorted(
+                     buffers.reserved_per_port.items())]]
+                for node, buffers in sorted(self._nodes.items())
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._links.clear()
+        for node, port, loads in state["links"]:
+            schedule = self.link(tuple(node), port)
+            schedule.loads = [
+                ConnectionLoad(packets=packets, i_min=i_min, b_max=b_max,
+                               deadline=deadline)
+                for packets, i_min, b_max, deadline in loads
+            ]
+        self._nodes.clear()
+        for node, total, per_port in state["nodes"]:
+            buffers = self.node(tuple(node))
+            buffers.reserved_total = int(total)
+            buffers.reserved_per_port = {
+                int(port): int(packets) for port, packets in per_port
+            }
+
     # -- reporting -------------------------------------------------------------
 
     def link_utilisation(self, node: Hashable, port: int) -> float:

@@ -19,6 +19,7 @@ from typing import Mapping, Optional, Sequence
 from repro.channels.admission import (
     AdmissionController,
     AdmissionError,
+    ConnectionLoad,
     HopDescriptor,
     Reservation,
 )
@@ -38,6 +39,19 @@ from repro.core.params import TC_PAYLOAD_BYTES, RouterParams
 from repro.core.ports import RECEPTION
 
 _channel_labels = itertools.count()
+
+
+def channel_label_counter_state() -> int:
+    """Next auto-label number to be issued (checkpointing)."""
+    global _channel_labels
+    value = next(_channel_labels)
+    _channel_labels = itertools.count(value)
+    return value
+
+
+def load_channel_label_counter_state(value: int) -> None:
+    global _channel_labels
+    _channel_labels = itertools.count(int(value))
 
 
 @dataclass
@@ -474,6 +488,110 @@ class ChannelManager:
             if channel.label == label:
                 return channel
         return self.degraded_channels.get(label)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    @staticmethod
+    def _channel_state(channel: RealTimeChannel) -> dict:
+        reservation = channel.reservation
+        return {
+            "label": channel.label,
+            "source": list(channel.source),
+            "destinations": [list(d) for d in channel.destinations],
+            "spec": [channel.spec.i_min, channel.spec.s_max,
+                     channel.spec.b_max],
+            "deadline_requirement": channel.requirements.deadline,
+            "source_connection_id": channel.source_connection_id,
+            "local_delays": list(channel.local_delays),
+            "deadline": channel.deadline,
+            "reservation": {
+                "hops": [[list(h.node), h.out_port, h.horizon]
+                         for h in reservation.hops],
+                "local_delays": list(reservation.local_delays),
+                "loads": [[l.packets, l.i_min, l.b_max, l.deadline]
+                          for l in reservation.loads],
+                "buffers": [[list(node), port, packets]
+                            for node, port, packets
+                            in reservation.buffers],
+                "spec": (None if reservation.spec is None
+                         else [reservation.spec.i_min,
+                               reservation.spec.s_max,
+                               reservation.spec.b_max]),
+                "parents": (None if reservation.parents is None
+                            else list(reservation.parents)),
+            },
+            "regulator": channel.regulator.state(),
+            "table_entries": [[list(node), cid]
+                              for node, cid in channel.table_entries],
+            "sequence": channel._sequence,
+            "degraded": channel.degraded,
+        }
+
+    @staticmethod
+    def _load_channel(state: dict) -> RealTimeChannel:
+        spec = TrafficSpec(*state["spec"])
+        res = state["reservation"]
+        reservation = Reservation(
+            hops=[HopDescriptor(node=tuple(node), out_port=port,
+                                horizon=horizon)
+                  for node, port, horizon in res["hops"]],
+            local_delays=[int(d) for d in res["local_delays"]],
+            loads=[ConnectionLoad(packets=p, i_min=i, b_max=b, deadline=d)
+                   for p, i, b, d in res["loads"]],
+            buffers=[(tuple(node), port, packets)
+                     for node, port, packets in res["buffers"]],
+            spec=None if res["spec"] is None else TrafficSpec(*res["spec"]),
+            parents=(None if res["parents"] is None
+                     else [int(p) for p in res["parents"]]),
+        )
+        regulator = SourceRegulator(spec)
+        regulator.load_state(state["regulator"])
+        channel = RealTimeChannel(
+            label=state["label"],
+            source=tuple(state["source"]),
+            destinations=tuple(tuple(d) for d in state["destinations"]),
+            spec=spec,
+            requirements=FlowRequirements(
+                deadline=state["deadline_requirement"]),
+            source_connection_id=state["source_connection_id"],
+            local_delays=[int(d) for d in state["local_delays"]],
+            deadline=int(state["deadline"]),
+            reservation=reservation,
+            regulator=regulator,
+            table_entries=[(tuple(node), cid)
+                           for node, cid in state["table_entries"]],
+            _sequence=int(state["sequence"]),
+            degraded=bool(state["degraded"]),
+        )
+        return channel
+
+    def state(self) -> dict:
+        """Checkpoint state: channel handles are serialised in full —
+        chaos runs reroute, degrade and tear channels down mid-run, so
+        replaying establishment cannot reproduce this state."""
+        return {
+            "channel_labels": channel_label_counter_state(),
+            "used_ids": [[list(node), sorted(ids)]
+                         for node, ids in sorted(self._used_ids.items())],
+            "channels": [self._channel_state(c) for c in self.channels],
+            "degraded_channels": [self._channel_state(c)
+                                  for c in self.degraded_channels.values()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore channel software on a fabric whose router tables are
+        restored separately (the channels are *not* re-programmed)."""
+        load_channel_label_counter_state(state["channel_labels"])
+        for ids in self._used_ids.values():
+            ids.clear()
+        for node, ids in state["used_ids"]:
+            self._used_ids[tuple(node)] = {int(cid) for cid in ids}
+        self.channels = [self._load_channel(s) for s in state["channels"]]
+        self.degraded_channels = {
+            channel.label: channel
+            for channel in (self._load_channel(s)
+                            for s in state["degraded_channels"])
+        }
 
     # -- teardown ----------------------------------------------------------------
 

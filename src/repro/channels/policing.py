@@ -53,6 +53,16 @@ class SourceRegulator:
         release_at = max(generated_at, arrival - self.horizon)
         return arrival, release_at
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state (the spec is restored by the channel)."""
+        return {"horizon": self.horizon, "last": self.clock.last}
+
+    def load_state(self, state: dict) -> None:
+        self.horizon = int(state["horizon"])
+        self.clock._last = state["last"]
+
 
 def conformance_violations(
     generation_times: Iterable[int], spec: TrafficSpec,

@@ -1,0 +1,63 @@
+"""Crash-consistent checkpoint/restore for long simulations.
+
+The subsystem has three layers (see ``docs/checkpointing.md``):
+
+* :mod:`repro.checkpoint.codec` — the ``state()`` / ``load_state()``
+  serialisation helpers shared by every stateful component (packet
+  metadata identity, phits, RNG streams).
+* :mod:`repro.checkpoint.store` — atomic content-hashed checkpoint
+  files (write-temp + fsync + rename): a reader sees a complete
+  checkpoint or none, even under SIGKILL.
+* :mod:`repro.checkpoint.sessions` — checkpointable driving loops for
+  the chaos soak and the random admitted workload, with the
+  byte-identical-resume guarantee.
+
+:mod:`repro.checkpoint.runtime` carries the process-local settings the
+campaign runner uses to checkpoint worker runs without perturbing
+result-cache hashes.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.codec import LoadContext, SaveContext
+from repro.checkpoint.runtime import (
+    CheckpointContext,
+    checkpoint_context,
+    clear_checkpoint_context,
+    set_checkpoint_context,
+)
+from repro.checkpoint.sessions import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    ChaosSession,
+    RandomWorkloadSession,
+    open_chaos_session,
+    open_random_session,
+)
+from repro.checkpoint.store import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    CheckpointStore,
+    canonical_dumps,
+    clear_checkpoints,
+    fingerprint_of,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ChaosSession",
+    "CheckpointContext",
+    "CheckpointError",
+    "CheckpointStore",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "LoadContext",
+    "RandomWorkloadSession",
+    "SaveContext",
+    "canonical_dumps",
+    "checkpoint_context",
+    "clear_checkpoint_context",
+    "clear_checkpoints",
+    "fingerprint_of",
+    "open_chaos_session",
+    "open_random_session",
+    "set_checkpoint_context",
+]

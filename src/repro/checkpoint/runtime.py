@@ -1,0 +1,69 @@
+"""Process-local checkpoint context for campaign workers.
+
+The campaign runner executes each run in a fresh worker process via
+:func:`repro.campaign.worker.subprocess_entry`.  Threading checkpoint
+settings through ``RunConfig`` would change every config's content hash
+(invalidating caches for a setting that does not affect results), so
+the worker instead publishes the settings process-locally before the
+workload executes, and the workload executors consult them here.
+
+``REPRO_CHECKPOINT_INTERVAL`` overrides the default interval for
+campaign runs (cycles between checkpoints).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkpoint.sessions import DEFAULT_CHECKPOINT_INTERVAL
+
+#: Environment variable overriding the campaign checkpoint interval.
+INTERVAL_ENV = "REPRO_CHECKPOINT_INTERVAL"
+
+_context: Optional["CheckpointContext"] = None
+
+
+@dataclass(frozen=True)
+class CheckpointContext:
+    """Where and how often the current process should checkpoint."""
+
+    directory: str
+    interval: int = DEFAULT_CHECKPOINT_INTERVAL
+
+
+def interval_from_env(default: int = DEFAULT_CHECKPOINT_INTERVAL) -> int:
+    """The campaign checkpoint interval, honouring the env override."""
+    raw = os.environ.get(INTERVAL_ENV)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{INTERVAL_ENV} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"{INTERVAL_ENV} must be positive, got {value}")
+    return value
+
+
+def set_checkpoint_context(directory: str,
+                           interval: Optional[int] = None) -> None:
+    """Enable checkpointing for workloads run in this process."""
+    global _context
+    _context = CheckpointContext(
+        directory=str(directory),
+        interval=interval_from_env() if interval is None else interval,
+    )
+
+
+def clear_checkpoint_context() -> None:
+    """Disable checkpointing for workloads run in this process."""
+    global _context
+    _context = None
+
+
+def checkpoint_context() -> Optional[CheckpointContext]:
+    """The active context, or ``None`` when checkpointing is off."""
+    return _context

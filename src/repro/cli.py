@@ -6,7 +6,11 @@ Subcommands::
     repro-router experiment  {e1,f7,a1,a3,a4}
     repro-router simulate    [--width W] [--height H] [--channels N]
                              [--ticks T] [--seed S] [--csv PATH]
+                             [--checkpoint-dir D] [--resume-from CKPT]
+                             [--check-invariants N]
     repro-router chaos       [--seed S] [--cycles N] [--cuts N] [...]
+                             [--checkpoint-dir D] [--resume-from CKPT]
+                             [--check-invariants N]
     repro-router trace       OUTPUT.jsonl [--snapshots PATH] [...]
     repro-router metrics     [--json PATH] [--period N] [...]
     repro-router campaign    SPEC.json [--workers N] [--resume|--rerun]
@@ -156,11 +160,49 @@ def _drive_random_workload(net, admitted, ticks: int, seed: int) -> None:
     drive_random_workload(net, admitted, ticks, seed)
 
 
+def _checkpoint_store(args: argparse.Namespace, kind: str,
+                      fingerprint: str):
+    """The checkpoint store implied by the CLI flags, or ``None``.
+
+    ``--checkpoint-dir`` names it explicitly; with only
+    ``--resume-from``, checkpointing continues into the resumed file's
+    directory.
+    """
+    import pathlib
+
+    from repro.checkpoint import CheckpointStore
+
+    directory = args.checkpoint_dir
+    if directory is None and args.resume_from:
+        directory = str(pathlib.Path(args.resume_from).parent)
+    if directory is None:
+        return None
+    return CheckpointStore(directory, kind, fingerprint)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    net, channels = _build_random_workload(
-        args.width, args.height, args.channels, args.seed)
-    print(f"admitted {len(channels)} of {args.channels} channels")
-    _drive_random_workload(net, channels, args.ticks, args.seed)
+    from repro.checkpoint import RandomWorkloadSession
+
+    check_every = args.check_invariants or 0
+    store = _checkpoint_store(
+        args, "random",
+        RandomWorkloadSession.fingerprint_for(
+            args.width, args.height, args.channels, args.ticks,
+            args.seed))
+    if args.resume_from:
+        document = store.load(args.resume_from)
+        session = RandomWorkloadSession.restore(
+            args.width, args.height, args.channels, args.ticks,
+            args.seed, document["state"], check_every=check_every)
+        print(f"resumed from checkpoint at cycle {document['cycle']}")
+    else:
+        session = RandomWorkloadSession(
+            args.width, args.height, args.channels, args.ticks,
+            args.seed, check_every=check_every)
+    print(f"admitted {len(session.admitted)} of {args.channels} channels")
+    net = session.run(store=store, interval=args.checkpoint_interval)
+    for failure in session.invariant_failures:
+        print(f"INVARIANT VIOLATION: {failure}")
     tc = net.log.latency_summary("TC")
     be = net.log.latency_summary("BE")
     print("\n".join(format_kv([
@@ -174,6 +216,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.reporting import write_log_csv
         path = write_log_csv(args.csv, net.log)
         print(f"wrote {path}")
+    if session.invariant_failures:
+        return 1
     return 0 if net.log.deadline_misses == 0 else 1
 
 
@@ -227,7 +271,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         babblers=args.babblers,
     )
     try:
-        report = run_chaos_soak(config)
+        if args.resume_from or args.checkpoint_dir:
+            from repro.checkpoint import ChaosSession
+
+            store = _checkpoint_store(
+                args, "chaos", ChaosSession.fingerprint_for(config))
+            if args.resume_from:
+                document = store.load(args.resume_from)
+                session = ChaosSession.restore(
+                    config, document["state"],
+                    check_every=args.check_invariants)
+                print(f"resumed from checkpoint at cycle "
+                      f"{document['cycle']}")
+            else:
+                session = ChaosSession(
+                    config, check_every=args.check_invariants)
+            report = session.run(store=store,
+                                 interval=args.checkpoint_interval)
+        else:
+            report = run_chaos_soak(config,
+                                    check_every=args.check_invariants)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -311,6 +374,25 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if log.deadline_misses == 0 else 1
 
 
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/restore flags shared by ``simulate`` and ``chaos``."""
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="write periodic crash-consistent "
+                             "checkpoints to this directory")
+    parser.add_argument("--checkpoint-interval", type=int,
+                        default=100_000, metavar="N",
+                        help="cycles between checkpoints "
+                             "(default 100000)")
+    parser.add_argument("--resume-from", default=None, metavar="CKPT",
+                        help="resume from this checkpoint file (the "
+                             "run configuration must match the one "
+                             "that wrote it)")
+    parser.add_argument("--check-invariants", type=int, default=None,
+                        metavar="N",
+                        help="check router structural invariants every "
+                             "N cycles, and once after a resume")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-router",
@@ -338,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--ticks", type=int, default=100)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--csv", default=None)
+    _add_checkpoint_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     chaos = commands.add_parser(
@@ -353,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--babblers", type=int, default=1)
     chaos.add_argument("--repeat", action="store_true",
                        help="run twice and verify identical signatures")
+    _add_checkpoint_args(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     campaign = commands.add_parser(

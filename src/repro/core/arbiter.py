@@ -38,6 +38,14 @@ class RoundRobinArbiter:
                 return idx
         return None
 
+    def state(self) -> dict:
+        """Checkpoint state (see ``docs/checkpointing.md``)."""
+        return {"next": self._next, "grants": list(self.grants)}
+
+    def load_state(self, state: dict) -> None:
+        self._next = int(state["next"])
+        self.grants = [int(g) for g in state["grants"]]
+
 
 class PriorityArbiter:
     """Strict fixed-priority arbiter (lower index wins)."""

@@ -50,6 +50,13 @@ class RolloverClock:
         """Force the clock to ``value`` (used by tests and checkpoints)."""
         self.now = value & self.mask
 
+    def state(self) -> dict:
+        """Checkpoint state (see ``docs/checkpointing.md``)."""
+        return {"now": self.now}
+
+    def load_state(self, state: dict) -> None:
+        self.set(int(state["now"]))
+
     # ------------------------------------------------------------------
     # Modular time algebra
     # ------------------------------------------------------------------

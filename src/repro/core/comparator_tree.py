@@ -142,6 +142,28 @@ class ComparatorTree:
         return [self.select_for_port(port, clock, horizons[port])
                 for port in range(len(horizons))]
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state: instrumentation counters and the key cache.
+
+        The cache is behaviour-neutral (a hit returns what recomputation
+        would), but restoring it keeps the ``keys_computed`` /
+        ``keys_reused`` counters byte-identical after a resume.
+        """
+        return {
+            "evaluations": self.evaluations,
+            "keys_computed": self.keys_computed,
+            "keys_reused": self.keys_reused,
+            "key_cache": [list(entry) for entry in self._key_cache],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.evaluations = int(state["evaluations"])
+        self.keys_computed = int(state["keys_computed"])
+        self.keys_reused = int(state["keys_reused"])
+        self._key_cache = [tuple(entry) for entry in state["key_cache"]]
+
 
 @dataclass
 class _PipelineJob:
@@ -216,3 +238,30 @@ class SchedulerPipeline:
             self._inflight.append(job)
             self._next_start_cycle = cycle + self.initiation_interval
         return completed
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state.  Job results are computed at completion
+        time from leaf state, so per-job ``(port, ready_cycle)`` is the
+        whole story — no :class:`Selection` needs serialising."""
+        return {
+            "queue": [[job.port, job.ready_cycle] for job in self._queue],
+            "inflight": [[job.port, job.ready_cycle]
+                         for job in self._inflight],
+            "next_start_cycle": self._next_start_cycle,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._queue = deque(
+            _PipelineJob(port=port, ready_cycle=ready)
+            for port, ready in state["queue"]
+        )
+        self._inflight = deque(
+            _PipelineJob(port=port, ready_cycle=ready)
+            for port, ready in state["inflight"]
+        )
+        self._ports_waiting = {job.port for job in self._queue} | {
+            job.port for job in self._inflight
+        }
+        self._next_start_cycle = int(state["next_start_cycle"])

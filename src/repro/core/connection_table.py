@@ -83,6 +83,21 @@ class ConnectionTable:
         return [cid for cid, e in enumerate(self._entries)
                 if e is not None and e.valid]
 
+    def state(self) -> dict:
+        """Checkpoint state: every written entry (valid or torn down)."""
+        return {"entries": [
+            [cid, e.outgoing_id, e.delay, e.port_mask, e.valid]
+            for cid, e in enumerate(self._entries) if e is not None
+        ]}
+
+    def load_state(self, state: dict) -> None:
+        self._entries = [None] * self.params.connections
+        for cid, outgoing_id, delay, port_mask, valid in state["entries"]:
+            self._entries[cid] = ConnectionEntry(
+                outgoing_id=outgoing_id, delay=delay,
+                port_mask=port_mask, valid=valid,
+            )
+
 
 class ControlInterface:
     """The four-write programming protocol of paper Table 3.
@@ -162,6 +177,23 @@ class ControlInterface:
         for port in range(OUTPUT_PORTS):
             if port_mask & (1 << port):
                 self.horizons[port] = horizon
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "table": self.table.state(),
+            "horizons": list(self.horizons),
+            "pending": [self._pending_id, self._pending_outgoing,
+                        self._pending_delay],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.table.load_state(state["table"])
+        self.horizons = [int(h) for h in state["horizons"]]
+        self._pending_id, self._pending_outgoing, self._pending_delay = (
+            state["pending"]
+        )
 
     # -- convenience ------------------------------------------------------
 

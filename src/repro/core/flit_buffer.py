@@ -53,6 +53,16 @@ class FlitBuffer:
     def __len__(self) -> int:
         return len(self._fifo)
 
+    def state(self, ctx) -> dict:
+        """Checkpoint state; ``ctx`` encodes the buffered phits."""
+        return {"overflows": self.overflows,
+                "phits": [ctx.save_phit(phit) for phit in self._fifo]}
+
+    def load_state(self, state: dict, ctx) -> None:
+        self.overflows = int(state["overflows"])
+        self._fifo.clear()
+        self._fifo.extend(ctx.load_phit(p) for p in state["phits"])
+
 
 @dataclass
 class CreditCounter:
@@ -84,3 +94,10 @@ class CreditCounter:
         self.credits += count
         if self.credits > self.capacity:
             raise RuntimeError("more acks than bytes sent")
+
+    def state(self) -> dict:
+        """Checkpoint state (see ``docs/checkpointing.md``)."""
+        return {"credits": self.credits}
+
+    def load_state(self, state: dict) -> None:
+        self.credits = int(state["credits"])

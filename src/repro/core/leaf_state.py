@@ -76,6 +76,22 @@ class LeafArray:
     def occupied_indices(self) -> Iterator[int]:
         return (i for i, leaf in enumerate(self._leaves) if leaf.occupied)
 
+    def state(self) -> dict:
+        """Checkpoint state: only the occupied leaves, by index."""
+        return {"leaves": [
+            [i, leaf.arrival, leaf.deadline, leaf.port_mask]
+            for i, leaf in enumerate(self._leaves) if leaf.occupied
+        ]}
+
+    def load_state(self, state: dict) -> None:
+        for leaf in self._leaves:
+            leaf.arrival = leaf.deadline = leaf.port_mask = 0
+        for index, arrival, deadline, port_mask in state["leaves"]:
+            leaf = self._leaves[index]
+            leaf.arrival = arrival
+            leaf.deadline = deadline
+            leaf.port_mask = port_mask
+
     @property
     def occupancy(self) -> int:
         return sum(1 for leaf in self._leaves if leaf.occupied)

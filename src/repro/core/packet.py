@@ -39,6 +39,25 @@ BE_MAX_PAYLOAD = 0xFFFF
 _packet_ids = itertools.count()
 
 
+def packet_id_counter_state() -> int:
+    """Next packet id to be issued (checkpointing).
+
+    Peeks by consuming one id and re-creating the counter at the same
+    position — safe because every caller of ``_packet_ids`` looks the
+    module global up by name at call time.
+    """
+    global _packet_ids
+    value = next(_packet_ids)
+    _packet_ids = itertools.count(value)
+    return value
+
+
+def load_packet_id_counter_state(value: int) -> None:
+    """Restore the packet id counter to a checkpointed position."""
+    global _packet_ids
+    _packet_ids = itertools.count(int(value))
+
+
 def _signed_byte(value: int) -> int:
     """Encode a signed mesh offset into one two's-complement byte."""
     if not -128 <= value <= 127:

@@ -66,6 +66,16 @@ class IdleAddressFifo:
     def is_allocated(self, address: int) -> bool:
         return address in self._allocated
 
+    def state(self) -> dict:
+        """Checkpoint state.  The free list *order* matters: allocation
+        order after a restore must match the uninterrupted run."""
+        return {"free": list(self._free),
+                "allocated": sorted(self._allocated)}
+
+    def load_state(self, state: dict) -> None:
+        self._free = deque(state["free"])
+        self._allocated = set(state["allocated"])
+
 
 class PacketMemory:
     """The shared slot array, addressed by (slot, chunk)."""
@@ -124,14 +134,37 @@ class PacketMemory:
         self._check(address, 0)
         return bytes(self._slots[address])
 
+    def state(self) -> dict:
+        """Checkpoint state: the idle FIFO plus allocated slot bytes."""
+        return {
+            "idle_fifo": self.idle_fifo.state(),
+            "slots": [[address, self._slots[address].hex()]
+                      for address in sorted(self.idle_fifo._allocated)],
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.idle_fifo.load_state(state["idle_fifo"])
+        for slot in self._slots:
+            slot[:] = bytes(len(slot))
+        for address, data in state["slots"]:
+            self._slots[address][:] = bytes.fromhex(data)
+        self.peak_occupancy = int(state["peak_occupancy"])
+
 
 @dataclass
 class BusRequest:
-    """One queued chunk access: executed when the bus grants it."""
+    """One queued chunk access: executed when the bus grants it.
+
+    ``spec`` is the request's declarative description — enough for a
+    checkpoint restore to re-create ``action`` (a closure, which cannot
+    be serialised) through the router's request factories.
+    """
 
     port: int
     action: Callable[[], None]
     label: str = ""
+    spec: Optional[tuple] = None
 
 
 class ChunkBus:
@@ -184,3 +217,31 @@ class ChunkBus:
         if self.total_cycles == 0:
             return 0.0
         return self.busy_cycles / self.total_cycles
+
+    def state(self) -> dict:
+        """Checkpoint state.  Queued request actions are closures, so
+        each request is captured through its declarative ``spec``."""
+        queues = []
+        for queue in self._queues:
+            specs = []
+            for req in queue:
+                if req.spec is None:
+                    raise ValueError(
+                        f"bus request {req.label!r} has no spec — "
+                        "cannot checkpoint"
+                    )
+                specs.append(list(req.spec))
+            queues.append(specs)
+        return {"next": self._next, "grants": self.grants,
+                "busy_cycles": self.busy_cycles,
+                "total_cycles": self.total_cycles, "queues": queues}
+
+    def load_state(self, state: dict, rebuild) -> None:
+        """Restore; ``rebuild(spec)`` re-creates one :class:`BusRequest`."""
+        self._next = int(state["next"])
+        self.grants = int(state["grants"])
+        self.busy_cycles = int(state["busy_cycles"])
+        self.total_cycles = int(state["total_cycles"])
+        for queue, specs in zip(self._queues, state["queues"]):
+            queue.clear()
+            queue.extend(rebuild(tuple(spec)) for spec in specs)

@@ -34,6 +34,7 @@ from typing import Callable, Optional
 from repro.core.arbiter import RoundRobinArbiter
 from repro.core.clock import RolloverClock
 from repro.core.comparator_tree import ComparatorTree, SchedulerPipeline, Selection
+from repro.core.sorting_key import unpack_key
 from repro.core.connection_table import ControlInterface, UnknownConnectionError
 from repro.core.flit_buffer import CreditCounter, FlitBuffer
 from repro.core.leaf_state import LeafArray
@@ -621,6 +622,9 @@ class RealTimeRouter:
                     entry.port_mask, install=(chunk == chunks - 1),
                 ),
                 label=f"tc-write s{slot} c{chunk}",
+                spec=("tc-write", port, slot, chunk,
+                      rewritten[start:end].hex(), arrival, deadline,
+                      entry.port_mask, chunk == chunks - 1),
             ))
 
     def _make_tc_write(self, slot: int, chunk: int, data: bytes,
@@ -762,6 +766,7 @@ class RealTimeRouter:
                 port=port,
                 action=self._make_be_transfer(port, count),
                 label=f"be-xfer in{port}",
+                spec=("be-xfer", port, count),
             ))
 
     def _make_be_transfer(self, port: int, count: int) -> Callable[[], None]:
@@ -961,6 +966,7 @@ class RealTimeRouter:
                 port=OUTPUT_PORTS + port,
                 action=self._make_tc_read(port, slot, chunk),
                 label=f"tc-read s{slot} c{chunk}",
+                spec=("tc-read", port, slot, chunk),
             ))
 
     def _make_tc_read(self, port: int, slot: int,
@@ -1088,6 +1094,265 @@ class RealTimeRouter:
             if output.tc_rx or output.be_rx:
                 return False
         return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see docs/checkpointing.md)
+    # ------------------------------------------------------------------
+
+    def _rebuild_bus_request(self, spec: tuple) -> BusRequest:
+        """Re-create a queued bus request from its declarative spec."""
+        kind = spec[0]
+        if kind == "tc-write":
+            _, port, slot, chunk, data, arrival, deadline, mask, install = spec
+            return BusRequest(
+                port=port,
+                action=self._make_tc_write(
+                    slot, chunk, bytes.fromhex(data), arrival, deadline,
+                    mask, install=bool(install),
+                ),
+                label=f"tc-write s{slot} c{chunk}",
+                spec=spec,
+            )
+        if kind == "be-xfer":
+            _, port, count = spec
+            return BusRequest(
+                port=port,
+                action=self._make_be_transfer(port, count),
+                label=f"be-xfer in{port}",
+                spec=spec,
+            )
+        if kind == "tc-read":
+            _, port, slot, chunk = spec
+            return BusRequest(
+                port=OUTPUT_PORTS + port,
+                action=self._make_tc_read(port, slot, chunk),
+                label=f"tc-read s{slot} c{chunk}",
+                spec=spec,
+            )
+        raise ValueError(f"unknown bus request spec {spec!r}")
+
+    @staticmethod
+    def _save_signal(signal: LinkSignal, ctx) -> list:
+        return [None if signal.phit is None else ctx.save_phit(signal.phit),
+                signal.ack]
+
+    @staticmethod
+    def _load_signal(state: list, ctx) -> LinkSignal:
+        phit, ack = state
+        return LinkSignal(
+            phit=None if phit is None else ctx.load_phit(phit),
+            ack=bool(ack),
+        )
+
+    def _save_selection(self, selection: Optional[Selection]):
+        if selection is None:
+            return None
+        return [selection.leaf_index,
+                selection.key.packed(self.params.clock_bits),
+                selection.transmissible]
+
+    def _load_selection(self, state) -> Optional[Selection]:
+        if state is None:
+            return None
+        leaf_index, packed, transmissible = state
+        return Selection(
+            leaf_index=leaf_index,
+            key=unpack_key(packed, self.params.clock_bits),
+            transmissible=bool(transmissible),
+        )
+
+    def state(self, ctx) -> dict:
+        """Complete microarchitectural state as a JSON-able dict.
+
+        ``ctx`` is a :class:`repro.checkpoint.SaveContext`; packet
+        metadata goes through it so instances shared across components
+        keep their identity on restore.
+        """
+        outputs = []
+        for output in self._outputs:
+            stream = output.tc_stream
+            outputs.append({
+                "tc_stream": None if stream is None else {
+                    "slot": stream.slot,
+                    "staging": list(stream.staging),
+                    "sent": stream.sent,
+                    "meta": ctx.save_meta(stream.meta),
+                },
+                "held": self._save_selection(output.held),
+                "be_staging": [
+                    [s.byte, s.index, s.is_tail, ctx.save_meta(s.meta)]
+                    for s in output.be_staging
+                ],
+                "bound_input": output.bound_input,
+                "credits": (None if output.credits is None
+                            else output.credits.state()),
+                "tc_rx": list(output.tc_rx),
+                "tc_rx_meta": ctx.save_meta(output.tc_rx_meta),
+                "be_rx": list(output.be_rx),
+                "be_rx_meta": ctx.save_meta(output.be_rx_meta),
+                "tc_bytes": output.tc_bytes,
+                "be_bytes": output.be_bytes,
+            })
+        return {
+            "clock": self.clock.state(),
+            "control": self.control.state(),
+            "memory": self.memory.state(),
+            "leaves": self.leaves.state(),
+            "tree": self.tree.state(),
+            "pipeline": self.pipeline.state(),
+            "bus": self.bus.state(),
+            "link_in": [self._save_signal(s, ctx) for s in self.link_in],
+            "link_out": [self._save_signal(s, ctx) for s in self.link_out],
+            "sync_queues": [
+                [[ready, ctx.save_phit(phit)] for ready, phit in queue]
+                for queue in self._sync_queues
+            ],
+            "tc_inputs": [
+                {"rx_bytes": list(s.rx_bytes),
+                 "rx_meta": ctx.save_meta(s.rx_meta),
+                 "cut_port": s.cut_port}
+                for s in self._tc_inputs
+            ],
+            "be_inputs": [
+                {"buffer": s.buffer.state(ctx),
+                 "headers": [list(h) for h in s.headers],
+                 "metas": [ctx.save_meta(m) for m in s.metas],
+                 "out_port": s.out_port,
+                 "bound": s.bound,
+                 "total_bytes": s.total_bytes,
+                 "transferred": s.transferred,
+                 "xfer_pending": s.xfer_pending,
+                 "pending_acks": s.pending_acks,
+                 "route_ready_cycle": s.route_ready_cycle}
+                for s in self._be_inputs
+            ],
+            "outputs": outputs,
+            "be_arbiters": [a.state() for a in self._be_arbiters],
+            "tc_inject_queue": [ctx.save_tc_packet(p)
+                                for p in self._tc_inject_queue],
+            "tc_inject_phits": [ctx.save_phit(p)
+                                for p in self._tc_inject_phits],
+            "be_inject_queue": [ctx.save_be_packet(p)
+                                for p in self._be_inject_queue],
+            "be_inject_phits": [ctx.save_phit(p)
+                                for p in self._be_inject_phits],
+            "delivered": [
+                (["TC", ctx.save_tc_packet(p)]
+                 if isinstance(p, TimeConstrainedPacket)
+                 else ["BE", ctx.save_be_packet(p)])
+                for p in self.delivered
+            ],
+            "slot_meta": [ctx.save_meta(m) for m in self._slot_meta],
+            "slot_readers": list(self._slot_readers),
+            "eligible_count": list(self._eligible_count),
+            "counters": {
+                "cycle": self.cycle,
+                "tc_dropped": self.tc_dropped,
+                "tc_received": self.tc_received,
+                "tc_transmitted": self.tc_transmitted,
+                "be_worms_routed": self.be_worms_routed,
+                "cut_through_count": self.cut_through_count,
+                "drop_unroutable": self.drop_unroutable,
+                "tc_corrupt_dropped": self.tc_corrupt_dropped,
+                "be_corrupt_dropped": self.be_corrupt_dropped,
+                "tc_unroutable_dropped": self.tc_unroutable_dropped,
+                "tc_resync_drops": self.tc_resync_drops,
+                "be_orphan_drops": self.be_orphan_drops,
+            },
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        """Overlay checkpointed state onto a freshly-built router.
+
+        ``ctx`` is a :class:`repro.checkpoint.LoadContext` built from
+        the same checkpoint's shared meta table.
+        """
+        self.clock.load_state(state["clock"])
+        self.control.load_state(state["control"])
+        self.memory.load_state(state["memory"])
+        self.leaves.load_state(state["leaves"])
+        self.tree.load_state(state["tree"])
+        self.pipeline.load_state(state["pipeline"])
+        self.bus.load_state(state["bus"], self._rebuild_bus_request)
+        self.link_in = [self._load_signal(s, ctx) for s in state["link_in"]]
+        self.link_out = [self._load_signal(s, ctx)
+                         for s in state["link_out"]]
+        self._sync_queues = [
+            deque((ready, ctx.load_phit(phit)) for ready, phit in queue)
+            for queue in state["sync_queues"]
+        ]
+        for tc_input, s in zip(self._tc_inputs, state["tc_inputs"]):
+            tc_input.rx_bytes = list(s["rx_bytes"])
+            tc_input.rx_meta = ctx.meta(s["rx_meta"])
+            tc_input.cut_port = s["cut_port"]
+        for be_input, s in zip(self._be_inputs, state["be_inputs"]):
+            be_input.buffer.load_state(s["buffer"], ctx)
+            be_input.headers = deque(list(h) for h in s["headers"])
+            be_input.metas = deque(ctx.meta(m) for m in s["metas"])
+            be_input.out_port = s["out_port"]
+            be_input.bound = bool(s["bound"])
+            be_input.total_bytes = s["total_bytes"]
+            be_input.transferred = int(s["transferred"])
+            be_input.xfer_pending = bool(s["xfer_pending"])
+            be_input.pending_acks = int(s["pending_acks"])
+            be_input.route_ready_cycle = s["route_ready_cycle"]
+        for output, s in zip(self._outputs, state["outputs"]):
+            stream_state = s["tc_stream"]
+            if stream_state is None:
+                output.tc_stream = None
+            else:
+                output.tc_stream = _TCStream(
+                    slot=stream_state["slot"],
+                    staging=deque(stream_state["staging"]),
+                    sent=int(stream_state["sent"]),
+                    meta=ctx.meta(stream_state["meta"]),
+                )
+            output.held = self._load_selection(s["held"])
+            output.be_staging = deque(
+                _StagedByte(byte=byte, index=index, is_tail=bool(tail),
+                            meta=ctx.meta(meta))
+                for byte, index, tail, meta in s["be_staging"]
+            )
+            output.bound_input = s["bound_input"]
+            if output.credits is not None:
+                output.credits.load_state(s["credits"])
+            output.tc_rx = list(s["tc_rx"])
+            output.tc_rx_meta = ctx.meta(s["tc_rx_meta"])
+            output.be_rx = list(s["be_rx"])
+            output.be_rx_meta = ctx.meta(s["be_rx_meta"])
+            output.tc_bytes = int(s["tc_bytes"])
+            output.be_bytes = int(s["be_bytes"])
+        for arbiter, s in zip(self._be_arbiters, state["be_arbiters"]):
+            arbiter.load_state(s)
+        self._tc_inject_queue = deque(
+            ctx.load_tc_packet(p) for p in state["tc_inject_queue"])
+        self._tc_inject_phits = deque(
+            ctx.load_phit(p) for p in state["tc_inject_phits"])
+        self._be_inject_queue = deque(
+            ctx.load_be_packet(p) for p in state["be_inject_queue"])
+        self._be_inject_phits = deque(
+            ctx.load_phit(p) for p in state["be_inject_phits"])
+        self.delivered = [
+            (ctx.load_tc_packet(p) if kind == "TC"
+             else ctx.load_be_packet(p))
+            for kind, p in state["delivered"]
+        ]
+        self._slot_meta = [ctx.meta(m) for m in state["slot_meta"]]
+        self._slot_readers = [int(n) for n in state["slot_readers"]]
+        self._eligible_count = [int(n) for n in state["eligible_count"]]
+        counters = state["counters"]
+        self.cycle = int(counters["cycle"])
+        self.tc_dropped = int(counters["tc_dropped"])
+        self.tc_received = int(counters["tc_received"])
+        self.tc_transmitted = int(counters["tc_transmitted"])
+        self.be_worms_routed = int(counters["be_worms_routed"])
+        self.cut_through_count = int(counters["cut_through_count"])
+        self.drop_unroutable = bool(counters["drop_unroutable"])
+        self.tc_corrupt_dropped = int(counters["tc_corrupt_dropped"])
+        self.be_corrupt_dropped = int(counters["be_corrupt_dropped"])
+        self.tc_unroutable_dropped = int(counters["tc_unroutable_dropped"])
+        self.tc_resync_drops = int(counters["tc_resync_drops"])
+        self.be_orphan_drops = int(counters["be_orphan_drops"])
 
 
 class _MetaCarrier:

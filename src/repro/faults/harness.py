@@ -20,8 +20,6 @@ from typing import Optional
 
 from repro.channels.admission import AdmissionError
 from repro.channels.spec import TrafficSpec
-from repro.core.invariants import InvariantViolation, check_router_invariants
-from repro.faults.injector import BABBLE_LABEL, FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.network.network import MeshNetwork
 
@@ -143,94 +141,28 @@ def _establish_workload(network: MeshNetwork, config: ChaosConfig,
 
 
 def run_chaos_soak(config: ChaosConfig,
-                   plan: Optional[FaultPlan] = None) -> ChaosReport:
+                   plan: Optional[FaultPlan] = None, *,
+                   check_every: Optional[int] = None,
+                   store=None, interval: Optional[int] = None,
+                   ) -> ChaosReport:
     """Run one seeded chaos soak and report what happened.
 
     Deterministic: the workload schedule, the fault plan, and the
     simulation itself are all driven from ``config.seed``, so the same
     configuration always yields the identical report signature.
+
+    The driving loop lives in
+    :class:`repro.checkpoint.sessions.ChaosSession`; passing ``store``
+    (a :class:`~repro.checkpoint.CheckpointStore`) checkpoints the run
+    every ``interval`` cycles without changing its outcome, and
+    ``check_every`` overrides the config's invariant-check period.
     """
-    from repro.faults import install_fault_tolerance
-
-    rng = random.Random(config.seed)
-    network = MeshNetwork(config.width, config.height,
-                          on_memory_full="drop")
-    channels = _establish_workload(network, config, rng)
-    tolerance = install_fault_tolerance(network)
-    if plan is None:
-        plan = FaultPlan.random(
-            config.seed, config.width, config.height,
-            cuts=config.cuts, flaps=config.flaps,
-            corruptions=config.corruptions, drops=config.drops,
-            babblers=config.babblers,
-            window=(config.cycles // 8, max(config.cycles // 8 + 1,
-                                            config.cycles * 3 // 4)),
-        )
-    injector = FaultInjector(network, plan)
-    network.engine.add_component(injector)
-
-    nodes = list(network.mesh.nodes())
-    be_payloads = [bytes(rng.randrange(256) for __ in range(
-        rng.randrange(6, 24))) for __ in range(8)]
-    slot = network.params.slot_cycles
-    period_cycles = config.message_period_ticks * slot
-    invariant_failures: list[str] = []
-
-    def check_invariants() -> None:
-        for node, router in network.routers.items():
-            try:
-                check_router_invariants(router)
-            except InvariantViolation as exc:
-                invariant_failures.append(f"cycle {network.cycle} "
-                                          f"{node}: {exc}")
-
-    next_message = 0
-    next_be = config.be_period_cycles
-    next_check = config.invariant_check_every
-    while network.cycle < config.cycles:
-        if network.cycle >= next_message:
-            for channel in channels:
-                network.send_message(
-                    channel, payload=bytes([len(channels)]) * 4)
-            next_message += period_cycles
-        if network.cycle >= next_be:
-            src, dst = rng.sample(nodes, 2)
-            network.send_best_effort(src, dst,
-                                     payload=rng.choice(be_payloads))
-            next_be += config.be_period_cycles
-        if network.cycle >= next_check:
-            check_invariants()
-            next_check += config.invariant_check_every
-        network.run(min(slot, config.cycles - network.cycle))
-    # Settle: no new messages; let retransmissions and drains finish.
-    network.run(config.settle_cycles)
-    check_invariants()
-
-    # Drop the fault layer cleanly (exercises remove_component).
-    injector.detach()
-    tolerance.detach()
-
-    degraded = sorted(network.manager.degraded_channels)
-    misses_total = network.log.deadline_misses
-    misses_undegraded = sum(
-        1 for record in network.log.records
-        if record.deadline_met is False
-        and record.connection_label not in degraded
-        and record.connection_label != BABBLE_LABEL
+    from repro.checkpoint.sessions import (
+        DEFAULT_CHECKPOINT_INTERVAL,
+        ChaosSession,
     )
-    return ChaosReport(
-        seed=config.seed,
-        cycles=network.cycle,
-        counters=network.fault_counters().as_dict(),
-        tc_delivered=network.log.tc_delivered,
-        be_delivered=network.log.be_delivered,
-        deadline_misses_total=misses_total,
-        deadline_misses_undegraded=misses_undegraded,
-        degraded_labels=degraded,
-        rerouted_count=network.fault_stats.channels_rerouted,
-        invariant_failures=invariant_failures,
-        channels_established=len(channels),
-        faults_fired=len(injector.fired),
-        latency={cls: histogram.state() for cls, histogram
-                 in network.log.latency_histograms.items()},
-    )
+
+    session = ChaosSession(config, plan=plan, check_every=check_every)
+    return session.run(store=store,
+                       interval=(DEFAULT_CHECKPOINT_INTERVAL
+                                 if interval is None else interval))

@@ -63,6 +63,16 @@ class BitFlipCorruptor:
         return Phit(vc=phit.vc, byte=phit.byte ^ self.bit,
                     packet=phit.packet, index=phit.index, last=phit.last)
 
+    def state(self) -> dict:
+        """Checkpoint state (see :func:`corruptor_from_state`)."""
+        return {"kind": "bitflip", "remaining": self.remaining,
+                "bit": self.bit, "corrupted": self.corrupted}
+
+    def load_state(self, state: dict) -> None:
+        self.remaining = int(state["remaining"])
+        self.bit = int(state["bit"])
+        self.corrupted = int(state["corrupted"])
+
 
 class PacketDropCorruptor:
     """Suppresses whole packets, head byte through tail byte.
@@ -98,6 +108,38 @@ class PacketDropCorruptor:
                 self._dropping[phit.vc] = True
             return None
         return phit
+
+    def state(self) -> dict:
+        """Checkpoint state (see :func:`corruptor_from_state`)."""
+        return {"kind": "drop", "remaining": self.remaining,
+                "vc": self.vc, "dropped": self.dropped,
+                "dropping": dict(self._dropping)}
+
+    def load_state(self, state: dict) -> None:
+        self.remaining = int(state["remaining"])
+        self.vc = state["vc"]
+        self.dropped = int(state["dropped"])
+        self._dropping = {"TC": bool(state["dropping"]["TC"]),
+                          "BE": bool(state["dropping"]["BE"])}
+
+
+def corruptor_from_state(state: dict):
+    """Rebuild a corruptor from its checkpoint state.
+
+    The ``kind`` tag picks the class; the instance is constructed with
+    a placeholder budget and then overlaid, because a checkpoint may
+    capture an exhausted corruptor (``remaining == 0``) that the
+    constructors would reject.
+    """
+    kind = state["kind"]
+    if kind == "bitflip":
+        corruptor = BitFlipCorruptor()
+    elif kind == "drop":
+        corruptor = PacketDropCorruptor(vc=state["vc"])
+    else:
+        raise ValueError(f"unknown corruptor kind {kind!r}")
+    corruptor.load_state(state)
+    return corruptor
 
 
 class FaultInjector:
@@ -168,3 +210,35 @@ class FaultInjector:
     def detach(self) -> None:
         """Remove the injector from the network's engine."""
         self.network.engine.remove_component(self)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state.  The plan itself is rebuilt from its seed
+        and parameters (it is pure data), so only the replay position
+        and the links carrying our corruptors are saved; the corruptor
+        *states* live with the network, which owns the wire.
+        """
+        return {
+            "index": self._index,
+            "corruptor_links": sorted(
+                [list(node), direction]
+                for node, direction in self.corruptors
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the replay position.
+
+        Must run after the network's own restore: corruptor entries are
+        re-referenced from the network so the injector and the wire
+        share one instance per link, exactly as when it was installed.
+        """
+        self._index = int(state["index"])
+        self.fired = list(self.plan.events[:self._index])
+        self.corruptors = {}
+        for node, direction in state["corruptor_links"]:
+            link = (tuple(node), direction)
+            corruptor = self.network.link_corruptor(*link)
+            if corruptor is not None:
+                self.corruptors[link] = corruptor

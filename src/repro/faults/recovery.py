@@ -397,3 +397,99 @@ class RecoveryController:
         self.network.tc_send_hooks.remove(self._on_tc_send)
         self.network.be_send_hooks.remove(self._on_be_send)
         self.network.engine.remove_component(self)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state: every pending retransmission timer.
+
+        The tracked-message deques keep their insertion order (the
+        bounded-buffer eviction pops the oldest entry); the confirmation
+        sets are membership-only and are sorted for a stable document.
+        The ``_resending_*`` flags are only ever set inside a single
+        ``step`` call, so at a checkpoint boundary they are always
+        clear and need no saving.
+        """
+        return {
+            "dead_links": sorted([list(node), direction]
+                                 for node, direction in self.dead_links),
+            "messages": [
+                {
+                    "label": entry.label,
+                    "payload": entry.payload.hex(),
+                    "attempts_seqs": [sorted(seqs)
+                                      for seqs in entry.attempts_seqs],
+                    "destinations": [list(node)
+                                     for node in entry.destinations],
+                    "next_check_cycle": entry.next_check_cycle,
+                    "retries": entry.retries,
+                }
+                for entry in self._messages
+            ],
+            "be_packets": [
+                {
+                    "source": list(entry.source),
+                    "destination": list(entry.destination),
+                    "payload": entry.payload.hex(),
+                    "label": entry.label,
+                    "sequence": entry.sequence,
+                    "packet_ids": list(entry.packet_ids),
+                    "path_links": sorted([list(node), port]
+                                         for node, port
+                                         in entry.path_links),
+                    "next_check_cycle": entry.next_check_cycle,
+                    "retries": entry.retries,
+                }
+                for entry in self._be_packets
+            ],
+            "delivered_tc": sorted(
+                ([label, sequence,
+                  list(node) if isinstance(node, tuple) else node]
+                 for label, sequence, node in self._delivered_tc),
+                key=repr,
+            ),
+            "delivered_be_ids": sorted(self._delivered_be_ids),
+            "log_index": self._log_index,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Overlay saved timers; ``dead_links`` stays consistent with
+        the network's already-restored ``routing_avoid`` set."""
+        self.dead_links.clear()
+        self.dead_links.update((tuple(node), direction)
+                               for node, direction in state["dead_links"])
+        self._messages.clear()
+        for entry in state["messages"]:
+            self._messages.append(_TrackedMessage(
+                label=entry["label"],
+                payload=bytes.fromhex(entry["payload"]),
+                attempts_seqs=[set(seqs)
+                               for seqs in entry["attempts_seqs"]],
+                destinations=tuple(tuple(node)
+                                   for node in entry["destinations"]),
+                next_check_cycle=entry["next_check_cycle"],
+                retries=entry["retries"],
+            ))
+        self._be_packets.clear()
+        for entry in state["be_packets"]:
+            self._be_packets.append(_TrackedBestEffort(
+                source=tuple(entry["source"]),
+                destination=tuple(entry["destination"]),
+                payload=bytes.fromhex(entry["payload"]),
+                label=entry["label"],
+                sequence=entry["sequence"],
+                packet_ids=list(entry["packet_ids"]),
+                path_links={(tuple(node), port)
+                            for node, port in entry["path_links"]},
+                next_check_cycle=entry["next_check_cycle"],
+                retries=entry["retries"],
+            ))
+        self._delivered_tc = {
+            (label, sequence,
+             tuple(node) if isinstance(node, list) else node)
+            for label, sequence, node in state["delivered_tc"]
+        }
+        self._delivered_be_ids = set(state["delivered_be_ids"])
+        self._log_index = int(state["log_index"])
+        self._resending_tc = None
+        self._resending_be = False

@@ -86,3 +86,15 @@ class LinkWatchdog:
     def detach(self) -> None:
         self.network.events.unsubscribe(self._on_event)
         self.network.engine.remove_component(self)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> dict:
+        return {"dead": sorted([list(node), direction, cycle]
+                               for (node, direction), cycle
+                               in self.dead.items())}
+
+    def load_state(self, state: dict) -> None:
+        self.dead.clear()
+        for node, direction, cycle in state["dead"]:
+            self.dead[(tuple(node), direction)] = cycle

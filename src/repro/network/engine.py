@@ -123,6 +123,33 @@ class SynchronousEngine:
         self._ff_backoff = 1
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state (see ``docs/checkpointing.md``)."""
+        return {
+            "cycle": self.cycle,
+            "cycles_stepped": self.cycles_stepped,
+            "cycles_fast_forwarded": self.cycles_fast_forwarded,
+            "ff_retry_cycle": self._ff_retry_cycle,
+            "ff_backoff": self._ff_backoff,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Overlay checkpointed engine state.
+
+        Must run *after* every component and wiring registration —
+        registering resets the fast-forward backoff, which this
+        restores to its checkpointed value.
+        """
+        self.cycle = int(state["cycle"])
+        self.cycles_stepped = int(state["cycles_stepped"])
+        self.cycles_fast_forwarded = int(state["cycles_fast_forwarded"])
+        self._ff_retry_cycle = int(state["ff_retry_cycle"])
+        self._ff_backoff = int(state["ff_backoff"])
+
+    # ------------------------------------------------------------------
     # The per-cycle loop and the fast path
     # ------------------------------------------------------------------
 

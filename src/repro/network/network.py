@@ -17,7 +17,13 @@ from typing import Callable, Optional, Sequence
 from repro.channels.admission import AdmissionController
 from repro.channels.manager import ChannelManager, RealTimeChannel
 from repro.channels.spec import TrafficSpec
-from repro.core.packet import BestEffortPacket, PacketMeta, Phit
+from repro.core.packet import (
+    BestEffortPacket,
+    PacketMeta,
+    Phit,
+    load_packet_id_counter_state,
+    packet_id_counter_state,
+)
 from repro.core.params import MESH_LINKS, RouterParams
 from repro.core.ports import OPPOSITE
 from repro.core.router import LinkSignal, RealTimeRouter
@@ -352,6 +358,10 @@ class MeshNetwork:
     def clear_link_corruptor(self, node: Node, direction: int) -> None:
         self._link_corruptors.pop((node, direction), None)
 
+    def link_corruptor(self, node: Node, direction: int) -> Optional[Corruptor]:
+        """The corruptor installed on one directed link, or ``None``."""
+        return self._link_corruptors.get((node, direction))
+
     @property
     def failed_links(self) -> set[tuple[Node, int]]:
         return set(self._failed_links)
@@ -593,6 +603,121 @@ class MeshNetwork:
             counters.link_bytes_corrupted += monitor.bytes_corrupted
             counters.link_packets_dropped += monitor.packets_dropped
         return counters
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see docs/checkpointing.md)
+    # ------------------------------------------------------------------
+
+    def state(self, ctx) -> dict:
+        """Complete network state as a JSON-able dict.
+
+        ``ctx`` is a :class:`repro.checkpoint.SaveContext`.  Covers the
+        routers, hosts, delivery log, link health, channel software and
+        observability registries — everything mutable that the engine's
+        per-cycle loop can touch.  Not covered (documented limitations):
+        :class:`ServiceTrace` hooks and snapshot emitters.
+        """
+        corruptors = []
+        for (node, direction), corruptor in sorted(
+                self._link_corruptors.items()):
+            if not hasattr(corruptor, "state"):
+                raise ValueError(
+                    f"link corruptor on {(node, direction)!r} is not "
+                    "checkpointable (no state())"
+                )
+            corruptors.append([list(node), direction, corruptor.state()])
+        return {
+            "log": self.log.state(),
+            "routers": [self.routers[node].state(ctx)
+                        for node in self.mesh.nodes()],
+            "hosts": [self.hosts[node].state(ctx)
+                      for node in self.mesh.nodes()],
+            "link_monitors": [
+                [list(node), direction,
+                 [monitor.missed_transfers, monitor.bytes_lost,
+                  monitor.bytes_drained, monitor.bytes_corrupted,
+                  monitor.packets_dropped,
+                  monitor.be_lost_uncompensated]]
+                for (node, direction), monitor in sorted(
+                    self.link_monitors.items())
+            ],
+            "failed_links": [[list(node), direction] for node, direction
+                             in sorted(self._failed_links)],
+            "draining_links": [[list(node), direction] for node, direction
+                               in sorted(self._draining_links)],
+            "routing_avoid": [[list(node), direction] for node, direction
+                              in sorted(self.routing_avoid)],
+            "drain_acks": [[list(node), direction, pending]
+                           for (node, direction), pending in sorted(
+                               self._drain_acks.items())],
+            "corruptors": corruptors,
+            "fault_stats": self.fault_stats.as_dict(),
+            "manager": self.manager.state(),
+            "admission": self.admission.state(),
+            "metrics": self.metrics.state(),
+            "tracer": (None if self.tracer is None
+                       else self.tracer.state()),
+            "packet_ids": packet_id_counter_state(),
+            "engine": self.engine.state(),
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        """Overlay checkpointed state onto a freshly-built network.
+
+        The network must have been constructed with the same topology
+        and parameters as the checkpointed run (the checkpoint store's
+        fingerprint check enforces this), with channels *not* yet
+        established — the channel software is restored from the
+        checkpoint, not replayed.
+        """
+        self.log.load_state(state["log"])
+        for node, router_state in zip(self.mesh.nodes(),
+                                      state["routers"]):
+            self.routers[node].load_state(router_state, ctx)
+        for node, host_state in zip(self.mesh.nodes(), state["hosts"]):
+            self.hosts[node].load_state(host_state, ctx)
+        for node, direction, fields in state["link_monitors"]:
+            monitor = self.link_monitors[(tuple(node), direction)]
+            (monitor.missed_transfers, monitor.bytes_lost,
+             monitor.bytes_drained, monitor.bytes_corrupted,
+             monitor.packets_dropped,
+             monitor.be_lost_uncompensated) = [int(v) for v in fields]
+        # These containers are captured by reference inside the wiring
+        # closures — refill in place, never rebind.
+        self._failed_links.clear()
+        self._failed_links.update(
+            (tuple(node), direction)
+            for node, direction in state["failed_links"])
+        self._draining_links.clear()
+        self._draining_links.update(
+            (tuple(node), direction)
+            for node, direction in state["draining_links"])
+        self.routing_avoid.clear()
+        self.routing_avoid.update(
+            (tuple(node), direction)
+            for node, direction in state["routing_avoid"])
+        self._drain_acks.clear()
+        for node, direction, pending in state["drain_acks"]:
+            self._drain_acks[(tuple(node), direction)] = int(pending)
+        self._link_corruptors.clear()
+        if state["corruptors"]:
+            from repro.faults.injector import corruptor_from_state
+
+            for node, direction, corruptor_state in state["corruptors"]:
+                self._link_corruptors[(tuple(node), direction)] = (
+                    corruptor_from_state(corruptor_state)
+                )
+        for name, value in state["fault_stats"].items():
+            setattr(self.fault_stats, name, int(value))
+        self.manager.load_state(state["manager"])
+        self.admission.load_state(state["admission"])
+        self.metrics.load_state(state["metrics"])
+        if state["tracer"] is not None:
+            self.enable_tracing(capacity=state["tracer"]["capacity"])
+            self.tracer.load_state(state["tracer"])
+        load_packet_id_counter_state(state["packet_ids"])
+        # Last: registrations above reset the engine's backoff state.
+        self.engine.load_state(state["engine"])
 
     # ------------------------------------------------------------------
     # Observability: metrics registry, tracing, snapshots

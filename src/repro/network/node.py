@@ -160,6 +160,43 @@ class HostNode:
             payload=packet.payload, meta=packet.meta,
         ))
 
+    # -- checkpointing (see docs/checkpointing.md) ------------------------
+
+    def state(self, ctx) -> dict:
+        """Host state: the release heap, tiebreak counter and sources."""
+        value = next(self._tiebreak)
+        self._tiebreak = itertools.count(value)
+        return {
+            "release_heap": [
+                [release_cycle, tiebreak, ctx.save_tc_packet(packet)]
+                for release_cycle, tiebreak, packet in self._release_heap
+            ],
+            "tiebreak": value,
+            "sources": [
+                source.state() if hasattr(source, "state") else None
+                for source in self.sources
+            ],
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        """Overlay host state; sources must be re-attached in the same
+        order as the checkpointed run before calling this."""
+        # The saved list is already a valid heap (saved in heap order).
+        self._release_heap = [
+            (release_cycle, tiebreak, ctx.load_tc_packet(packet))
+            for release_cycle, tiebreak, packet in state["release_heap"]
+        ]
+        self._tiebreak = itertools.count(int(state["tiebreak"]))
+        if len(state["sources"]) != len(self.sources):
+            raise ValueError(
+                f"host {self.node}: checkpoint has "
+                f"{len(state['sources'])} sources, run has "
+                f"{len(self.sources)}"
+            )
+        for source, source_state in zip(self.sources, state["sources"]):
+            if source_state is not None:
+                source.load_state(source_state)
+
     def _dispatch(self, send: Send, cycle: int) -> None:
         if self.network is None:
             raise RuntimeError("host is not attached to a network")

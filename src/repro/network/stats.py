@@ -131,6 +131,62 @@ class DeliveryLog:
                     histogram.observe(latency)
         return record
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state (see ``docs/checkpointing.md``).
+
+        ``_seen`` is serialised explicitly — its identity component
+        (``retransmit_of`` or ``sequence``) is not recoverable from the
+        records alone.  Latency histograms are shared with the metrics
+        registry and restored there.
+        """
+        return {
+            "records": [
+                [r.traffic_class,
+                 None if r.source is None else list(r.source),
+                 None if r.destination is None else list(r.destination),
+                 r.injected_cycle, r.delivered_cycle,
+                 r.connection_label, r.sequence, r.absolute_deadline,
+                 r.deadline_met, r.packet_id,
+                 None if r.delivered_node is None
+                 else list(r.delivered_node),
+                 r.duplicate]
+                for r in self.records
+            ],
+            "seen": [
+                [cls, label, identity,
+                 None if node is None else list(node)]
+                for cls, label, identity, node in sorted(
+                    self._seen, key=repr)
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.records.clear()
+        for (traffic_class, source, destination, injected, delivered,
+             label, sequence, deadline, met, packet_id, node,
+             duplicate) in state["records"]:
+            self.records.append(DeliveryRecord(
+                traffic_class=traffic_class,
+                source=None if source is None else tuple(source),
+                destination=(None if destination is None
+                             else tuple(destination)),
+                injected_cycle=injected,
+                delivered_cycle=delivered,
+                connection_label=label,
+                sequence=sequence,
+                absolute_deadline=deadline,
+                deadline_met=met,
+                packet_id=packet_id,
+                delivered_node=None if node is None else tuple(node),
+                duplicate=bool(duplicate),
+            ))
+        self._seen.clear()
+        for cls, label, identity, node in state["seen"]:
+            self._seen.add((cls, label, identity,
+                            None if node is None else tuple(node)))
+
     # -- queries ------------------------------------------------------------
 
     def of_class(self, traffic_class: str) -> list[DeliveryRecord]:

@@ -185,15 +185,29 @@ class Histogram:
     def from_state(cls, name: str, state: dict) -> "Histogram":
         """Inverse of :meth:`state`."""
         histogram = cls(name, tuple(state["bounds"]))
-        counts = list(state["counts"])
-        if len(counts) != len(histogram.counts):
-            raise ValueError("histogram state has wrong bucket count")
-        histogram.counts = counts
-        histogram.count = state["count"]
-        histogram.total = state["total"]
-        histogram.min = state["min"]
-        histogram.max = state["max"]
+        histogram.load_state(state)
         return histogram
+
+    def load_state(self, state: dict) -> None:
+        """Overlay saved state onto this instance, in place.
+
+        Checkpoint restore must mutate the *existing* histogram rather
+        than substitute a rebuilt one: the delivery log and the metrics
+        registry deliberately share histogram objects, and replacing
+        one side's reference would silently fork the other.
+        """
+        if tuple(state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r} state has different buckets"
+            )
+        counts = list(state["counts"])
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram state has wrong bucket count")
+        self.counts = counts
+        self.count = state["count"]
+        self.total = state["total"]
+        self.min = state["min"]
+        self.max = state["max"]
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's observations into this one.
@@ -302,6 +316,37 @@ class MetricsRegistry:
         for name, hist in self._histograms.items():
             out[name] = hist.summary()
         return dict(sorted(out.items()))
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> dict:
+        """Owned-instrument state.  Probes are live views onto other
+        components' attributes and are re-registered when the network
+        is rebuilt, so only their *sources* checkpoint, not the probes.
+        """
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self._counters.items())},
+            "gauges": {name: gauge.value
+                       for name, gauge in sorted(self._gauges.items())},
+            "histograms": {name: hist.state()
+                           for name, hist in sorted(self._histograms.items())},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Overlay saved values onto this registry's instruments.
+
+        Existing histograms are mutated in place (they may be shared
+        with the delivery log); instruments that only exist in the
+        saved state are created.
+        """
+        for name, value in state["counters"].items():
+            self.counter(name).value = value
+        for name, value in state["gauges"].items():
+            self.gauge(name).value = value
+        for name, hist_state in state["histograms"].items():
+            hist = self.histogram(name, tuple(hist_state["bounds"]))
+            hist.load_state(hist_state)
 
     def rows(self) -> list[tuple[str, str]]:
         """Snapshot rendered as (name, value) display rows."""

@@ -129,3 +129,54 @@ class PacketTracer:
         self._next = 0
         self.emitted = 0
         self.dropped = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> dict:
+        """Checkpoint state, including the full ring contents.
+
+        Event tuples are JSON-serialisable by construction (cycles,
+        strings, node coordinates, small info dicts), so the ring is
+        saved verbatim.  Tuples inside events come back as lists; the
+        ``node`` field is re-tupled on load — JSONL export renders
+        tuples and lists identically, which is the equality the resume
+        guarantee is stated in.  ``info`` dicts are saved as ordered
+        key/value pairs: the checkpoint file is canonical JSON (sorted
+        keys), which would otherwise lose the insertion order the
+        exported JSONL preserves.
+        """
+        return {
+            "capacity": self.capacity,
+            "next": self._next,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "ring": [
+                None if item is None else [
+                    *item[:9],
+                    (list(item[9].items())
+                     if isinstance(item[9], dict) else item[9]),
+                ]
+                for item in self._ring
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state["capacity"] != self.capacity:
+            raise ValueError("tracer state has different capacity")
+        ring: list[Optional[tuple]] = []
+        for item in state["ring"]:
+            if item is None:
+                ring.append(None)
+                continue
+            node = item[3]
+            if isinstance(node, list):
+                node = tuple(node)
+            info = item[9]
+            if isinstance(info, list):
+                info = {key: value for key, value in info}
+            ring.append((item[0], item[1], item[2], node,
+                         *item[4:9], info))
+        self._ring = ring
+        self._next = state["next"]
+        self.emitted = state["emitted"]
+        self.dropped = state["dropped"]

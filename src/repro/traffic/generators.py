@@ -52,6 +52,13 @@ class PeriodicSource:
         if self.period < 1:
             raise ValueError("period must be at least one tick")
 
+    def state(self) -> dict:
+        """Checkpoint state (configuration is rebuilt, not saved)."""
+        return {"sent": self.sent}
+
+    def load_state(self, state: dict) -> None:
+        self.sent = int(state["sent"])
+
     def __call__(self, cycle: int) -> list[Send]:
         if self.count is not None and self.sent >= self.count:
             return []
@@ -95,6 +102,13 @@ class BurstySource:
     def __post_init__(self) -> None:
         if self.period < 1 or self.burst < 1:
             raise ValueError("period and burst must be positive")
+
+    def state(self) -> dict:
+        """Checkpoint state (configuration is rebuilt, not saved)."""
+        return {"sent": self.sent}
+
+    def load_state(self, state: dict) -> None:
+        self.sent = int(state["sent"])
 
     def __call__(self, cycle: int) -> list[Send]:
         if self.count is not None and self.sent >= self.count:
@@ -155,6 +169,8 @@ class PoissonBestEffortSource:
     size_choices: Sequence[int] = (20, 40, 80)
     seed: int = 0
     rng: random.Random = field(init=False)
+    _sizes: tuple[int, ...] = field(init=False, repr=False)
+    _dests: tuple[tuple[int, int], ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.rate <= 1:
@@ -162,15 +178,31 @@ class PoissonBestEffortSource:
         if not self.destinations:
             raise ValueError("need at least one destination")
         self.rng = random.Random(self.seed)
+        # random.choice only indexes the sequence, so drawing from a
+        # pre-built tuple is draw-for-draw identical to rebuilding a
+        # list on every arrival — and keeps the hot path allocation-free.
+        self._sizes = tuple(self.size_choices)
+        self._dests = tuple(tuple(dest) for dest in self.destinations)
 
     def __call__(self, cycle: int) -> list[Send]:
         if self.rng.random() >= self.rate:
             return []
-        size = self.rng.choice(list(self.size_choices))
+        size = self.rng.choice(self._sizes)
         payload = bytes(max(0, size - 4))
-        destination = self.rng.choice(list(self.destinations))
+        destination = self.rng.choice(self._dests)
         return [Send(traffic_class="BE", destination=destination,
                      payload=payload)]
+
+    def state(self) -> dict:
+        """Checkpoint state: the generator position within the stream."""
+        from repro.checkpoint.codec import rng_state
+
+        return {"rng": rng_state(self.rng)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import load_rng
+
+        load_rng(self.rng, state["rng"])
 
 
 @dataclass

@@ -54,6 +54,9 @@ class TestConformance:
     def test_empty_trace(self):
         assert conformance_violations([], TrafficSpec(i_min=5)) == []
 
+    def test_single_message_conforms(self):
+        assert conformance_violations([7], TrafficSpec(i_min=5)) == []
+
     @given(i_min=st.integers(1, 20), n=st.integers(1, 20),
            b_max=st.integers(1, 4))
     def test_regulated_output_always_conforms(self, i_min, n, b_max):
@@ -62,3 +65,47 @@ class TestConformance:
         reg = SourceRegulator(spec)
         arrivals = [reg.admit(0)[0] for _ in range(n)]
         assert conformance_violations(arrivals, spec) == []
+
+
+class TestConformanceBoundaries:
+    """Exact boundaries of the linear bounded arrival process: every
+    window ``[t_j, t_i]`` may hold at most ``b_max + span / i_min``
+    messages — the checker must accept traces that sit exactly on the
+    bound and flag the first message past it."""
+
+    def test_burst_exactly_at_b_max(self):
+        for b_max in (1, 2, 3, 5):
+            spec = TrafficSpec(i_min=10, b_max=b_max)
+            assert conformance_violations([0] * b_max, spec) == []
+            assert conformance_violations([0] * (b_max + 1),
+                                          spec) == [b_max]
+
+    def test_back_to_back_exactly_i_min_apart(self):
+        spec = TrafficSpec(i_min=10)
+        times = list(range(0, 100, 10))
+        assert conformance_violations(times, spec) == []
+        # One message one tick early breaks exactly one window.
+        times[5] -= 1
+        assert conformance_violations(times, spec) == [5]
+
+    def test_window_refills_at_exactly_one_per_i_min(self):
+        spec = TrafficSpec(i_min=10, b_max=2)
+        # After a full burst, the next message is legal exactly i_min
+        # after the window opened — and illegal one tick sooner.
+        assert conformance_violations([0, 0, 10], spec) == []
+        assert conformance_violations([0, 0, 9], spec) == [2]
+
+    def test_span_boundary_is_closed(self):
+        # The window is closed: [0, 20] holds 3 messages with b_max=1
+        # only because 20 == (3 - 1) * i_min exactly.
+        spec = TrafficSpec(i_min=10, b_max=1)
+        assert conformance_violations([0, 10, 20], spec) == []
+        assert conformance_violations([0, 10, 19], spec) == [2]
+
+    def test_late_burst_still_bounded_by_earlier_window(self):
+        spec = TrafficSpec(i_min=10, b_max=2)
+        # The burst allowance does not accumulate while idle: after a
+        # long gap a burst of b_max is fine, b_max + 1 is not.
+        assert conformance_violations([0, 100, 100], spec) == []
+        assert conformance_violations([0, 100, 100, 100],
+                                      spec) == [3]

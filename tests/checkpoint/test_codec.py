@@ -1,0 +1,115 @@
+"""Tests for the checkpoint serialisation codec."""
+
+import json
+import random
+
+from repro.checkpoint import LoadContext, SaveContext
+from repro.checkpoint.codec import load_node, load_rng, node_state, rng_state
+from repro.core.packet import (
+    BestEffortPacket,
+    PacketMeta,
+    Phit,
+    TimeConstrainedPacket,
+)
+
+
+class TestScalars:
+    def test_node_round_trip(self):
+        assert load_node(node_state((3, 4))) == (3, 4)
+        assert load_node(node_state(None)) is None
+
+    def test_rng_round_trip_through_json(self):
+        rng = random.Random(42)
+        rng.random()
+        state = json.loads(json.dumps(rng_state(rng)))
+        expected = [rng.random() for _ in range(10)]
+        other = random.Random()
+        load_rng(other, state)
+        assert [other.random() for _ in range(10)] == expected
+
+
+def make_meta(**overrides):
+    fields = dict(
+        packet_id=7, source=(0, 0), destination=(2, 3),
+        injected_cycle=10, connection_label="c0", sequence=1,
+    )
+    fields.update(overrides)
+    return PacketMeta(**fields)
+
+
+def round_trip(save):
+    """Encode with one SaveContext, decode with a fresh LoadContext."""
+    ctx = SaveContext()
+    encoded = save(ctx)
+    encoded = json.loads(json.dumps(encoded))  # prove JSON-able
+    metas = json.loads(json.dumps(ctx.metas_state()))
+    return encoded, LoadContext(metas)
+
+
+class TestPacketIdentity:
+    def test_shared_meta_restores_as_one_instance(self):
+        """Aliasing survives: phits of one packet share one meta after
+        the round trip, so an in-place mutation (delivery stamping)
+        stays visible to every holder."""
+        meta = make_meta()
+        packet = TimeConstrainedPacket(connection_id=0, header_deadline=5,
+                                       payload=b"abcdefghijklmnopqr", meta=meta)
+        phits = [Phit(vc="TC", byte=b, packet=packet, index=i,
+                      last=(i == 3))
+                 for i, b in enumerate(b"abcd")]
+
+        def save(ctx):
+            return {"packet": ctx.save_tc_packet(packet),
+                    "phits": [ctx.save_phit(p) for p in phits]}
+
+        encoded, load = round_trip(save)
+        restored_packet = load.load_tc_packet(encoded["packet"])
+        restored_phits = [load.load_phit(p) for p in encoded["phits"]]
+        first = restored_phits[0].packet.meta
+        assert first is restored_packet.meta
+        assert all(p.packet.meta is first for p in restored_phits)
+        assert first.packet_id == meta.packet_id
+        assert first.destination == meta.destination
+
+    def test_distinct_metas_stay_distinct(self):
+        a, b = make_meta(packet_id=1), make_meta(packet_id=2)
+
+        def save(ctx):
+            return [ctx.save_meta(a), ctx.save_meta(b), ctx.save_meta(a)]
+
+        encoded, load = round_trip(save)
+        assert encoded[0] == encoded[2] != encoded[1]
+        assert load.meta(encoded[0]) is load.meta(encoded[2])
+        assert load.meta(encoded[0]) is not load.meta(encoded[1])
+
+    def test_phit_contract_fields(self):
+        phit = Phit(vc="BE", byte=0x5A, packet=None, index=2, last=True)
+        ctx = SaveContext()
+        restored = LoadContext(ctx.metas_state()).load_phit(
+            ctx.save_phit(phit))
+        assert (restored.vc, restored.byte, restored.index,
+                restored.last) == ("BE", 0x5A, 2, True)
+        assert getattr(restored.packet, "meta", None) is None
+
+    def test_be_packet_round_trip(self):
+        packet = BestEffortPacket(x_offset=-2, y_offset=1,
+                                  payload=b"\x00\xff", meta=make_meta())
+
+        def save(ctx):
+            return ctx.save_be_packet(packet)
+
+        encoded, load = round_trip(save)
+        restored = load.load_be_packet(encoded)
+        assert restored.x_offset == -2
+        assert restored.y_offset == 1
+        assert restored.payload == b"\x00\xff"
+        assert restored.meta.packet_id == packet.meta.packet_id
+
+    def test_relay_path_restored_as_node_tuples(self):
+        meta = make_meta(relay_path=((1, 1), (2, 2)))
+
+        def save(ctx):
+            return ctx.save_meta(meta)
+
+        encoded, load = round_trip(save)
+        assert load.meta(encoded).relay_path == ((1, 1), (2, 2))

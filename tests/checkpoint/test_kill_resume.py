@@ -1,0 +1,100 @@
+"""Kill-and-resume acceptance test for checkpointed simulations.
+
+SIGKILL a checkpointing ``chaos`` soak driven through the real CLI,
+then resume it with ``--resume-from`` and require the final report —
+every counter and the outcome signature — to match an uninterrupted
+reference run exactly.  Alongside the campaign-level test
+(``tests/campaign/test_kill_resume.py``, which resumes at run
+granularity), this proves a single long run survives a crash *mid-run*
+and that checkpoint files are complete-or-absent under SIGKILL.
+"""
+
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+CYCLES = 12_000
+INTERVAL = 500
+CHAOS_ARGS = ["chaos", "--seed", "1234", "--cycles", str(CYCLES)]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_SRC)] + env.get("PYTHONPATH", "").split(os.pathsep))
+    return env
+
+
+def chaos_cli(extra, **popen_kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *CHAOS_ARGS, *extra],
+        env=cli_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, **popen_kwargs)
+
+
+def checkpoints(ckpt_dir):
+    return sorted(pathlib.Path(ckpt_dir).glob("ckpt-*.json"),
+                  key=lambda p: int(p.name.split("-")[1]))
+
+
+def report_of(stdout):
+    """The comparable tail of a chaos report: counters + signature."""
+    signature = re.search(r"signature: ([0-9a-f]{64})", stdout)
+    assert signature is not None, stdout
+    counters = [line for line in stdout.splitlines()
+                if re.match(r"\s*\S+\s{2,}\d+$", line)]
+    assert counters, stdout
+    return signature.group(1), counters
+
+
+class TestKillAndResume:
+    def test_sigkilled_soak_resumes_to_identical_report(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+
+        # Uninterrupted reference, own process (process-global packet
+        # ids make in-process comparison runs incomparable).
+        reference = chaos_cli([])
+        ref_out, ref_err = reference.communicate(timeout=300)
+        assert reference.returncode in (0, 1), f"{ref_out}\n{ref_err}"
+
+        # Start a checkpointing soak in its own process group; kill the
+        # group hard once checkpoints exist on disk.
+        proc = chaos_cli(["--checkpoint-dir", str(ckpt_dir),
+                          "--checkpoint-interval", str(INTERVAL)],
+                         start_new_session=True)
+        deadline = time.monotonic() + 120
+        while len(checkpoints(ckpt_dir)) < 2:
+            if proc.poll() is not None or time.monotonic() > deadline:
+                out, err = proc.communicate()
+                pytest.fail(f"soak ended before kill:\n{out}\n{err}")
+            time.sleep(0.01)
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        # Crash-consistency: complete checkpoints or none — a torn
+        # write would be a stranded temp file or unreadable JSON.
+        time.sleep(0.2)
+        survived = checkpoints(ckpt_dir)
+        assert survived
+        assert not list(ckpt_dir.glob("*.tmp"))
+        assert not list(ckpt_dir.glob(".ckpt-*"))
+        last_cycle = int(survived[-1].name.split("-")[1])
+        assert last_cycle < CYCLES, "kill landed after the main phase"
+
+        # Resume from the newest surviving checkpoint via the real CLI.
+        resumed = chaos_cli(["--checkpoint-dir", str(ckpt_dir),
+                             "--resume-from", str(survived[-1])])
+        res_out, res_err = resumed.communicate(timeout=300)
+        assert resumed.returncode == reference.returncode, (
+            f"{res_out}\n{res_err}")
+        assert (f"resumed from checkpoint at cycle {last_cycle}"
+                in res_out), res_out
+        assert report_of(res_out) == report_of(ref_out)

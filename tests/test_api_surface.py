@@ -17,6 +17,7 @@ MODULES = [
     "repro.extensions",
     "repro.analysis",
     "repro.reporting",
+    "repro.checkpoint",
 ]
 
 

@@ -109,6 +109,72 @@ class TestErrorHandling:
         assert "invalid" in capsys.readouterr().err
 
 
+class TestCheckpointCli:
+    """Checkpoint/restore flags on ``simulate`` and ``chaos``: happy
+    path resumes, every bad ``--resume-from`` input exits non-zero with
+    a clear message, never a traceback."""
+
+    SIM = ["simulate", "--width", "2", "--height", "2", "--channels",
+           "2", "--ticks", "30", "--seed", "3"]
+
+    def _checkpointed_run(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main([*self.SIM, "--checkpoint-dir", str(ckpt_dir),
+                     "--checkpoint-interval", "200"]) == 0
+        capsys.readouterr()
+        ckpts = sorted(ckpt_dir.glob("ckpt-*.json"),
+                       key=lambda p: int(p.name.split("-")[1]))
+        assert ckpts, "run wrote no checkpoints"
+        return ckpts
+
+    def test_resume_from_checkpoint(self, capsys, tmp_path):
+        ckpts = self._checkpointed_run(capsys, tmp_path)
+        assert main([*self.SIM, "--resume-from", str(ckpts[0])]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at cycle" in out
+        assert "deadline misses" in out
+
+    def test_check_invariants_flag(self, capsys):
+        assert main([*self.SIM, "--check-invariants", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "INVARIANT VIOLATION" not in out
+
+    def test_resume_missing_checkpoint(self, capsys, tmp_path):
+        code = main([*self.SIM, "--resume-from",
+                     str(tmp_path / "nope.json")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "not found" in err
+        assert "Traceback" not in err
+
+    def test_resume_corrupt_checkpoint(self, capsys, tmp_path):
+        bad = tmp_path / "ckpt-100-feedbeefcafe.json"
+        bad.write_text('{"format": 1, "cycle": 100, "stat')
+        code = main([*self.SIM, "--resume-from", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "corrupt" in err
+        assert "Traceback" not in err
+
+    def test_resume_fingerprint_mismatch(self, capsys, tmp_path):
+        ckpts = self._checkpointed_run(capsys, tmp_path)
+        other_seed = [arg if arg != "3" else "4" for arg in self.SIM]
+        code = main([*other_seed, "--resume-from", str(ckpts[0])])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "fingerprint" in err
+        assert "Traceback" not in err
+
+    def test_resume_wrong_workload_kind(self, capsys, tmp_path):
+        ckpts = self._checkpointed_run(capsys, tmp_path)
+        code = main(["chaos", "--resume-from", str(ckpts[0])])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "'random'" in err
+        assert "Traceback" not in err
+
+
 class TestObservabilityCommands:
     def test_trace_export(self, capsys, tmp_path):
         out_path = tmp_path / "events.jsonl"
