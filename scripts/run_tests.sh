@@ -8,6 +8,7 @@
 #   scripts/run_tests.sh observability  # tracing/metrics suite + overhead gate
 #   scripts/run_tests.sh campaign       # campaign runner/cache/determinism suite
 #   scripts/run_tests.sh checkpoint     # checkpoint/restore suites + overhead gate
+#   scripts/run_tests.sh service        # control-plane service suites + churn gate
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
@@ -21,7 +22,11 @@
 # checkpoint job runs the crash-consistent checkpoint/restore suites —
 # byte-identical resume equivalence, the SIGKILL-and-resume CLI
 # acceptance test — and the checkpoint overhead gate (within 5% of the
-# plain run at the default 100k-cycle interval).
+# plain run at the default 100k-cycle interval).  The service job runs
+# the control-plane service suites — churn decision ladder, overload
+# hysteresis, SLO determinism across fresh/resumed/spawned runs, the
+# saturation acceptance test — plus the churn benchmark gate (>=1000
+# setup requests with control-plane overhead <=10% of wall-clock).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -77,6 +82,16 @@ run_checkpoint() {
         benchmarks/bench_checkpoint.py
 }
 
+run_service() {
+    echo "== service: churn, overload, SLO determinism + churn gate =="
+    python -m pytest -q \
+        tests/service \
+        tests/channels/test_teardown_restore.py \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        benchmarks/bench_service_churn.py
+}
+
 case "$job" in
     tier1) run_tier1 ;;
     chaos) run_chaos ;;
@@ -84,7 +99,8 @@ case "$job" in
     observability) run_observability ;;
     campaign) run_campaign ;;
     checkpoint) run_checkpoint ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|all)" >&2
+    service) run_service ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|all)" >&2
            exit 2 ;;
 esac

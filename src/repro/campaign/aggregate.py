@@ -108,6 +108,25 @@ def fault_table(results: Iterable[Mapping]) -> list[str]:
     return format_table(["fault counter", "total"], rows)
 
 
+def admission_reject_totals(results: Iterable[Mapping]) -> dict[str, int]:
+    """Establishment rejections summed across runs, by structured
+    :class:`~repro.channels.admission.AdmissionError` reason."""
+    totals: dict[str, int] = {}
+    for stats in results:
+        for reason, value in (stats.get("admission_rejects") or {}).items():
+            totals[reason] = totals.get(reason, 0) + value
+    return totals
+
+
+def admission_reject_table(results: Iterable[Mapping]) -> list[str]:
+    """Non-zero rejection totals as a table (empty list if none)."""
+    rows = [[reason, str(value)] for reason, value
+            in sorted(admission_reject_totals(results).items()) if value]
+    if not rows:
+        return []
+    return format_table(["admission reject reason", "total"], rows)
+
+
 def campaign_signature(results: Mapping[str, Mapping]) -> str:
     """Stable digest of every run's stats, keyed by config hash.
 
@@ -126,6 +145,9 @@ def summary_lines(results: Mapping[str, Mapping]) -> list[str]:
     faults = fault_table(stats_list)
     if faults:
         lines += ["", *faults]
+    rejects = admission_reject_table(stats_list)
+    if rejects:
+        lines += ["", *rejects]
     degraded = sorted({label for stats in stats_list
                        for label in stats.get("degraded") or ()})
     if degraded:

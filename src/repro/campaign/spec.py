@@ -89,6 +89,15 @@ class RunConfig:
     corruptions: int = 0
     drops: int = 0
     babblers: int = 0
+    # Churn-workload knobs (see repro.service.ServiceRunConfig);
+    # percentages are integers so configs stay cleanly hashable.
+    requests: int = 200
+    arrival_period_ticks: int = 4
+    hold_ticks: int = 200
+    be_fraction_pct: int = 25
+    util_threshold_pct: int = 90
+    buffer_watermark_pct: int = 90
+    queue_limit: int = 16
 
     def __post_init__(self) -> None:
         if not self.workload or not isinstance(self.workload, str):
@@ -101,6 +110,14 @@ class RunConfig:
                 raise ValueError(f"{name} must be non-negative")
         if self.cycles < 1:
             raise ValueError("cycles must be positive")
+        for name in ("requests", "arrival_period_ticks", "hold_ticks",
+                     "queue_limit"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        for name in ("be_fraction_pct", "util_threshold_pct",
+                     "buffer_watermark_pct"):
+            if not 0 <= getattr(self, name) <= 100:
+                raise ValueError(f"{name} must be within [0, 100]")
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -63,13 +63,16 @@ def workload_for(config: RunConfig) -> Callable[[RunConfig], dict]:
 # ---------------------------------------------------------------------------
 
 def build_random_workload(width: int, height: int, channels: int,
-                          seed: int):
+                          seed: int,
+                          rejects: Optional[dict] = None):
     """Admit a seeded random channel set on a fresh mesh.
 
     Returns ``(net, admitted)`` where ``admitted`` pairs each channel
     with its period.  Admission draws from its own derived RNG
     substream (``derive_seed(seed, "admit")``), independent of the
     traffic stream, so setup and driving are separately reproducible.
+    ``rejects``, when given, tallies refused establishments by
+    structured :class:`AdmissionError` reason.
     """
     from repro import TrafficSpec, build_mesh_network
     from repro.channels import AdmissionError
@@ -86,7 +89,9 @@ def build_random_workload(width: int, height: int, channels: int,
             admitted.append((net.establish_channel(
                 src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
             ), i_min))
-        except AdmissionError:
+        except AdmissionError as exc:
+            if rejects is not None:
+                rejects[exc.reason] = rejects.get(exc.reason, 0) + 1
             continue
     return net, admitted
 
@@ -134,9 +139,11 @@ def run_random(config: RunConfig) -> dict:
         RandomWorkloadSession.fingerprint_for(
             config.width, config.height, config.channels, config.ticks,
             config.seed))
+    rejects: dict = {}
     if store is None:
         net, admitted = build_random_workload(
-            config.width, config.height, config.channels, config.seed)
+            config.width, config.height, config.channels, config.seed,
+            rejects)
         drive_random_workload(net, admitted, config.ticks, config.seed)
     else:
         session = open_random_session(
@@ -144,12 +151,14 @@ def run_random(config: RunConfig) -> dict:
             config.seed, store)
         net = session.run(store=store, interval=interval)
         admitted = session.admitted
+        rejects = session.admission_rejects
     log = net.log
     misses = log.deadline_misses
     return {
         "workload": "random",
         "cycles": net.cycle,
         "channels_established": len(admitted),
+        "admission_rejects": dict(sorted(rejects.items())),
         "classes": {cls: log.class_stats(cls) for cls in ("TC", "BE")},
         "latency": {cls: histogram.state() for cls, histogram
                     in log.latency_histograms.items()},
@@ -192,6 +201,8 @@ def run_chaos(config: RunConfig) -> dict:
         "workload": "chaos",
         "cycles": report.cycles,
         "channels_established": report.channels_established,
+        "admission_rejects": dict(sorted(
+            report.admission_rejects.items())),
         "classes": {
             "TC": {"delivered": report.tc_delivered,
                    "deadline_misses": report.deadline_misses_total,
@@ -211,5 +222,65 @@ def run_chaos(config: RunConfig) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# The control-plane churn workload (service layer under load)
+# ---------------------------------------------------------------------------
+
+def run_churn(config: RunConfig) -> dict:
+    """Execute one service churn run and reduce its SLOs to stats."""
+    from repro.network.stats import LatencySummary
+    from repro.service import (
+        ServiceRunConfig,
+        ServiceSession,
+        open_service_session,
+        run_service,
+    )
+
+    service_config = ServiceRunConfig(
+        seed=config.seed, width=config.width, height=config.height,
+        requests=config.requests,
+        arrival_period_ticks=config.arrival_period_ticks,
+        hold_ticks=config.hold_ticks,
+        be_fraction_pct=config.be_fraction_pct,
+        util_threshold_pct=config.util_threshold_pct,
+        buffer_watermark_pct=config.buffer_watermark_pct,
+        queue_limit=config.queue_limit,
+    )
+    store, interval = _run_store_for(
+        config, "service",
+        ServiceSession.fingerprint_for(service_config))
+    if store is None:
+        report = run_service(service_config)
+    else:
+        session = open_service_session(service_config, store)
+        report = session.run(store=store, interval=interval)
+    empty = LatencySummary.from_values([]).as_dict()
+    slo = report.as_dict()
+    return {
+        "workload": "churn",
+        "cycles": report.cycles,
+        "channels_established": report.accepted_tc,
+        "admission_rejects": dict(slo["reject_reasons"]),
+        "classes": {
+            "TC": {"delivered": report.tc_delivered_total,
+                   "deadline_misses": report.tc_misses_total,
+                   "latency": empty},
+            "BE": {"delivered": report.be_delivered,
+                   "deadline_misses": 0,
+                   "latency": empty},
+        },
+        "latency": {"TC": None, "BE": None},
+        "faults": {},
+        "degraded": list(slo["demoted_labels"]),
+        "duplicates": 0,
+        "invariant_failures": 0,
+        "deadline_misses_undegraded": report.tc_misses_guaranteed,
+        "faults_fired": 0,
+        "signature": report.signature(),
+        "slo": slo,
+    }
+
+
 register_workload("random", run_random)
 register_workload("chaos", run_chaos)
+register_workload("churn", run_churn)

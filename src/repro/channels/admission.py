@@ -33,7 +33,49 @@ from repro.core.params import RouterParams
 
 
 class AdmissionError(RuntimeError):
-    """The network cannot accept the requested connection."""
+    """The network cannot accept the requested connection.
+
+    Beyond the human-readable message, the error carries a structured
+    rejection reason so admission outcomes can be tallied and reported
+    (service SLO reports, campaign aggregation) without parsing text:
+
+    ``reason``
+        A stable kebab-case slug naming the failed check (e.g.
+        ``link-schedulability``, ``buffer-capacity``,
+        ``connection-ids``, ``deadline-too-tight``).
+    ``node`` / ``port``
+        Where the check failed, when it is localised to one router or
+        one output link (``None`` for network-wide conditions).
+    ``demanded`` / ``available``
+        What the connection asked for versus what was left, in the
+        failed check's own unit (packet buffers, utilisation,
+        connection ids, ticks of deadline budget).
+    """
+
+    def __init__(self, message: str, *, reason: str = "unspecified",
+                 node: object = None, port: Optional[int] = None,
+                 demanded: object = None,
+                 available: object = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.node = node
+        self.port = port
+        self.demanded = demanded
+        self.available = available
+
+    def details(self) -> dict:
+        """The rejection as a canonical JSON-serialisable dict."""
+        node = self.node
+        if isinstance(node, tuple):
+            node = list(node)
+        return {
+            "reason": self.reason,
+            "message": str(self),
+            "node": node,
+            "port": self.port,
+            "demanded": self.demanded,
+            "available": self.available,
+        }
 
 
 #: Fixed per-hop latency margin (ticks) reserved out of each local
@@ -148,9 +190,21 @@ class NodeBuffers:
                 return False
         return True
 
+    def available(self, port: int) -> int:
+        """Packet buffers still reservable on ``port`` at this node."""
+        free = self.capacity - self.reserved_total
+        if self.quotas is not None:
+            quota = self.quotas.get(port, self.capacity)
+            free = min(free, quota - self.reserved_per_port.get(port, 0))
+        return free
+
     def reserve(self, port: int, packets: int) -> None:
         if not self.feasible_with(port, packets):
-            raise AdmissionError("buffer reservation exceeded capacity")
+            raise AdmissionError(
+                "buffer reservation exceeded capacity",
+                reason="buffer-capacity", port=port,
+                demanded=packets, available=self.available(port),
+            )
         self.reserved_total += packets
         self.reserved_per_port[port] = (
             self.reserved_per_port.get(port, 0) + packets
@@ -247,7 +301,7 @@ class AdmissionController:
         """
         count = len(hops)
         if count == 0:
-            raise AdmissionError("route has no hops")
+            raise AdmissionError("route has no hops", reason="empty-route")
         d_min = self.hop_overhead + 1
         d_cap = min(spec.i_min, self.params.half_range - 1)
         for hop in hops:
@@ -256,13 +310,16 @@ class AdmissionController:
         if d_cap < d_min:
             raise AdmissionError(
                 f"no feasible local delay bound: need at least {d_min} "
-                f"ticks but caps allow only {d_cap}"
+                f"ticks but caps allow only {d_cap}",
+                reason="delay-caps", demanded=d_min, available=d_cap,
             )
         base = min(d_cap, requirements.deadline // count)
         if base < d_min:
             raise AdmissionError(
                 f"end-to-end deadline {requirements.deadline} too tight "
-                f"for a {count}-hop route (minimum {d_min * count})"
+                f"for a {count}-hop route (minimum {d_min * count})",
+                reason="deadline-too-tight",
+                demanded=d_min * count, available=requirements.deadline,
             )
         delays = [base] * count
         # Distribute leftover budget to hops with the most contended
@@ -310,21 +367,32 @@ class AdmissionController:
             upstream = depth_delay[parent] if parent >= 0 else 0
             depth_delay[index] = upstream + local_delays[index]
         if max(depth_delay) > requirements.deadline:
-            raise AdmissionError("local delay bounds exceed the deadline")
+            raise AdmissionError(
+                "local delay bounds exceed the deadline",
+                reason="deadline-too-tight",
+                demanded=max(depth_delay), available=requirements.deadline,
+            )
         for delay, hop in zip(local_delays, hops):
             if delay <= self.hop_overhead:
                 raise AdmissionError(
                     f"local delay bound {delay} leaves no slack over the "
-                    f"per-hop overhead ({self.hop_overhead} ticks)"
+                    f"per-hop overhead ({self.hop_overhead} ticks)",
+                    reason="hop-overhead", node=hop.node, port=hop.out_port,
+                    demanded=self.hop_overhead + 1, available=delay,
                 )
             if delay > spec.i_min:
                 raise AdmissionError(
-                    "local delay bounds must not exceed i_min"
+                    "local delay bounds must not exceed i_min",
+                    reason="delay-exceeds-imin", node=hop.node,
+                    port=hop.out_port, demanded=delay, available=spec.i_min,
                 )
             if (delay >= self.params.half_range
                     or hop.horizon + delay >= self.params.half_range):
                 raise AdmissionError(
-                    "delay/horizon violates the rollover half-range rule"
+                    "delay/horizon violates the rollover half-range rule",
+                    reason="rollover", node=hop.node, port=hop.out_port,
+                    demanded=hop.horizon + delay,
+                    available=self.params.half_range - 1,
                 )
 
         # Phase 1: check everything without reserving.
@@ -335,10 +403,15 @@ class AdmissionController:
                 b_max=spec.b_max,
                 deadline=delay - self.hop_overhead,
             )
-            if not self.link(hop.node, hop.out_port).feasible_with(load):
+            schedule = self.link(hop.node, hop.out_port)
+            if not schedule.feasible_with(load):
                 raise AdmissionError(
                     f"link at {hop.node!r} port {hop.out_port} cannot "
-                    "meet the deadline for the new connection"
+                    "meet the deadline for the new connection",
+                    reason="link-schedulability",
+                    node=hop.node, port=hop.out_port,
+                    demanded=round(load.utilisation, 6),
+                    available=round(max(0.0, 1.0 - schedule.utilisation), 6),
                 )
             loads.append(load)
 
@@ -348,10 +421,14 @@ class AdmissionController:
             prev_horizon = hops[parent].horizon if parent >= 0 else 0
             prev_delay = local_delays[parent] if parent >= 0 else 0
             packets = buffer_bound(spec, prev_horizon, prev_delay, delay)
-            if not self.node(hop.node).feasible_with(hop.out_port, packets):
+            node_buffers = self.node(hop.node)
+            if not node_buffers.feasible_with(hop.out_port, packets):
                 raise AdmissionError(
                     f"node {hop.node!r} lacks buffer space for the "
-                    "new connection"
+                    "new connection",
+                    reason="buffer-capacity",
+                    node=hop.node, port=hop.out_port, demanded=packets,
+                    available=node_buffers.available(hop.out_port),
                 )
             buffers.append((hop.node, hop.out_port, packets))
 
@@ -419,3 +496,31 @@ class AdmissionController:
 
     def node_buffer_usage(self, node: Hashable) -> int:
         return self.node(node).reserved_total
+
+    def occupancy(self) -> dict:
+        """Network-wide occupancy summary for threshold decisions.
+
+        ``max_link_utilisation``/``mean_link_utilisation`` summarise
+        only *loaded* links (a link that never carried a connection is
+        not an observation), ``max_buffer_fill`` is the highest node
+        packet-memory fill fraction, and the counts say how much of the
+        fabric the maxima were taken over.
+        """
+        link_utils = [schedule.utilisation
+                      for schedule in self._links.values()
+                      if schedule.loads]
+        capacity = self.params.tc_packet_slots
+        fills = [buffers.reserved_total / capacity
+                 for buffers in self._nodes.values()
+                 if buffers.reserved_total]
+        return {
+            "max_link_utilisation": max(link_utils, default=0.0),
+            "mean_link_utilisation": (
+                sum(link_utils) / len(link_utils) if link_utils else 0.0
+            ),
+            "links_loaded": len(link_utils),
+            "max_buffer_fill": max(fills, default=0.0),
+            "buffers_reserved": sum(
+                buffers.reserved_total for buffers in self._nodes.values()
+            ),
+        }

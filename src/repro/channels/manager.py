@@ -164,7 +164,11 @@ class ChannelManager:
             if cid not in used:
                 used.add(cid)
                 return cid
-        raise AdmissionError(f"router {node!r} has no free connection ids")
+        raise AdmissionError(
+            f"router {node!r} has no free connection ids",
+            reason="connection-ids", node=node,
+            demanded=1, available=0,
+        )
 
     def _allocate_common_id(self, nodes: Sequence[Node]) -> int:
         for cid in range(self.params.connections):
@@ -172,7 +176,10 @@ class ChannelManager:
                 for node in nodes:
                     self._used_ids[node].add(cid)
                 return cid
-        raise AdmissionError("no connection id free at every tree node")
+        raise AdmissionError(
+            "no connection id free at every tree node",
+            reason="connection-ids", demanded=1, available=0,
+        )
 
     # -- establishment --------------------------------------------------------
 
@@ -240,9 +247,20 @@ class ChannelManager:
         reservation = self.admission.admit(hops, spec, requirements)
         delays = reservation.local_delays
 
-        # Allocate one id per node and chain them.
+        # Allocate one id per node and chain them.  The reservation is
+        # already committed, so an id shortage must roll it (and any
+        # partially allocated ids) back before propagating — otherwise
+        # every failed establishment would leak link load and buffers.
         nodes = [node for node, __ in route]
-        ids = [self._allocate_id(node) for node in nodes]
+        ids: list[int] = []
+        try:
+            for node in nodes:
+                ids.append(self._allocate_id(node))
+        except AdmissionError:
+            for node, cid in zip(nodes, ids):
+                self._used_ids[node].discard(cid)
+            self.admission.release(reservation)
+            raise
         entries: list[tuple[Node, int]] = []
         for index, (node, port) in enumerate(route):
             outgoing = ids[index + 1] if index + 1 < len(ids) else 0
@@ -304,7 +322,9 @@ class ChannelManager:
         if uniform < d_min:
             raise AdmissionError(
                 f"deadline {requirements.deadline} too tight for a "
-                f"depth-{depth} multicast tree"
+                f"depth-{depth} multicast tree",
+                reason="deadline-too-tight",
+                demanded=d_min * depth, available=requirements.deadline,
             )
         delays = [uniform] * len(hops)
         reservation = self.admission.admit(
@@ -312,7 +332,11 @@ class ChannelManager:
             parents=hop_parent,
         )
 
-        common_id = self._allocate_common_id(order)
+        try:
+            common_id = self._allocate_common_id(order)
+        except AdmissionError:
+            self.admission.release(reservation)
+            raise
         entries: list[tuple[Node, int]] = []
         for node in order:
             mask = 0
@@ -604,3 +628,25 @@ class ChannelManager:
             self._used_ids[node].discard(cid)
         self.admission.release(channel.reservation)
         self.channels.remove(channel)
+
+    def teardown_label(self, label: str) -> bool:
+        """Tear down the live channel named ``label``, if any.
+
+        Returns ``True`` when a live channel was found and released.
+        A label that only exists in :attr:`degraded_channels` has no
+        guaranteed-service state left to release; use
+        :meth:`forget_degraded` to drop the handle itself.
+        """
+        for channel in self.channels:
+            if channel.label == label:
+                self.teardown(channel)
+                return True
+        return False
+
+    def forget_degraded(self, label: str) -> bool:
+        """Drop a degraded channel handle (its state is already freed).
+
+        Long-running services retire demoted channels when their flows
+        end; without this the degraded table would grow without bound.
+        """
+        return self.degraded_channels.pop(label, None) is not None

@@ -138,11 +138,13 @@ class ChaosSession(_SessionBase):
         self.rng = random.Random(config.seed)
         self.network = MeshNetwork(config.width, config.height,
                                    on_memory_full="drop")
+        self.admission_rejects: dict[str, int] = {}
         if _restore:
             self.channels: list = []
         else:
             self.channels = _establish_workload(self.network, config,
-                                                self.rng)
+                                                self.rng,
+                                                self.admission_rejects)
         self.tolerance = install_fault_tolerance(self.network)
         if plan is None:
             plan = default_chaos_plan(config)
@@ -245,6 +247,8 @@ class ChaosSession(_SessionBase):
             faults_fired=len(self.injector.fired),
             latency={cls: histogram.state() for cls, histogram
                      in net.log.latency_histograms.items()},
+            admission_rejects=dict(sorted(
+                self.admission_rejects.items())),
         )
 
     # -- checkpointing -----------------------------------------------------
@@ -258,6 +262,8 @@ class ChaosSession(_SessionBase):
             "next_be": self.next_be,
             "next_check": self.next_check,
             "invariant_failures": list(self.invariant_failures),
+            "admission_rejects": dict(sorted(
+                self.admission_rejects.items())),
             "channel_labels": [channel.label
                                for channel in self.channels],
             "be_payloads": [payload.hex()
@@ -300,6 +306,10 @@ class ChaosSession(_SessionBase):
         session.next_be = state["next_be"]
         session.next_check = state["next_check"]
         session.invariant_failures = list(state["invariant_failures"])
+        session.admission_rejects = {
+            str(reason): int(count) for reason, count
+            in state.get("admission_rejects", {}).items()
+        }
         if session.check_every > 0:
             session._check_invariants()  # once after every restore
         return session
@@ -330,6 +340,7 @@ class RandomWorkloadSession(_SessionBase):
         self.ticks = ticks
         self.seed = seed
         self.check_every = check_every
+        self.admission_rejects: dict[str, int] = {}
         if _restore:
             from repro.network.network import build_mesh_network
 
@@ -337,7 +348,7 @@ class RandomWorkloadSession(_SessionBase):
             self.admitted: list = []
         else:
             self.network, self.admitted = build_random_workload(
-                width, height, channels, seed)
+                width, height, channels, seed, self.admission_rejects)
         self.rng = random.Random(derive_seed(seed, "traffic"))
         self.nodes = list(self.network.mesh.nodes())
         self.slot = self.network.params.slot_cycles
@@ -405,6 +416,8 @@ class RandomWorkloadSession(_SessionBase):
             "next_tick": self.next_tick,
             "next_check": self.next_check,
             "invariant_failures": list(self.invariant_failures),
+            "admission_rejects": dict(sorted(
+                self.admission_rejects.items())),
             "admitted": [[channel.label, i_min]
                          for channel, i_min in self.admitted],
             "rng": rng_state(self.rng),
@@ -435,6 +448,10 @@ class RandomWorkloadSession(_SessionBase):
         session.next_tick = state["next_tick"]
         session.next_check = state["next_check"]
         session.invariant_failures = list(state["invariant_failures"])
+        session.admission_rejects = {
+            str(reason): int(count) for reason, count
+            in state.get("admission_rejects", {}).items()
+        }
         if session.check_every > 0:
             session._check_invariants()  # once after every restore
         return session

@@ -13,6 +13,9 @@ Subcommands::
                              [--check-invariants N]
     repro-router trace       OUTPUT.jsonl [--snapshots PATH] [...]
     repro-router metrics     [--json PATH] [--period N] [...]
+    repro-router service     [--seed S] [--requests N]
+                             [--util-threshold PCT] [--queue-limit N]
+                             [--report PATH] [--repeat] [...]
     repro-router campaign    SPEC.json [--workers N] [--resume|--rerun]
                              [--cache DIR] [--retries N] [...]
 
@@ -20,7 +23,10 @@ Subcommands::
 regenerates one of the paper's results; ``simulate`` runs a random
 admitted workload on a mesh and reports delivery statistics; ``chaos``
 runs a seeded fault-injection soak and reports the fault counters
-(exit status 1 if an undegraded channel missed a deadline); ``trace``
+(exit status 1 if an undegraded channel missed a deadline);
+``service`` runs the control-plane service layer under a seeded churn
+workload and reports its SLOs (exit status 1 if a guaranteed channel
+missed a deadline or the run ended still in overload); ``trace``
 runs the ``simulate`` workload with packet-lifecycle tracing on and
 exports the events as JSON Lines; ``metrics`` runs it with periodic
 registry snapshots and prints the final metric values; ``campaign``
@@ -312,6 +318,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    from repro.campaign.spec import canonical_dumps
+    from repro.service import (
+        ServiceRunConfig,
+        ServiceSession,
+        open_service_session,
+        run_service,
+    )
+
+    if args.workload != "churn":
+        print(f"error: unknown service workload {args.workload!r} "
+              f"(available: churn)", file=sys.stderr)
+        return 2
+    config = ServiceRunConfig(
+        seed=args.seed, width=args.width, height=args.height,
+        requests=args.requests,
+        arrival_period_ticks=args.arrival_period,
+        hold_ticks=args.hold_ticks,
+        be_fraction_pct=args.be_fraction,
+        util_threshold_pct=args.util_threshold,
+        buffer_watermark_pct=args.buffer_watermark,
+        queue_limit=args.queue_limit,
+        queue_timeout_ticks=args.queue_timeout,
+        max_retries=args.max_retries,
+        retry_backoff_ticks=args.retry_backoff,
+    )
+    config.validate()
+    check_every = args.check_invariants or 0
+    if args.resume_from or args.checkpoint_dir:
+        store = _checkpoint_store(
+            args, "service", ServiceSession.fingerprint_for(config))
+        if args.resume_from:
+            document = store.load(args.resume_from)
+            session = ServiceSession.restore(
+                config, document["state"], check_every=check_every)
+            print(f"resumed from checkpoint at cycle {document['cycle']}")
+        else:
+            session = open_service_session(config, store,
+                                           check_every=check_every)
+        report = session.run(store=store,
+                             interval=args.checkpoint_interval)
+    else:
+        report = run_service(config, check_every=check_every)
+    print(f"service run: seed {report.seed}, {report.cycles} cycles, "
+          f"{report.requests_total} setup requests")
+    print("\n".join(format_kv(report.summary_rows())))
+    print(f"signature: {report.signature()}")
+    if args.report:
+        import pathlib
+
+        path = pathlib.Path(args.report)
+        if path.parent != pathlib.Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(canonical_dumps(report.as_dict()) + "\n")
+        print(f"wrote {path}")
+    if args.repeat:
+        again = run_service(config)
+        if again.signature() != report.signature():
+            print("NON-DETERMINISTIC: repeat run diverged")
+            return 1
+        print("repeat run identical (deterministic)")
+    return 0 if report.ok else 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -438,6 +509,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run twice and verify identical signatures")
     _add_checkpoint_args(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    service = commands.add_parser(
+        "service", help="run the control-plane service layer under a "
+                        "seeded churn workload (see docs/service.md)")
+    service.add_argument("--workload", default="churn",
+                         help="request-stream generator (default churn)")
+    service.add_argument("--seed", type=int, default=1234)
+    service.add_argument("--width", type=int, default=4)
+    service.add_argument("--height", type=int, default=4)
+    service.add_argument("--requests", type=int, default=200,
+                         help="channel setup requests to generate")
+    service.add_argument("--arrival-period", type=int, default=4,
+                         metavar="TICKS",
+                         help="mean inter-arrival time (default 4)")
+    service.add_argument("--hold-ticks", type=int, default=200,
+                         help="mean channel holding time (default 200)")
+    service.add_argument("--be-fraction", type=int, default=25,
+                         metavar="PCT",
+                         help="percent of requests that are best-effort")
+    service.add_argument("--util-threshold", type=int, default=90,
+                         metavar="PCT",
+                         help="link-utilisation admission headroom")
+    service.add_argument("--buffer-watermark", type=int, default=90,
+                         metavar="PCT",
+                         help="buffer-fill admission headroom")
+    service.add_argument("--queue-limit", type=int, default=16,
+                         help="setup queue depth bound")
+    service.add_argument("--queue-timeout", type=int, default=64,
+                         metavar="TICKS",
+                         help="queued-request deadline (default 64)")
+    service.add_argument("--max-retries", type=int, default=3,
+                         help="admission retries per queued request")
+    service.add_argument("--retry-backoff", type=int, default=4,
+                         metavar="TICKS",
+                         help="base retry backoff (doubles per attempt)")
+    service.add_argument("--report", default=None, metavar="PATH",
+                         help="append the SLO report to this JSONL file")
+    service.add_argument("--repeat", action="store_true",
+                         help="run twice and verify identical signatures")
+    _add_checkpoint_args(service)
+    service.set_defaults(func=_cmd_service)
 
     campaign = commands.add_parser(
         "campaign", help="run a sharded simulation sweep from a spec "

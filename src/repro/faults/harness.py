@@ -70,6 +70,11 @@ class ChaosReport:
     #: Not part of :meth:`signature` — the signed counters already
     #: pin the outcome, and the signature predates this field.
     latency: dict = field(default_factory=dict)
+    #: Establishment rejections tallied by structured
+    #: :class:`~repro.channels.admission.AdmissionError` reason.
+    #: Excluded from :meth:`signature` for the same reason as
+    #: ``latency``.
+    admission_rejects: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -105,8 +110,13 @@ class ChaosReport:
 
 
 def _establish_workload(network: MeshNetwork, config: ChaosConfig,
-                        rng: random.Random) -> list:
-    """Admit the soak's channel mix; returns the channel handles."""
+                        rng: random.Random,
+                        rejects: Optional[dict[str, int]] = None) -> list:
+    """Admit the soak's channel mix; returns the channel handles.
+
+    ``rejects``, when given, tallies failed establishment attempts by
+    structured :class:`AdmissionError` reason.
+    """
     nodes = list(network.mesh.nodes())
     channels = []
     attempts = 0
@@ -120,7 +130,9 @@ def _establish_workload(network: MeshNetwork, config: ChaosConfig,
                 deadline=config.deadline_ticks,
                 label=f"chaos-u{len(channels)}",
             ))
-        except AdmissionError:
+        except AdmissionError as exc:
+            if rejects is not None:
+                rejects[exc.reason] = rejects.get(exc.reason, 0) + 1
             continue
     attempts = 0
     while (len(nodes) >= 3
@@ -135,7 +147,9 @@ def _establish_workload(network: MeshNetwork, config: ChaosConfig,
                 deadline=config.deadline_ticks,
                 label=f"chaos-m{len(channels)}",
             ))
-        except AdmissionError:
+        except AdmissionError as exc:
+            if rejects is not None:
+                rejects[exc.reason] = rejects.get(exc.reason, 0) + 1
             continue
     return channels
 

@@ -53,6 +53,9 @@ class MeshWorkload:
         self.admission = admission or AdmissionController(hop_overhead=0)
         self.sim = SlotSimulator(scheduler_factory=scheduler_factory)
         self._count = 0
+        #: Refused :meth:`add_channel` calls tallied by structured
+        #: :class:`AdmissionError` reason.
+        self.rejections: dict[str, int] = {}
 
     def add_channel(self, src: Node, dst: Node, spec: TrafficSpec,
                     deadline: int, messages: int,
@@ -64,7 +67,9 @@ class MeshWorkload:
         try:
             reservation = self.admission.admit(
                 hops, spec, FlowRequirements(deadline=deadline))
-        except AdmissionError:
+        except AdmissionError as exc:
+            self.rejections[exc.reason] = (
+                self.rejections.get(exc.reason, 0) + 1)
             return False
         links = [(node, port) for node, port in route]
         arrivals = [phase + k * spec.i_min for k in range(messages)]

@@ -29,20 +29,29 @@ from repro.observability.registry import (
 from repro.observability.snapshot import SnapshotEmitter
 from repro.observability.trace import (
     BUFFER,
+    CHANNEL_TEARDOWN,
     CORRUPT_DROP,
     DELIVER,
     ENQUEUE,
     EVENT_FIELDS,
     HORIZON_DEFER,
     LINK_WIN,
+    OVERLOAD_ENTER,
+    OVERLOAD_EXIT,
     PROMOTE,
     RELEASE,
     RETRANSMIT,
+    SETUP_ACCEPT,
+    SETUP_DEMOTE,
+    SETUP_QUEUE,
+    SETUP_REJECT,
+    SETUP_REQUEST,
     PacketTracer,
 )
 
 __all__ = [
     "BUFFER",
+    "CHANNEL_TEARDOWN",
     "CORRUPT_DROP",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
@@ -54,9 +63,16 @@ __all__ = [
     "Histogram",
     "LINK_WIN",
     "MetricsRegistry",
+    "OVERLOAD_ENTER",
+    "OVERLOAD_EXIT",
     "PROMOTE",
     "PacketTracer",
     "RELEASE",
     "RETRANSMIT",
+    "SETUP_ACCEPT",
+    "SETUP_DEMOTE",
+    "SETUP_QUEUE",
+    "SETUP_REJECT",
+    "SETUP_REQUEST",
     "SnapshotEmitter",
 ]

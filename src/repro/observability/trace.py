@@ -19,6 +19,23 @@ event                     emitted when
 ``deliver``               the destination host logs the delivery
 ========================  =====================================================
 
+The control-plane service layer stamps channel-lifecycle events on the
+same ring (``packet_id`` is ``None``; ``label`` names the channel):
+
+========================  =====================================================
+event                     emitted when
+========================  =====================================================
+``setup_request``         a churn setup request reaches the service
+``setup_accept``          the request is admitted as a real-time channel
+``setup_reject``          the request is refused (``info`` has the reason)
+``setup_queue``           the request is parked for bounded retry
+``setup_demote``          the request (or an admitted channel, during
+                          overload) is demoted to best-effort delivery
+``channel_teardown``      an expired flow's channel state is released
+``overload_enter``        the overload manager starts shedding load
+``overload_exit``         occupancy drained; normal admission resumes
+========================  =====================================================
+
 Tracing is **opt-in**: components keep a ``tracer`` attribute that is
 ``None`` by default, and every emit site is guarded by a plain
 ``if tracer is not None`` — the disabled hot path allocates nothing
@@ -40,6 +57,16 @@ LINK_WIN = "link_win"
 RETRANSMIT = "retransmit"
 CORRUPT_DROP = "corrupt_drop"
 DELIVER = "deliver"
+
+# Control-plane service lifecycle (no packet identity).
+SETUP_REQUEST = "setup_request"
+SETUP_ACCEPT = "setup_accept"
+SETUP_REJECT = "setup_reject"
+SETUP_QUEUE = "setup_queue"
+SETUP_DEMOTE = "setup_demote"
+CHANNEL_TEARDOWN = "channel_teardown"
+OVERLOAD_ENTER = "overload_enter"
+OVERLOAD_EXIT = "overload_exit"
 
 #: Field order of the event tuples stored in the ring (and of the
 #: JSONL objects exported from them).

@@ -1,0 +1,76 @@
+"""Hysteretic overload detection and graceful degradation.
+
+The service enters *overload* when its setup queue backs up to the
+``queue_high`` watermark — the sign that arrivals outpace what the
+thresholds admit.  Entry triggers the degradation ladder, cheapest
+guarantee first:
+
+1. **shed best-effort** — active BE flows are dropped outright (they
+   never held guarantees);
+2. **demote lowest-criticality** — admitted TC channels are demoted to
+   best-effort delivery via the recovery layer's demotion path
+   (:meth:`~repro.channels.manager.ChannelManager.degrade`), least
+   critical first, until peak link utilisation is back under the exit
+   threshold.
+
+Exit is **hysteretic**: overload only ends once the queue has drained
+to ``queue_low`` *and* peak link utilisation is under ``util_exit`` —
+strictly below the entry condition, so the service cannot flap in and
+out on a single setup.
+"""
+
+from __future__ import annotations
+
+from repro.observability.trace import OVERLOAD_ENTER, OVERLOAD_EXIT
+
+
+class OverloadManager:
+    """Tracks the overload state machine for one service run."""
+
+    def __init__(self, network, config) -> None:
+        self.network = network
+        self.config = config
+        self.active = False
+        self.entries = 0
+        self.time_in_overload = 0
+
+    def update(self, tick: int, queue_depth: int, occupancy: dict,
+               controller) -> None:
+        """One tick of the state machine (called from the controller)."""
+        if self.active:
+            self.time_in_overload += 1
+        if not self.active:
+            if queue_depth >= self.config.queue_high:
+                self.active = True
+                self.entries += 1
+                self._trace(OVERLOAD_ENTER,
+                            {"queue_depth": queue_depth})
+                controller.shed_best_effort(tick)
+                controller.demote_lowest_criticality(
+                    tick, self.config.util_exit)
+            return
+        if (queue_depth <= self.config.queue_low
+                and occupancy["max_link_utilisation"]
+                <= self.config.util_exit):
+            self.active = False
+            self._trace(OVERLOAD_EXIT,
+                        {"time_in_overload": self.time_in_overload})
+
+    def _trace(self, event: str, info: dict) -> None:
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.emit(self.network.cycle, event, info=info)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "active": self.active,
+            "entries": self.entries,
+            "time_in_overload": self.time_in_overload,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.active = bool(state["active"])
+        self.entries = int(state["entries"])
+        self.time_in_overload = int(state["time_in_overload"])

@@ -1,0 +1,216 @@
+"""Service-level-objective reporting for churn runs.
+
+The :class:`SLOReport` reduces one service run to the numbers an
+operator would alert on: accept/reject/demote rates, setup-latency
+percentiles, the deadline-miss rate of *guaranteed* (admitted,
+never-demoted) time-constrained traffic, and how long the service
+spent in overload.  The report is canonical JSON throughout —
+identical runs produce byte-identical reports — and carries a stable
+SHA-256 signature the determinism tests compare across fresh,
+resumed, and spawned-worker executions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.campaign.spec import canonical_dumps
+from repro.observability.registry import Histogram
+
+
+@dataclass
+class SLOReport:
+    """Outcome of one control-plane service run."""
+
+    seed: int
+    cycles: int
+    workload: dict                  # churn generation parameters
+    # Intake.
+    requests_total: int
+    tc_requests: int
+    be_requests: int
+    # Decisions.
+    accepted_tc: int
+    accepted_be: int
+    rejected: int
+    reject_reasons: dict
+    queued_total: int
+    queue_timeouts: int
+    retries_total: int
+    demoted_setup: int
+    demoted_overload: int
+    be_shed: int
+    teardowns: int
+    flows_completed: int
+    # Setup latency (ticks; full histogram state + headline summary).
+    setup_latency: dict
+    setup_latency_summary: dict
+    # Data-plane outcome for admitted traffic.
+    tc_delivered_total: int
+    tc_misses_total: int
+    tc_delivered_guaranteed: int
+    tc_misses_guaranteed: int
+    be_delivered: int
+    # Overload accounting.
+    time_in_overload_ticks: int
+    overload_entries: int
+    in_overload_at_end: bool
+    peak_queue_depth: int
+    peak_link_utilisation: float
+    demoted_labels: list = field(default_factory=list)
+
+    @property
+    def accept_rate(self) -> float:
+        """Fraction of requests that ended up with *some* service
+        (guaranteed or demoted best-effort)."""
+        if not self.requests_total:
+            return 0.0
+        served = (self.accepted_tc + self.accepted_be
+                  + self.demoted_setup)
+        return served / self.requests_total
+
+    @property
+    def guaranteed_miss_rate(self) -> float:
+        if not self.tc_delivered_guaranteed:
+            return 0.0
+        return self.tc_misses_guaranteed / self.tc_delivered_guaranteed
+
+    @property
+    def ok(self) -> bool:
+        """The SLO bar: every guaranteed delivery met its deadline and
+        the service was out of overload by the end of the run."""
+        return (self.tc_misses_guaranteed == 0
+                and not self.in_overload_at_end)
+
+    def as_dict(self) -> dict:
+        """The report as a canonical, JSON-serialisable dictionary."""
+        return {
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "workload": dict(sorted(self.workload.items())),
+            "requests_total": self.requests_total,
+            "tc_requests": self.tc_requests,
+            "be_requests": self.be_requests,
+            "accepted_tc": self.accepted_tc,
+            "accepted_be": self.accepted_be,
+            "rejected": self.rejected,
+            "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "queued_total": self.queued_total,
+            "queue_timeouts": self.queue_timeouts,
+            "retries_total": self.retries_total,
+            "demoted_setup": self.demoted_setup,
+            "demoted_overload": self.demoted_overload,
+            "be_shed": self.be_shed,
+            "teardowns": self.teardowns,
+            "flows_completed": self.flows_completed,
+            "accept_rate": round(self.accept_rate, 6),
+            "setup_latency": self.setup_latency,
+            "setup_latency_summary": self.setup_latency_summary,
+            "tc_delivered_total": self.tc_delivered_total,
+            "tc_misses_total": self.tc_misses_total,
+            "tc_delivered_guaranteed": self.tc_delivered_guaranteed,
+            "tc_misses_guaranteed": self.tc_misses_guaranteed,
+            "guaranteed_miss_rate": round(self.guaranteed_miss_rate, 6),
+            "be_delivered": self.be_delivered,
+            "time_in_overload_ticks": self.time_in_overload_ticks,
+            "overload_entries": self.overload_entries,
+            "in_overload_at_end": self.in_overload_at_end,
+            "peak_queue_depth": self.peak_queue_depth,
+            "peak_link_utilisation": round(
+                self.peak_link_utilisation, 6),
+            "demoted_labels": sorted(self.demoted_labels),
+            "ok": self.ok,
+        }
+
+    def signature(self) -> str:
+        """Stable digest of the whole report (determinism checks)."""
+        return hashlib.sha256(
+            canonical_dumps(self.as_dict()).encode()).hexdigest()
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Headline numbers as display rows (CLI output)."""
+        latency = self.setup_latency_summary
+        rows = [
+            ("requests", str(self.requests_total)),
+            ("accepted (TC/BE)",
+             f"{self.accepted_tc}/{self.accepted_be}"),
+            ("rejected", str(self.rejected)),
+            ("demoted (setup/overload)",
+             f"{self.demoted_setup}/{self.demoted_overload}"),
+            ("accept rate", f"{self.accept_rate:.3f}"),
+            ("guaranteed TC delivered",
+             str(self.tc_delivered_guaranteed)),
+            ("guaranteed deadline misses",
+             str(self.tc_misses_guaranteed)),
+            ("time in overload (ticks)",
+             str(self.time_in_overload_ticks)),
+            ("overload entries", str(self.overload_entries)),
+        ]
+        if latency.get("count"):
+            rows.append(("setup latency p50/p99 (ticks)",
+                         f"{latency['p50']:.0f}/{latency['p99']:.0f}"))
+        return rows
+
+
+def build_slo_report(controller, network, workload_payload: dict,
+                     seed: int) -> SLOReport:
+    """Assemble the report from a finished run's components."""
+    counters = controller.counters
+    demoted = set(controller.demoted_labels)
+    guaranteed = set(controller.tc_labels) - demoted
+    tc_delivered_total = tc_misses_total = 0
+    tc_delivered_guaranteed = tc_misses_guaranteed = 0
+    be_delivered = 0
+    for record in network.log.records:
+        label = record.connection_label
+        if label is None or not label.startswith("svc-"):
+            continue
+        if record.duplicate:
+            continue
+        if record.traffic_class == "BE":
+            be_delivered += 1
+            continue
+        tc_delivered_total += 1
+        missed = record.deadline_met is False
+        if missed:
+            tc_misses_total += 1
+        if label in guaranteed:
+            tc_delivered_guaranteed += 1
+            if missed:
+                tc_misses_guaranteed += 1
+    histogram: Histogram = controller.setup_latency
+    return SLOReport(
+        seed=seed,
+        cycles=network.cycle,
+        workload=workload_payload,
+        requests_total=counters["requests_total"],
+        tc_requests=counters["tc_requests"],
+        be_requests=counters["be_requests"],
+        accepted_tc=counters["accepted_tc"],
+        accepted_be=counters["accepted_be"],
+        rejected=counters["rejected"],
+        reject_reasons=dict(sorted(
+            controller.reject_reasons.items())),
+        queued_total=counters["queued_total"],
+        queue_timeouts=counters["queue_timeouts"],
+        retries_total=counters["retries_total"],
+        demoted_setup=counters["demoted_setup"],
+        demoted_overload=counters["demoted_overload"],
+        be_shed=counters["be_shed"],
+        teardowns=counters["teardowns"],
+        flows_completed=counters["flows_completed"],
+        setup_latency=histogram.state(),
+        setup_latency_summary=histogram.summary(),
+        tc_delivered_total=tc_delivered_total,
+        tc_misses_total=tc_misses_total,
+        tc_delivered_guaranteed=tc_delivered_guaranteed,
+        tc_misses_guaranteed=tc_misses_guaranteed,
+        be_delivered=be_delivered,
+        time_in_overload_ticks=controller.overload.time_in_overload,
+        overload_entries=controller.overload.entries,
+        in_overload_at_end=controller.overload.active,
+        peak_queue_depth=controller.peak_queue_depth,
+        peak_link_utilisation=controller.peak_link_utilisation,
+        demoted_labels=sorted(demoted),
+    )

@@ -1,0 +1,132 @@
+"""Seeded channel-churn request streams.
+
+A long-running router does not see one static channel set: connections
+arrive, hold, and leave continuously.  :class:`ChurnWorkload` models
+that as a deterministic request stream — Poisson arrivals (exponential
+inter-arrival times), heavy-tailed holding times (truncated Pareto,
+matching the long-lived-flow skew real traffic shows), and a
+configurable mix of time-constrained and best-effort requests.
+
+Everything is derived from one seed through
+:func:`~repro.campaign.spec.derive_seed`, so the identical parameter
+bundle always yields the identical request list, in any process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.campaign.spec import derive_seed
+from repro.network.topology import Mesh, Node
+
+#: Message-spacing choices (ticks) sampled per request, mirroring the
+#: random admitted workload's mix.
+I_MIN_CHOICES = (6, 10, 16, 24)
+
+#: Pareto shape for holding times: alpha < 2 gives the heavy tail
+#: (a few connections hold much longer than the mean).
+HOLD_ALPHA = 1.5
+
+#: Holding times are truncated at this multiple of the configured mean
+#: so a single sample cannot dominate a run's length.
+HOLD_CAP_FACTOR = 8
+
+
+@dataclass(frozen=True)
+class ChannelRequest:
+    """One channel-setup request as the service sees it arrive."""
+
+    index: int
+    arrival_tick: int
+    source: Node
+    destination: Node
+    traffic_class: str      # "TC" or "BE"
+    i_min: int              # message spacing, ticks
+    deadline_ticks: int     # requested end-to-end bound (TC)
+    hold_ticks: int         # how long the flow sends before leaving
+    criticality: int        # 0 (sheddable) .. 3 (protect hardest)
+
+    @property
+    def label(self) -> str:
+        return f"svc-{self.index}"
+
+
+class ChurnWorkload:
+    """Deterministic setup/teardown request stream for one mesh."""
+
+    def __init__(self, width: int, height: int, requests: int,
+                 seed: int, *,
+                 arrival_period_ticks: int = 4,
+                 hold_ticks: int = 200,
+                 be_fraction: float = 0.25) -> None:
+        if requests < 1:
+            raise ValueError("churn workload needs at least one request")
+        if arrival_period_ticks < 1:
+            raise ValueError("arrival period must be at least one tick")
+        if hold_ticks < 1:
+            raise ValueError("mean holding time must be positive")
+        if not 0.0 <= be_fraction <= 1.0:
+            raise ValueError("best-effort fraction must be within [0, 1]")
+        self.width = width
+        self.height = height
+        self.count = requests
+        self.seed = seed
+        self.arrival_period_ticks = arrival_period_ticks
+        self.hold_ticks = hold_ticks
+        self.be_fraction = be_fraction
+        self.requests = self._generate()
+
+    def _generate(self) -> list[ChannelRequest]:
+        rng = random.Random(derive_seed(self.seed, "churn"))
+        mesh = Mesh(self.width, self.height)
+        nodes = list(mesh.nodes())
+        cap = self.hold_ticks * HOLD_CAP_FACTOR
+        requests: list[ChannelRequest] = []
+        clock = 0.0
+        for index in range(self.count):
+            clock += rng.expovariate(1.0 / self.arrival_period_ticks)
+            src, dst = rng.sample(nodes, 2)
+            traffic_class = ("BE" if rng.random() < self.be_fraction
+                             else "TC")
+            i_min = rng.choice(I_MIN_CHOICES)
+            hops = mesh.hop_distance(src, dst) + 1
+            deadline = i_min * hops + rng.randrange(0, 2 * i_min)
+            # Truncated Pareto: mean of paretovariate(a) is a/(a-1),
+            # so rescale to the configured mean before capping.
+            scale = self.hold_ticks * (HOLD_ALPHA - 1) / HOLD_ALPHA
+            hold = min(cap, max(i_min, round(
+                scale * rng.paretovariate(HOLD_ALPHA))))
+            requests.append(ChannelRequest(
+                index=index,
+                arrival_tick=int(clock),
+                source=src,
+                destination=dst,
+                traffic_class=traffic_class,
+                i_min=i_min,
+                deadline_ticks=deadline,
+                hold_ticks=int(hold),
+                criticality=rng.randrange(4),
+            ))
+        return requests
+
+    def arrivals_at(self, tick: int) -> list[ChannelRequest]:
+        """Requests arriving exactly at ``tick`` (ordered by index)."""
+        return [request for request in self.requests
+                if request.arrival_tick == tick]
+
+    @property
+    def last_arrival_tick(self) -> int:
+        return self.requests[-1].arrival_tick
+
+    def signature_payload(self) -> dict:
+        """The generation parameters, for fingerprinting runs."""
+        return {
+            "width": self.width,
+            "height": self.height,
+            "requests": self.count,
+            "seed": self.seed,
+            "arrival_period_ticks": self.arrival_period_ticks,
+            "hold_ticks": self.hold_ticks,
+            "be_fraction": self.be_fraction,
+        }

@@ -1,0 +1,95 @@
+"""Service-layer acceptance: graceful degradation past saturation.
+
+Two end-to-end bars from the issue:
+
+* Driven past its configured capacity on a 4x4 mesh, the service must
+  enter overload, shed best-effort load, demote low-criticality
+  channels, recover hysteretically — and through all of it, *every*
+  delivery on a guaranteed (never-demoted) channel meets its deadline.
+  All assertions read the exported :class:`SLOReport` dictionary, the
+  same artefact the CLI and campaigns publish.
+* A campaign sweep over the admission utilisation threshold must show
+  a monotone accept-rate frontier: more admission headroom can only
+  admit more of the same request stream.
+"""
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+from repro.service import ServiceRunConfig, run_service
+
+#: Past saturation: back-to-back arrivals, long holds, tight caps.
+SATURATING = ServiceRunConfig(
+    seed=11, width=4, height=4, requests=120,
+    arrival_period_ticks=1, hold_ticks=400,
+    util_threshold_pct=60, queue_limit=8, queue_timeout_ticks=48)
+
+
+@pytest.fixture(scope="module")
+def saturated_slo():
+    return run_service(SATURATING).as_dict()
+
+
+class TestOverloadAcceptance:
+    def test_run_saturates_the_service(self, saturated_slo):
+        # The scenario is only meaningful if the load genuinely
+        # exceeded what the thresholds admit.
+        assert saturated_slo["rejected"] > 0
+        assert saturated_slo["queued_total"] > 0
+        assert saturated_slo["peak_queue_depth"] >= 6  # queue_high
+
+    def test_overload_entered_and_degraded_gracefully(
+            self, saturated_slo):
+        assert saturated_slo["overload_entries"] >= 1
+        assert saturated_slo["time_in_overload_ticks"] > 0
+        # The degradation ladder actually fired, cheapest first.
+        assert saturated_slo["be_shed"] > 0
+        assert saturated_slo["demoted_overload"] > 0
+        assert saturated_slo["demoted_labels"]
+
+    def test_overload_exited_hysteretically(self, saturated_slo):
+        assert saturated_slo["in_overload_at_end"] is False
+
+    def test_guaranteed_traffic_never_missed_a_deadline(
+            self, saturated_slo):
+        assert saturated_slo["tc_delivered_guaranteed"] > 0
+        assert saturated_slo["tc_misses_guaranteed"] == 0
+        assert saturated_slo["guaranteed_miss_rate"] == 0.0
+        assert saturated_slo["ok"] is True
+
+    def test_demoted_traffic_still_served(self, saturated_slo):
+        # Demotion is graceful degradation, not a drop: demoted
+        # channels keep delivering (best-effort, counted separately).
+        assert (saturated_slo["tc_delivered_total"]
+                > saturated_slo["tc_delivered_guaranteed"])
+
+
+class TestThresholdFrontier:
+    def test_accept_rate_frontier_is_monotone(self, tmp_path):
+        thresholds = [30, 50, 70, 90]
+        spec = CampaignSpec(
+            name="frontier", mode="grid",
+            base={"workload": "churn", "width": 4, "height": 4,
+                  "requests": 80, "arrival_period_ticks": 1,
+                  "hold_ticks": 300, "queue_limit": 8, "seed": 11},
+            axes={"util_threshold_pct": thresholds},
+        )
+        runner = CampaignRunner(spec, ResultCache(tmp_path / "cache"),
+                                workers=2, progress=None)
+        report = runner.run()
+        assert report.ok, report.quarantined
+        rates = []
+        for config in spec.expand():
+            stats = report.results[config.content_hash()]
+            rates.append((config.util_threshold_pct,
+                          stats["slo"]["accept_rate"]))
+        rates.sort()
+        values = [rate for _, rate in rates]
+        assert values == sorted(values), (
+            f"accept rate not monotone in threshold: {rates}")
+        # The sweep spans a real frontier, not a flat line.
+        assert values[-1] > values[0]
+        # Every point holds the guaranteed-traffic SLO.
+        for config in spec.expand():
+            slo = report.results[config.content_hash()]["slo"]
+            assert slo["tc_misses_guaranteed"] == 0

@@ -1,0 +1,201 @@
+"""Tests for the service controller's decision ladder.
+
+Each test builds a tiny real mesh and hand-crafted
+:class:`ChannelRequest` objects so every branch of the ladder —
+accept, preventive queueing, queue-full rejection, retry after
+capacity frees, timeout demotion vs. rejection, graceful teardown —
+is pinned without relying on the churn generator's draws.
+"""
+
+from repro.network.network import MeshNetwork
+from repro.service import (
+    OverloadManager,
+    ServiceConfig,
+    ServiceController,
+)
+from repro.service.workload import ChannelRequest
+
+
+def request(index=0, *, source=(0, 0), destination=(1, 0),
+            traffic_class="TC", i_min=6, deadline=40, hold=60,
+            criticality=3, arrival=0):
+    return ChannelRequest(
+        index=index, arrival_tick=arrival, source=source,
+        destination=destination, traffic_class=traffic_class,
+        i_min=i_min, deadline_ticks=deadline, hold_ticks=hold,
+        criticality=criticality)
+
+
+def controller_for(requests, **overrides):
+    config = ServiceConfig(**overrides)
+    net = MeshNetwork(2, 2, on_memory_full="drop")
+    overload = OverloadManager(net, config)
+    return ServiceController(net, requests, config, overload), net
+
+
+class TestImmediateDecisions:
+    def test_tc_accepted(self):
+        req = request()
+        controller, net = controller_for([req])
+        assert controller.submit(req, 0) == "accepted"
+        assert controller.counters["accepted_tc"] == 1
+        assert controller.tc_labels == ["svc-0"]
+        assert net.manager.find("svc-0") is not None
+        flow = controller.flows["svc-0"]
+        assert flow.traffic_class == "TC"
+        assert flow.end_tick == req.hold_ticks
+        assert flow.teardown_tick > flow.end_tick
+
+    def test_be_accepted_without_channel_state(self):
+        req = request(traffic_class="BE")
+        controller, net = controller_for([req])
+        assert controller.submit(req, 0) == "accepted"
+        assert controller.counters["accepted_be"] == 1
+        assert net.manager.find("svc-0") is None
+        assert controller.flows["svc-0"].traffic_class == "BE"
+
+    def test_be_shed_during_overload(self):
+        req = request(traffic_class="BE")
+        controller, _ = controller_for([req])
+        controller.overload.active = True
+        assert controller.submit(req, 0) == "rejected"
+        assert controller.reject_reasons == {"overload-shed": 1}
+
+    def test_tc_queued_during_overload(self):
+        req = request()
+        controller, _ = controller_for([req])
+        controller.overload.active = True
+        assert controller.submit(req, 0) == "queued"
+        assert controller.queue_depth == 1
+
+
+class TestPreventiveHeadroom:
+    def test_headroom_failure_queues(self):
+        # i_min=6 demands 1/6 utilisation; a 10% cap cannot hold it.
+        req = request()
+        controller, _ = controller_for([req], util_threshold=0.10)
+        assert controller.submit(req, 0) == "queued"
+        assert controller.counters["queued_total"] == 1
+
+    def test_queue_full_rejects(self):
+        reqs = [request(index=i) for i in range(3)]
+        controller, _ = controller_for(reqs, util_threshold=0.10,
+                                       queue_limit=2)
+        for req in reqs[:2]:
+            assert controller.submit(req, 0) == "queued"
+        assert controller.submit(reqs[2], 0) == "rejected"
+        assert controller.reject_reasons == {"queue-full": 1}
+
+    def test_headroom_counts_existing_load(self):
+        # Two channels on the same link at 1/6 each would cross a 30%
+        # cap; the first fits, the second must queue.
+        reqs = [request(index=0), request(index=1)]
+        controller, _ = controller_for(reqs, util_threshold=0.30)
+        assert controller.submit(reqs[0], 0) == "accepted"
+        assert controller.submit(reqs[1], 0) == "queued"
+
+
+class TestRetryQueue:
+    def test_retry_succeeds_after_capacity_frees(self):
+        blocker = request(index=0)
+        queued = request(index=1)
+        controller, net = controller_for([blocker, queued],
+                                         util_threshold=0.30)
+        controller.submit(blocker, 0)
+        controller.submit(queued, 0)
+        assert controller.queue_depth == 1
+        net.manager.teardown_label("svc-0")
+        controller.flows.pop("svc-0")
+        controller.advance(controller.config.retry_backoff_ticks)
+        assert controller.queue_depth == 0
+        assert controller.counters["accepted_tc"] == 2
+        assert net.manager.find("svc-1") is not None
+
+    def test_timeout_rejects_critical_request(self):
+        req = request(criticality=3)
+        controller, _ = controller_for([req], util_threshold=0.10,
+                                       queue_timeout_ticks=8,
+                                       retry_backoff_ticks=2)
+        controller.submit(req, 0)
+        for tick in range(1, 20):
+            controller.advance(tick)
+        assert controller.queue_depth == 0
+        assert controller.reject_reasons == {"queue-timeout": 1}
+        assert controller.counters["queue_timeouts"] == 1
+
+    def test_timeout_demotes_criticality_zero(self):
+        req = request(criticality=0)
+        controller, _ = controller_for([req], util_threshold=0.10,
+                                       queue_timeout_ticks=8,
+                                       retry_backoff_ticks=2)
+        controller.submit(req, 0)
+        for tick in range(1, 20):
+            controller.advance(tick)
+        assert controller.counters["demoted_setup"] == 1
+        assert controller.demoted_labels == ["svc-0"]
+        flow = controller.flows["svc-0"]
+        assert flow.traffic_class == "BE" and flow.demoted
+
+    def test_retry_backoff_is_exponential(self):
+        req = request()
+        controller, _ = controller_for([req], util_threshold=0.10,
+                                       queue_timeout_ticks=1000,
+                                       max_retries=10,
+                                       retry_backoff_ticks=4)
+        controller.submit(req, 0)
+        retries = []
+        for tick in range(1, 70):
+            before = controller.counters["retries_total"]
+            controller.advance(tick)
+            if controller.counters["retries_total"] > before:
+                retries.append(tick)
+        # First retry after the base backoff, then doubling gaps.
+        assert retries[:3] == [4, 12, 28]
+
+
+class TestGracefulTeardown:
+    def test_flow_retires_after_deadline_margin(self):
+        req = request(hold=10, deadline=20)
+        controller, net = controller_for([req])
+        controller.submit(req, 0)
+        flow = controller.flows["svc-0"]
+        expected = (req.hold_ticks + req.deadline_ticks
+                    + controller.config.teardown_margin_ticks)
+        assert flow.teardown_tick == expected
+        controller.advance(flow.end_tick)  # stops sending, state kept
+        assert net.manager.find("svc-0") is not None
+        controller.advance(flow.teardown_tick)
+        assert net.manager.find("svc-0") is None
+        assert controller.counters["teardowns"] == 1
+        assert controller.counters["flows_completed"] == 1
+        occupancy = net.manager.admission.occupancy()
+        assert occupancy["links_loaded"] == 0
+        assert occupancy["buffers_reserved"] == 0
+
+    def test_due_sends_respect_lifetime_and_spacing(self):
+        req = request(hold=18, i_min=6)
+        controller, _ = controller_for([req])
+        controller.submit(req, 0)
+        due = [tick for tick in range(0, 30)
+               if controller.due_sends(tick)]
+        assert due == [0, 6, 12]
+
+
+class TestCheckpointRoundtrip:
+    def test_state_roundtrip_preserves_decisions(self):
+        reqs = [request(index=0),
+                request(index=1, traffic_class="BE"),
+                request(index=2)]
+        controller, net = controller_for(reqs, util_threshold=0.30)
+        for req in reqs:
+            controller.submit(req, 0)
+        state = controller.state()
+
+        other = ServiceController(
+            net, reqs, controller.config,
+            OverloadManager(net, controller.config))
+        other.load_state(state)
+        assert other.counters == controller.counters
+        assert other.state() == state
+        assert set(other.flows) == set(controller.flows)
+        assert other.queue_depth == controller.queue_depth

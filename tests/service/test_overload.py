@@ -1,0 +1,109 @@
+"""Tests for the hysteretic overload state machine."""
+
+from repro.network.network import MeshNetwork
+from repro.service import OverloadManager, ServiceConfig
+
+
+class RecordingController:
+    """Stands in for the service controller's degradation callbacks."""
+
+    def __init__(self):
+        self.shed_calls = []
+        self.demote_calls = []
+
+    def shed_best_effort(self, tick):
+        self.shed_calls.append(tick)
+        return 0
+
+    def demote_lowest_criticality(self, tick, util_exit):
+        self.demote_calls.append((tick, util_exit))
+        return 0
+
+
+def manager_for(**overrides):
+    config = ServiceConfig(**overrides)
+    net = MeshNetwork(2, 2)
+    return OverloadManager(net, config), config, RecordingController()
+
+
+def occupancy(util=0.0):
+    return {"max_link_utilisation": util, "mean_link_utilisation": util,
+            "links_loaded": 0, "max_buffer_fill": 0.0,
+            "buffers_reserved": 0}
+
+
+class TestEntry:
+    def test_inactive_below_high_watermark(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(0, config.queue_high - 1, occupancy(), controller)
+        assert not manager.active
+        assert controller.shed_calls == []
+
+    def test_enters_at_high_watermark_and_degrades(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(5, config.queue_high, occupancy(0.95), controller)
+        assert manager.active
+        assert manager.entries == 1
+        assert controller.shed_calls == [5]
+        assert controller.demote_calls == [(5, config.util_exit)]
+
+    def test_degradation_ladder_fires_once_per_entry(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(1, config.queue_high, occupancy(0.95), controller)
+        manager.update(2, config.queue_high + 2, occupancy(0.95),
+                       controller)
+        assert controller.shed_calls == [1]
+
+
+class TestHystereticExit:
+    def test_stays_active_until_both_conditions_clear(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(0, config.queue_high, occupancy(0.95), controller)
+        # Queue drained but links still hot: no exit.
+        manager.update(1, config.queue_low, occupancy(0.95), controller)
+        assert manager.active
+        # Links cooled but queue refilled between watermarks: no exit.
+        manager.update(2, config.queue_low + 1, occupancy(0.0),
+                       controller)
+        assert manager.active
+        # Both clear: exit.
+        manager.update(3, config.queue_low, occupancy(0.0), controller)
+        assert not manager.active
+
+    def test_exit_threshold_is_below_entry_threshold(self):
+        config = ServiceConfig(queue_limit=16)
+        assert config.queue_low < config.queue_high
+        assert config.util_exit < config.util_threshold
+
+    def test_time_in_overload_accumulates_only_while_active(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(0, 0, occupancy(), controller)
+        assert manager.time_in_overload == 0
+        manager.update(1, config.queue_high, occupancy(0.95), controller)
+        manager.update(2, config.queue_high, occupancy(0.95), controller)
+        manager.update(3, config.queue_low, occupancy(0.0), controller)
+        assert not manager.active
+        assert manager.time_in_overload == 2
+        manager.update(4, 0, occupancy(), controller)
+        assert manager.time_in_overload == 2
+
+    def test_reentry_counts_separately(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(0, config.queue_high, occupancy(0.9), controller)
+        manager.update(1, config.queue_low, occupancy(0.0), controller)
+        manager.update(2, config.queue_high, occupancy(0.9), controller)
+        assert manager.entries == 2
+        assert controller.shed_calls == [0, 2]
+
+
+class TestCheckpointRoundtrip:
+    def test_state_roundtrip(self):
+        manager, config, controller = manager_for(queue_limit=16)
+        manager.update(0, config.queue_high, occupancy(0.9), controller)
+        manager.update(1, config.queue_high, occupancy(0.9), controller)
+        state = manager.state()
+        other, _, _ = manager_for(queue_limit=16)
+        other.load_state(state)
+        assert other.active and other.entries == 1
+        assert other.time_in_overload == manager.time_in_overload
+        assert other.state() == state

@@ -1,0 +1,83 @@
+"""Tests for the seeded churn request stream."""
+
+import pytest
+
+from repro.service import ChurnWorkload
+from repro.service.workload import HOLD_CAP_FACTOR, I_MIN_CHOICES
+
+
+def make(seed=7, **kwargs):
+    kwargs.setdefault("requests", 50)
+    return ChurnWorkload(4, 4, kwargs.pop("requests"), seed, **kwargs)
+
+
+class TestGeneration:
+    def test_request_count_and_indexing(self):
+        workload = make()
+        assert len(workload.requests) == 50
+        assert [r.index for r in workload.requests] == list(range(50))
+        assert workload.requests[3].label == "svc-3"
+
+    def test_arrivals_are_monotone(self):
+        arrivals = [r.arrival_tick for r in make().requests]
+        assert arrivals == sorted(arrivals)
+        assert make().last_arrival_tick == arrivals[-1]
+
+    def test_fields_within_bounds(self):
+        for request in make(requests=200).requests:
+            assert request.traffic_class in ("TC", "BE")
+            assert request.i_min in I_MIN_CHOICES
+            assert request.source != request.destination
+            assert 0 <= request.criticality <= 3
+            assert request.deadline_ticks >= request.i_min
+            assert (request.i_min <= request.hold_ticks
+                    <= 200 * HOLD_CAP_FACTOR)
+
+    def test_mix_follows_be_fraction(self):
+        all_tc = make(be_fraction=0.0, requests=100)
+        assert all(r.traffic_class == "TC" for r in all_tc.requests)
+        all_be = make(be_fraction=1.0, requests=100)
+        assert all(r.traffic_class == "BE" for r in all_be.requests)
+
+    def test_arrivals_at(self):
+        workload = make()
+        seen = []
+        for tick in range(workload.last_arrival_tick + 1):
+            seen.extend(workload.arrivals_at(tick))
+        assert seen == workload.requests
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert make(seed=42).requests == make(seed=42).requests
+
+    def test_seed_changes_stream(self):
+        assert make(seed=1).requests != make(seed=2).requests
+
+    def test_parameters_change_stream(self):
+        assert (make(arrival_period_ticks=2).requests
+                != make(arrival_period_ticks=8).requests)
+
+    def test_signature_payload_pins_parameters(self):
+        payload = make(seed=9).signature_payload()
+        assert payload["seed"] == 9
+        assert payload["requests"] == 50
+        assert payload == make(seed=9).signature_payload()
+
+
+class TestValidation:
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError):
+            ChurnWorkload(4, 4, 0, 1)
+
+    def test_rejects_bad_arrival_period(self):
+        with pytest.raises(ValueError):
+            make(arrival_period_ticks=0)
+
+    def test_rejects_bad_hold(self):
+        with pytest.raises(ValueError):
+            make(hold_ticks=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make(be_fraction=1.5)

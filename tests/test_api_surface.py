@@ -18,6 +18,7 @@ MODULES = [
     "repro.analysis",
     "repro.reporting",
     "repro.checkpoint",
+    "repro.service",
 ]
 
 

@@ -175,6 +175,71 @@ class TestCheckpointCli:
         assert "Traceback" not in err
 
 
+class TestServiceCommand:
+    """The ``service`` subcommand: happy path, SLO export, checkpoint
+    resume, and every bad input exiting non-zero without a traceback."""
+
+    SVC = ["service", "--width", "2", "--height", "2",
+           "--requests", "12", "--hold-ticks", "40", "--seed", "5"]
+
+    def test_small_run(self, capsys, tmp_path):
+        report_path = tmp_path / "slo.jsonl"
+        assert main([*self.SVC, "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "accept rate" in out
+        assert "signature:" in out
+        record = json.loads(report_path.read_text().splitlines()[-1])
+        assert record["requests_total"] == 12
+        assert record["ok"] is True
+
+    def test_repeat_verifies_determinism(self, capsys):
+        assert main([*self.SVC, "--repeat"]) == 0
+        out = capsys.readouterr().out
+        assert "repeat run identical" in out
+
+    def test_checkpoint_and_resume(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main([*self.SVC, "--checkpoint-dir", str(ckpt_dir),
+                     "--checkpoint-interval", "2000"]) == 0
+        reference = capsys.readouterr().out
+        ckpts = sorted(ckpt_dir.glob("ckpt-*.json"),
+                       key=lambda p: int(p.name.split("-")[1]))
+        assert ckpts, "run wrote no checkpoints"
+        assert main([*self.SVC, "--resume-from", str(ckpts[0])]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from checkpoint at cycle" in resumed
+        signature = [line for line in reference.splitlines()
+                     if line.startswith("signature:")]
+        assert signature[0] in resumed
+
+    def test_unknown_workload(self, capsys):
+        assert main(["service", "--workload", "avalanche"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown service workload" in err
+        assert "Traceback" not in err
+
+    def test_invalid_threshold(self, capsys):
+        assert main([*self.SVC, "--util-threshold", "150"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "threshold" in err
+        assert "Traceback" not in err
+
+    def test_invalid_queue_limit(self, capsys):
+        assert main([*self.SVC, "--queue-limit", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_report_path(self, capsys, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        code = main([*self.SVC, "--report",
+                     str(blocker / "slo.jsonl")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
 class TestObservabilityCommands:
     def test_trace_export(self, capsys, tmp_path):
         out_path = tmp_path / "events.jsonl"
