@@ -138,6 +138,84 @@ def test_fast_forward_idle_heavy_speedup(report):
     ])
 
 
+def _timed_churn(engine):
+    """One timed 16x16 churn run under the given engine mode.
+
+    The workload is the event scheduler's headline case: channels
+    arrive, hold and depart across a large mesh, so *something* is
+    always in flight (the exact engine's whole-fabric quiescence gate
+    almost never opens) but activity is spatially sparse (most of the
+    512 components are idle on any given cycle).
+    """
+    from repro.service import ServiceRunConfig, ServiceSession
+
+    config = ServiceRunConfig(width=16, height=16, requests=16,
+                              arrival_period_ticks=64, hold_ticks=20,
+                              engine=engine)
+    session = ServiceSession(config)
+    start = time.perf_counter()
+    report = session.run()
+    return session, report, time.perf_counter() - start
+
+
+def test_event_engine_loaded_churn_speedup(report):
+    """Acceptance gate: the event scheduler is >= 5x faster than the
+    exact engine on loaded churn over a 16x16 mesh (target 10x), with
+    a byte-identical SLO report signature."""
+    rounds = 2
+    ratios = []
+    best = {"exact": None, "event": None}
+    reports = {}
+    engines = {}
+    for round_index in range(rounds):
+        order = ["exact", "event"]
+        if round_index % 2:
+            order.reverse()
+        seconds = {}
+        for mode in order:
+            session, slo_report, seconds[mode] = _timed_churn(mode)
+            reports[mode] = slo_report
+            engines[mode] = session.network.engine
+            if best[mode] is None or seconds[mode] < best[mode]:
+                best[mode] = seconds[mode]
+        ratios.append(seconds["exact"] / seconds["event"])
+    speedup = max(ratios)
+
+    # Byte-identical outcomes first, speed second.
+    assert reports["exact"].signature() == reports["event"].signature()
+    assert reports["event"].tc_delivered_total > 0
+    event_engine = engines["event"]
+    assert (event_engine.cycles_stepped
+            + event_engine.cycles_fast_forwarded == event_engine.cycle)
+    # The exact engine was genuinely load-bound: it executed the vast
+    # majority of cycles one by one...
+    exact_engine = engines["exact"]
+    assert exact_engine.cycles_stepped > exact_engine.cycle // 2
+    # ...and judged on paired rounds, the scheduler clears the floor.
+    assert speedup >= 5.0, (
+        f"event-engine speedup {speedup:.2f}x below the 5x floor on "
+        f"loaded churn (best exact {best['exact']:.2f}s, best event "
+        f"{best['event']:.2f}s)"
+    )
+
+    report("event_engine_speedup", fmt_table(
+        ["engine", "seconds (best)", "cycles stepped",
+         "cycles skipped"], [
+            ["exact (per-cycle loop)", f"{best['exact']:.2f}",
+             exact_engine.cycles_stepped,
+             exact_engine.cycles_fast_forwarded],
+            ["event (scheduler)", f"{best['event']:.2f}",
+             event_engine.cycles_stepped,
+             event_engine.cycles_fast_forwarded],
+        ]) + [
+        "",
+        "workload: 16x16 mesh, 16 churning channel requests "
+        "(arrival period 64 ticks, mean hold 20 ticks)",
+        f"speedup: {speedup:.2f}x best paired round "
+        "(gate: >= 5x; SLO report signatures byte-identical)",
+    ])
+
+
 def _timed_idle_heavy(cycles, prepare=None):
     """One timed run of the idle-heavy mesh (fast-forward on)."""
     net = MeshNetwork(8, 8)

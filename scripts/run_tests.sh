@@ -27,6 +27,12 @@
 # hysteresis, SLO determinism across fresh/resumed/spawned runs, the
 # saturation acceptance test — plus the churn benchmark gate (>=1000
 # setup requests with control-plane overhead <=10% of wall-clock).
+# The event job runs the event-scheduler suites — byte-identical
+# equivalence against the exact engine on loaded/chaos/churn runs
+# (including cross-mode checkpoint resume), the next_event_cycle
+# contract audit, firing-order determinism, accounting — and the
+# loaded-churn speedup gate (>=5x on a 16x16 mesh, artefact written
+# to benchmarks/results/event_engine_speedup.txt).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,6 +88,19 @@ run_checkpoint() {
         benchmarks/bench_checkpoint.py
 }
 
+run_event() {
+    echo "== event: scheduler equivalence suites + loaded speedup gate =="
+    python -m pytest -q \
+        tests/network/test_engine_accounting.py \
+        tests/network/test_event_firing_order.py \
+        tests/integration/test_fast_forward_equivalence.py \
+        tests/integration/test_event_engine_equivalence.py \
+        tests/integration/test_next_event_contract.py \
+        tests/traffic/test_generators.py
+    python -m pytest -q -p no:cacheprovider \
+        "benchmarks/bench_sim_performance.py::test_event_engine_loaded_churn_speedup"
+}
+
 run_service() {
     echo "== service: churn, overload, SLO determinism + churn gate =="
     python -m pytest -q \
@@ -100,7 +119,8 @@ case "$job" in
     campaign) run_campaign ;;
     checkpoint) run_checkpoint ;;
     service) run_service ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|all)" >&2
+    event) run_event ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_event ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|event|all)" >&2
            exit 2 ;;
 esac

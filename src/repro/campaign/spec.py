@@ -98,10 +98,20 @@ class RunConfig:
     util_threshold_pct: int = 90
     buffer_watermark_pct: int = 90
     queue_limit: int = 16
+    #: Engine scheduling mode ("exact" or "event").  Both modes produce
+    #: byte-identical results, so the mode is *not* part of the content
+    #: hash (see :meth:`to_dict`) — cached results stay valid across
+    #: mode switches.
+    engine: str = "exact"
 
     def __post_init__(self) -> None:
         if not self.workload or not isinstance(self.workload, str):
             raise ValueError("workload must be a non-empty string")
+        from repro.network.engine import ENGINE_MODES
+
+        if self.engine not in ENGINE_MODES:
+            raise ValueError(f"engine mode must be one of {ENGINE_MODES}, "
+                             f"not {self.engine!r}")
         if self.width < 1 or self.height < 1:
             raise ValueError("mesh dimensions must be positive")
         for name in ("channels", "ticks", "replica", "settle_cycles",
@@ -120,7 +130,12 @@ class RunConfig:
                 raise ValueError(f"{name} must be within [0, 100]")
 
     def to_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        """Canonical encoding: the engine mode is dropped — it cannot
+        change a run's outcome, so two configs differing only in mode
+        share one content hash (and one cached result)."""
+        data = dataclasses.asdict(self)
+        del data["engine"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunConfig":

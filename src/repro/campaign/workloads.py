@@ -64,7 +64,8 @@ def workload_for(config: RunConfig) -> Callable[[RunConfig], dict]:
 
 def build_random_workload(width: int, height: int, channels: int,
                           seed: int,
-                          rejects: Optional[dict] = None):
+                          rejects: Optional[dict] = None, *,
+                          engine: str = "exact"):
     """Admit a seeded random channel set on a fresh mesh.
 
     Returns ``(net, admitted)`` where ``admitted`` pairs each channel
@@ -78,7 +79,7 @@ def build_random_workload(width: int, height: int, channels: int,
     from repro.channels import AdmissionError
 
     rng = random.Random(derive_seed(seed, "admit"))
-    net = build_mesh_network(width, height)
+    net = build_mesh_network(width, height, engine=engine)
     nodes = list(net.mesh.nodes())
     admitted = []
     for _ in range(channels):
@@ -143,12 +144,12 @@ def run_random(config: RunConfig) -> dict:
     if store is None:
         net, admitted = build_random_workload(
             config.width, config.height, config.channels, config.seed,
-            rejects)
+            rejects, engine=config.engine)
         drive_random_workload(net, admitted, config.ticks, config.seed)
     else:
         session = open_random_session(
             config.width, config.height, config.channels, config.ticks,
-            config.seed, store)
+            config.seed, store, engine=config.engine)
         net = session.run(store=store, interval=interval)
         admitted = session.admitted
         rejects = session.admission_rejects
@@ -188,6 +189,7 @@ def run_chaos(config: RunConfig) -> dict:
         cuts=config.cuts, flaps=config.flaps,
         corruptions=config.corruptions, drops=config.drops,
         babblers=config.babblers, unicast_channels=config.channels,
+        engine=config.engine,
     )
     store, interval = _run_store_for(
         config, "chaos", ChaosSession.fingerprint_for(chaos_config))
@@ -245,6 +247,7 @@ def run_churn(config: RunConfig) -> dict:
         util_threshold_pct=config.util_threshold_pct,
         buffer_watermark_pct=config.buffer_watermark_pct,
         queue_limit=config.queue_limit,
+        engine=config.engine,
     )
     store, interval = _run_store_for(
         config, "service",

@@ -137,7 +137,9 @@ class ChaosSession(_SessionBase):
                             if check_every is None else check_every)
         self.rng = random.Random(config.seed)
         self.network = MeshNetwork(config.width, config.height,
-                                   on_memory_full="drop")
+                                   on_memory_full="drop",
+                                   engine=getattr(config, "engine",
+                                                  "exact"))
         self.admission_rejects: dict[str, int] = {}
         if _restore:
             self.channels: list = []
@@ -173,9 +175,15 @@ class ChaosSession(_SessionBase):
         """Pin of every input that shapes a chaos run's behaviour."""
         if plan is None:
             plan = default_chaos_plan(config)
+        config_dict = asdict(config)
+        # Both engine modes produce byte-identical runs, so the mode is
+        # not behaviour-shaping: dropping it keeps fingerprints of
+        # pre-existing checkpoints valid and lets a run checkpointed in
+        # one mode resume in the other.
+        config_dict.pop("engine", None)
         return fingerprint_of({
             "workload": cls.KIND,
-            "config": asdict(config),
+            "config": config_dict,
             "plan": plan.signature(),
         })
 
@@ -330,6 +338,7 @@ class RandomWorkloadSession(_SessionBase):
 
     def __init__(self, width: int, height: int, channels: int,
                  ticks: int, seed: int, *, check_every: int = 0,
+                 engine: str = "exact",
                  _restore: bool = False) -> None:
         from repro.campaign.spec import derive_seed
         from repro.campaign.workloads import build_random_workload
@@ -339,16 +348,19 @@ class RandomWorkloadSession(_SessionBase):
         self.channel_count = channels
         self.ticks = ticks
         self.seed = seed
+        self.engine = engine
         self.check_every = check_every
         self.admission_rejects: dict[str, int] = {}
         if _restore:
             from repro.network.network import build_mesh_network
 
-            self.network = build_mesh_network(width, height)
+            self.network = build_mesh_network(width, height,
+                                              engine=engine)
             self.admitted: list = []
         else:
             self.network, self.admitted = build_random_workload(
-                width, height, channels, seed, self.admission_rejects)
+                width, height, channels, seed, self.admission_rejects,
+                engine=engine)
         self.rng = random.Random(derive_seed(seed, "traffic"))
         self.nodes = list(self.network.mesh.nodes())
         self.slot = self.network.params.slot_cycles
@@ -429,9 +441,11 @@ class RandomWorkloadSession(_SessionBase):
     @classmethod
     def restore(cls, width: int, height: int, channels: int,
                 ticks: int, seed: int, state: dict, *,
-                check_every: int = 0) -> "RandomWorkloadSession":
+                check_every: int = 0,
+                engine: str = "exact") -> "RandomWorkloadSession":
         session = cls(width, height, channels, ticks, seed,
-                      check_every=check_every, _restore=True)
+                      check_every=check_every, engine=engine,
+                      _restore=True)
         ctx = LoadContext(state["metas"])
         session.network.load_state(state["network"], ctx)
         session.admitted = []
@@ -470,13 +484,15 @@ def open_chaos_session(config, store, *, plan=None,
 
 def open_random_session(width: int, height: int, channels: int,
                         ticks: int, seed: int, store, *,
-                        check_every: int = 0) -> RandomWorkloadSession:
+                        check_every: int = 0,
+                        engine: str = "exact") -> RandomWorkloadSession:
     """Resume from the store's latest checkpoint, or start fresh."""
     latest = store.latest()
     if latest is None:
         return RandomWorkloadSession(width, height, channels, ticks,
-                                     seed, check_every=check_every)
+                                     seed, check_every=check_every,
+                                     engine=engine)
     document = store.load(latest)
     return RandomWorkloadSession.restore(
         width, height, channels, ticks, seed, document["state"],
-        check_every=check_every)
+        check_every=check_every, engine=engine)

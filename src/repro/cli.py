@@ -199,12 +199,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         document = store.load(args.resume_from)
         session = RandomWorkloadSession.restore(
             args.width, args.height, args.channels, args.ticks,
-            args.seed, document["state"], check_every=check_every)
+            args.seed, document["state"], check_every=check_every,
+            engine=args.engine)
         print(f"resumed from checkpoint at cycle {document['cycle']}")
     else:
         session = RandomWorkloadSession(
             args.width, args.height, args.channels, args.ticks,
-            args.seed, check_every=check_every)
+            args.seed, check_every=check_every, engine=args.engine)
     print(f"admitted {len(session.admitted)} of {args.channels} channels")
     net = session.run(store=store, interval=args.checkpoint_interval)
     for failure in session.invariant_failures:
@@ -274,7 +275,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed, width=args.width, height=args.height,
         cycles=args.cycles, cuts=args.cuts, flaps=args.flaps,
         corruptions=args.corruptions, drops=args.drops,
-        babblers=args.babblers,
+        babblers=args.babblers, engine=args.engine,
     )
     try:
         if args.resume_from or args.checkpoint_dir:
@@ -343,6 +344,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         queue_timeout_ticks=args.queue_timeout,
         max_retries=args.max_retries,
         retry_backoff_ticks=args.retry_backoff,
+        engine=args.engine,
     )
     config.validate()
     check_every = args.check_invariants or 0
@@ -445,6 +447,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if log.deadline_misses == 0 else 1
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    """Engine-mode switch shared by the simulation subcommands."""
+    parser.add_argument("--engine", choices=("exact", "event"),
+                        default="exact",
+                        help="scheduling core: 'exact' steps every "
+                             "cycle, 'event' jumps between scheduled "
+                             "events (byte-identical results; see "
+                             "docs/performance.md)")
+
+
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     """Checkpoint/restore flags shared by ``simulate`` and ``chaos``."""
     parser.add_argument("--checkpoint-dir", default=None,
@@ -491,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--ticks", type=int, default=100)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--csv", default=None)
+    _add_engine_arg(simulate)
     _add_checkpoint_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -507,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--babblers", type=int, default=1)
     chaos.add_argument("--repeat", action="store_true",
                        help="run twice and verify identical signatures")
+    _add_engine_arg(chaos)
     _add_checkpoint_args(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -548,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append the SLO report to this JSONL file")
     service.add_argument("--repeat", action="store_true",
                          help="run twice and verify identical signatures")
+    _add_engine_arg(service)
     _add_checkpoint_args(service)
     service.set_defaults(func=_cmd_service)
 

@@ -46,6 +46,9 @@ class ChaosConfig:
     deadline_ticks: int = 64
     be_period_cycles: int = 160
     invariant_check_every: int = 500
+    #: Engine scheduling mode ("exact" or "event"); both produce
+    #: byte-identical reports — "event" just skips idle work.
+    engine: str = "exact"
 
 
 @dataclass

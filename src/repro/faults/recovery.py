@@ -112,6 +112,13 @@ class RecoveryController:
         #: fresh one (which would retry the retry).
         self._resending_tc: Optional[_TrackedMessage] = None
         self._resending_be = False
+        #: Memoized earliest ``next_check_cycle`` over all tracked
+        #: entries.  Timers only change inside :meth:`step` and the
+        #: send hooks, which set the dirty flag; the event scheduler
+        #: requeries watchers every executed cycle, so the recompute
+        #: must not be O(pending) each time.
+        self._timer_bound: Optional[int] = None
+        self._timer_dirty = True
 
         network.events.subscribe(self._on_event)
         network.tc_send_hooks.append(self._on_tc_send)
@@ -153,6 +160,7 @@ class RecoveryController:
     # -- send tracking ------------------------------------------------------
 
     def _on_tc_send(self, channel, packets, payload: bytes) -> None:
+        self._timer_dirty = True
         seqs = {p.meta.sequence for p in packets}
         slot = self.network.params.slot_cycles
         if self._resending_tc is not None:
@@ -197,6 +205,7 @@ class RecoveryController:
             self._messages.popleft()  # bounded source-side buffer
 
     def _on_be_send(self, packet) -> None:
+        self._timer_dirty = True
         meta = packet.meta
         if (meta.connection_label == BABBLE_LABEL or self._resending_be
                 or self._resending_tc is not None):
@@ -224,6 +233,8 @@ class RecoveryController:
     # -- per-cycle work -----------------------------------------------------
 
     def step(self, cycle: int) -> None:
+        # Stepping can retire entries or push their timers out.
+        self._timer_dirty = True
         self._ingest_log()
         if self._messages:
             self._check_tc(cycle)
@@ -239,17 +250,23 @@ class RecoveryController:
         pending entry this cycle, exactly as in the per-cycle loop);
         otherwise it sleeps until the earliest timeout check.  New
         deliveries only appear on cycles where a router is active, so
-        this verdict is stable across a quiescent span.
+        this verdict is stable across a quiescent span.  The timer
+        minimum is memoized: timers only change inside :meth:`step`,
+        the send hooks and :meth:`load_state`, all of which set the
+        dirty flag, so the event scheduler's per-cycle watcher requery
+        stays O(1).
         """
         if not self._messages and not self._be_packets:
             return None
         if len(self.network.log.records) > self._log_index:
             return cycle
-        bound = min(
-            entry.next_check_cycle
-            for entry in (*self._messages, *self._be_packets)
-        )
-        return max(cycle, bound)
+        if self._timer_dirty:
+            self._timer_bound = min(
+                entry.next_check_cycle
+                for entry in (*self._messages, *self._be_packets)
+            )
+            self._timer_dirty = False
+        return max(cycle, self._timer_bound)
 
     def _ingest_log(self) -> None:
         records = self.network.log.records
@@ -493,3 +510,4 @@ class RecoveryController:
         self._log_index = int(state["log_index"])
         self._resending_tc = None
         self._resending_be = False
+        self._timer_dirty = True

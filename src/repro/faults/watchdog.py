@@ -44,15 +44,29 @@ class LinkWatchdog:
         #: Links currently considered dead -> cycle of the declaration
         #: (or of the administrative announcement).
         self.dead: dict[Link, int] = {}
+        #: Bumped whenever ``dead`` changes; half of the verdict-cache
+        #: key below.
+        self._dead_version = 0
+        #: Cached scan verdict keyed on ``(monitor_miss_epoch,
+        #: dead_version)``: miss counters only *grow* through the
+        #: wiring layer (which bumps the network's epoch), so an
+        #: unchanged key means no link can have newly crossed the
+        #: threshold and the cached verdict is still safe.  Counter
+        #: *resets* (healthy transfer, repair) do not bump the epoch —
+        #: they can only turn a fire-now verdict into a spurious no-op
+        #: step, never suppress a detection.
+        self._verdict_cache: Optional[tuple[int, int, bool]] = None
         network.events.subscribe(self._on_event)
 
     def _on_event(self, event: LinkEvent) -> None:
         if event.kind == LINK_REPAIRED:
             self.dead.pop(event.link, None)
+            self._dead_version += 1
         elif event.kind == LINK_FAILED:
             # Administrative failures are already known network-wide;
             # remember them so we do not re-announce the same link.
             self.dead.setdefault(event.link, event.cycle)
+            self._dead_version += 1
 
     def step(self, cycle: int) -> None:
         for link, monitor in self.network.link_monitors.items():
@@ -60,6 +74,7 @@ class LinkWatchdog:
                 continue
             if monitor.missed_transfers >= self.miss_threshold:
                 self.dead[link] = cycle
+                self._dead_version += 1
                 self.network.fault_stats.links_detected += 1
                 self.network.events.emit(LinkEvent(
                     kind=LINK_DEAD, node=link[0], direction=link[1],
@@ -71,17 +86,26 @@ class LinkWatchdog:
 
         Miss counters only grow when a sender offers phits to a dead
         link — which requires an active router — so while the fabric is
-        quiescent the verdict below is stable: the watchdog needs a
-        step *now* if some live link has already crossed the threshold
+        quiescent the verdict is stable: the watchdog needs a step
+        *now* if some live link has already crossed the threshold
         (detection must fire on this cycle, exactly as in the per-cycle
-        loop), and otherwise has nothing scheduled.
+        loop), and otherwise has nothing scheduled.  The event
+        scheduler requeries watchers after every executed cycle, so
+        the full-scan verdict is cached behind the miss-epoch /
+        dead-set key (O(1) on the hot path).
         """
-        for link, monitor in self.network.link_monitors.items():
-            if link in self.dead:
-                continue
-            if monitor.missed_transfers >= self.miss_threshold:
-                return cycle
-        return None
+        epoch = self.network.monitor_miss_epoch[0]
+        cache = self._verdict_cache
+        if cache is not None and cache[0] == epoch \
+                and cache[1] == self._dead_version:
+            return cycle if cache[2] else None
+        fire_now = any(
+            monitor.missed_transfers >= self.miss_threshold
+            for link, monitor in self.network.link_monitors.items()
+            if link not in self.dead
+        )
+        self._verdict_cache = (epoch, self._dead_version, fire_now)
+        return cycle if fire_now else None
 
     def detach(self) -> None:
         self.network.events.unsubscribe(self._on_event)
@@ -98,3 +122,6 @@ class LinkWatchdog:
         self.dead.clear()
         for node, direction, cycle in state["dead"]:
             self.dead[(tuple(node), direction)] = cycle
+        # Resume rebuilds the monitors too: any cached verdict is stale.
+        self._dead_version += 1
+        self._verdict_cache = None

@@ -87,6 +87,7 @@ class MeshNetwork:
         torus: bool = False,
         clock_skews: Optional[dict[Node, int]] = None,
         admission: Optional[AdmissionController] = None,
+        engine: str = "exact",
     ) -> None:
         self.params = params or RouterParams()
         clock_skews = clock_skews or {}
@@ -96,7 +97,12 @@ class MeshNetwork:
         # offset-based best-effort routing stays mesh-only.
         self.mesh = Mesh(width, height, torus=torus)
         self.log = DeliveryLog(self.params.slot_cycles)
-        self.engine = SynchronousEngine()
+        self.engine = SynchronousEngine(mode=engine)
+        #: Monotone counter bumped whenever any link monitor's
+        #: ``missed_transfers`` grows; the watchdog keys its O(1)
+        #: verdict cache on it (a one-element list so the wiring
+        #: closures can bump it without attribute lookups on self).
+        self.monitor_miss_epoch = [0]
         self.routers: dict[Node, RealTimeRouter] = {}
         self.hosts: dict[Node, HostNode] = {}
         self._traces: list[ServiceTrace] = []
@@ -136,21 +142,32 @@ class MeshNetwork:
             host.network = self
             self.routers[node] = router
             self.hosts[node] = host
-            self.engine.add_component(host)
-            self.engine.add_component(router)
+            # Hosts and routers are *local* components: all of their
+            # inputs arrive through the declared wiring, their peer, or
+            # an explicit wake from the send APIs below.
+            self.engine.add_component(host, local=True)
+            self.engine.add_component(router, local=True)
+            self.engine.bind_peers(host, router)
 
         # Wire every link: a router's output signal this cycle becomes
-        # its neighbour's input signal next cycle.
+        # its neighbour's input signal next cycle.  The source/sink
+        # declarations are the event-scheduler locality contract: a
+        # router that did not step has empty link outputs, so its
+        # outgoing transfers are provable no-ops.
         for node, direction, neighbor in self.mesh.links():
             self.link_monitors[(node, direction)] = LinkMonitor()
             transfer, idle_check = self._make_link_transfer(
                 node, direction, neighbor
             )
-            self.engine.add_wiring(transfer, idle_check=idle_check)
+            self.engine.add_wiring(transfer, idle_check=idle_check,
+                                   source=self.routers[node],
+                                   sinks=(self.routers[neighbor],))
         # After every link transfer, so spoofed acknowledgements land
         # on top of (never underneath) the genuine reverse-link signal.
+        # No source: it owes acks independently of router activity.
         self.engine.add_wiring(self._apply_drain_acks,
-                               idle_check=self._drain_acks_idle)
+                               idle_check=self._drain_acks_idle,
+                               sinks=self._drain_ack_sinks)
 
         self.admission = admission or AdmissionController(self.params)
         self.manager = ChannelManager(self.routers, self.admission,
@@ -184,6 +201,7 @@ class MeshNetwork:
         #: neighbour sent on its opposite-facing output.
         served = (neighbor, into)
         monitor = self.link_monitors[link]
+        miss_epoch = self.monitor_miss_epoch
 
         def transfer() -> None:
             signal = source.link_out[direction]
@@ -191,6 +209,7 @@ class MeshNetwork:
                 # Nothing crosses a dead link; account for what died.
                 if signal.phit is not None:
                     monitor.missed_transfers += 1
+                    miss_epoch[0] += 1
                     monitor.bytes_lost += 1
                     if signal.phit.vc == "BE":
                         if link in draining:
@@ -255,6 +274,15 @@ class MeshNetwork:
             router.link_in[direction] = LinkSignal(phit=signal.phit,
                                                    ack=True)
             self._drain_acks[link] = pending - 1
+
+    def _drain_ack_sinks(self):
+        """Event-scheduler sinks of :meth:`_apply_drain_acks`.
+
+        Every router owed spoofed acks — including one whose pending
+        count just reached zero this cycle (entries persist at zero),
+        so the router that consumed the final ack is still requeried.
+        """
+        return [self.routers[node] for node, _ in self._drain_acks]
 
     def _drain_acks_idle(self) -> bool:
         """Fast-forward contract for :meth:`_apply_drain_acks`.
@@ -491,6 +519,9 @@ class MeshNetwork:
             return self._send_degraded(current, payload, cycle, now_tick)
         packets, arrival, release = current.make_message(payload, now_tick)
         self.hosts[current.source].queue_tc(packets, release)
+        # The host gained self-scheduled work from outside its own step
+        # (a controller, a recovery retransmit, another host's source).
+        self.engine.wake(self.hosts[current.source])
         if self.tracer is not None:
             for packet in packets:
                 self.tracer.emit(
@@ -577,6 +608,9 @@ class MeshNetwork:
         cycle = self.cycle if at_cycle is None else at_cycle
         packet.meta.injected_cycle = cycle
         self.routers[source].inject_be(packet)
+        # Same rationale as in send_message: the injection may come
+        # from outside the source router's own host step.
+        self.engine.wake(self.routers[source])
         if self.tracer is not None:
             self.tracer.emit(cycle, ENQUEUE, meta=packet.meta,
                              node=source, traffic_class="BE")

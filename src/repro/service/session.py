@@ -58,8 +58,17 @@ class ServiceRunConfig:
     queue_timeout_ticks: int = 64
     max_retries: int = 3
     retry_backoff_ticks: int = 4
+    #: Engine scheduling mode ("exact" or "event"); both produce
+    #: byte-identical reports — "event" just skips idle work.
+    engine: str = "exact"
 
     def validate(self) -> None:
+        from repro.network.engine import ENGINE_MODES
+
+        if self.engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine mode must be one of {ENGINE_MODES}, "
+                f"got {self.engine!r}")
         if self.width < 1 or self.height < 1:
             raise ValueError("mesh dimensions must be positive")
         if self.requests < 1:
@@ -106,7 +115,8 @@ class ServiceSession(_SessionBase):
         self.check_every = check_every
         self.workload = config.churn_workload()
         self.network = MeshNetwork(config.width, config.height,
-                                   on_memory_full="drop")
+                                   on_memory_full="drop",
+                                   engine=config.engine)
         # Churn tears channels down while packets can still be in
         # flight (overload demotion is deliberately immediate); those
         # packets must be counted and dropped, not crash the router.
@@ -132,9 +142,15 @@ class ServiceSession(_SessionBase):
     @classmethod
     def fingerprint_for(cls, config: ServiceRunConfig) -> str:
         """Pin of every input that shapes a service run's behaviour."""
+        config_dict = asdict(config)
+        # Both engine modes produce byte-identical runs, so the mode is
+        # not behaviour-shaping: dropping it keeps fingerprints of
+        # pre-existing checkpoints valid and lets a run checkpointed in
+        # one mode resume in the other.
+        config_dict.pop("engine", None)
         return fingerprint_of({
             "workload": cls.KIND,
-            "config": asdict(config),
+            "config": config_dict,
         })
 
     def fingerprint(self) -> str:

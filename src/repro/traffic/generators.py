@@ -9,11 +9,12 @@ Sources may additionally implement ``next_fire_cycle(cycle)`` — the
 engine fast-forward contract (see ``docs/performance.md``): the
 earliest cycle at or after ``cycle`` on which calling the source could
 return sends or mutate its state, or ``None`` when it will never fire
-again.  Deterministic periodic sources implement it so idle spans can
-be skipped; :class:`PoissonBestEffortSource` deliberately does *not*
-(it consumes one random draw per cycle, so skipping cycles would change
-its seeded arrival sequence) — attaching one pins its host to the
-per-cycle loop.
+again.  Deterministic periodic sources implement it directly;
+:class:`PoissonBestEffortSource` implements it with a *draw-ahead
+buffer* — it consumes its seeded per-cycle RNG stream in the original
+draw order but ahead of simulated time, so the arrival sequence is
+byte-identical to per-cycle polling while idle gaps between arrivals
+can be skipped.
 """
 
 from __future__ import annotations
@@ -162,6 +163,16 @@ class PoissonBestEffortSource:
 
     ``rate`` is the expected packets per cycle; sizes are drawn from
     ``size_choices`` (total wire bytes including the 4-byte header).
+
+    The seeded stream is conceptually one ``random()`` draw per cycle
+    (an arrival when the draw is below ``rate``, followed by a size and
+    a destination draw).  The source consumes that stream in exactly
+    that order but *ahead of time*: after each arrival it scans forward
+    to the next one and remembers it (``_pending``), so
+    ``next_fire_cycle`` can answer without touching the RNG and the
+    engine can skip the gap — the emitted packet sequence is
+    draw-for-draw identical to per-cycle polling
+    (``tests/traffic/test_generators.py`` pins this).
     """
 
     destinations: Sequence[tuple[int, int]]
@@ -171,6 +182,13 @@ class PoissonBestEffortSource:
     rng: random.Random = field(init=False)
     _sizes: tuple[int, ...] = field(init=False, repr=False)
     _dests: tuple[tuple[int, int], ...] = field(init=False, repr=False)
+    #: Next arrival as ``(cycle, size, destination)``; ``None`` until
+    #: the first scan anchors the stream.
+    _pending: Optional[tuple] = field(init=False, repr=False)
+    #: First cycle whose ``random()`` draw has not been consumed yet
+    #: (``None`` = not anchored: adopt the first cycle we are asked
+    #: about, which also re-anchors old-format checkpoints correctly).
+    _anchor: Optional[int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.rate <= 1:
@@ -183,26 +201,84 @@ class PoissonBestEffortSource:
         # list on every arrival — and keeps the hot path allocation-free.
         self._sizes = tuple(self.size_choices)
         self._dests = tuple(tuple(dest) for dest in self.destinations)
+        self._pending = None
+        self._anchor = None
+
+    def _scan(self, from_cycle: int) -> None:
+        """Draw ahead to the next arrival at or after ``from_cycle``.
+
+        Consumes one ``random()`` per simulated cycle until one lands
+        below ``rate``, then the size and destination draws — the exact
+        order per-cycle polling used, so the RNG stream is unchanged.
+        """
+        if self._anchor is None:
+            self._anchor = from_cycle
+        cycle = self._anchor
+        rng = self.rng
+        rate = self.rate
+        while True:
+            if rng.random() < rate:
+                size = rng.choice(self._sizes)
+                destination = rng.choice(self._dests)
+                self._pending = (cycle, size, destination)
+                self._anchor = cycle + 1
+                return
+            cycle += 1
 
     def __call__(self, cycle: int) -> list[Send]:
-        if self.rng.random() >= self.rate:
+        if self.rate <= 0:
+            return []  # never fires; the RNG stream stays untouched
+        if self._pending is None:
+            self._scan(cycle)
+        arrival, size, destination = self._pending
+        if cycle < arrival:
             return []
-        size = self.rng.choice(self._sizes)
+        self._pending = None
+        # Eagerly scan for the next arrival so the RNG position at any
+        # cycle boundary is identical in every engine mode (per-cycle,
+        # fast-forward, event) — checkpoints compare byte-for-byte.
+        self._scan(self._anchor)
         payload = bytes(max(0, size - 4))
-        destination = self.rng.choice(self._dests)
         return [Send(traffic_class="BE", destination=destination,
                      payload=payload)]
 
+    def next_fire_cycle(self, cycle: int) -> Optional[int]:
+        """Next arrival cycle (fast-forward contract, RNG untouched
+        beyond the pre-drawn buffer)."""
+        if self.rate <= 0:
+            return None
+        if self._pending is None:
+            self._scan(cycle)
+        return max(cycle, self._pending[0])
+
     def state(self) -> dict:
-        """Checkpoint state: the generator position within the stream."""
+        """Checkpoint state: RNG position plus the draw-ahead buffer."""
         from repro.checkpoint.codec import rng_state
 
-        return {"rng": rng_state(self.rng)}
+        return {
+            "rng": rng_state(self.rng),
+            "anchor": self._anchor,
+            "pending": (None if self._pending is None
+                        else [self._pending[0], self._pending[1],
+                              list(self._pending[2])]),
+        }
 
     def load_state(self, state: dict) -> None:
         from repro.checkpoint.codec import load_rng
 
         load_rng(self.rng, state["rng"])
+        if "anchor" in state:
+            self._anchor = state["anchor"]
+            pending = state["pending"]
+            self._pending = (None if pending is None
+                             else (int(pending[0]), int(pending[1]),
+                                   tuple(pending[2])))
+        else:
+            # Old-format checkpoint (per-cycle draws, RNG only): the
+            # next unconsumed draw belongs to the current cycle, which
+            # the deferred anchor adopts on first use.
+            self._anchor = None
+            self._pending = None
 
 
 @dataclass

@@ -1,0 +1,196 @@
+"""Event-driven scheduler vs exact engine: byte-identical simulations.
+
+The event mode steps only scheduled components and advances the clock
+directly between events — including under load, where the exact mode's
+whole-fabric quiescence gate never opens.  It must nonetheless produce
+*identical* simulations: the same delivery records, fault counters,
+metrics, traces and report signatures, on loaded, faulty and churning
+runs, and across a checkpoint/resume in either mode.
+
+``packet_id`` is excluded from record and trace comparison: it is a
+process-global allocation counter, so two runs in one process draw
+different ids for the same packets.  The ``engine.cycles_stepped`` /
+``engine.cycles_fast_forwarded`` metrics probes are excluded from the
+metrics comparison: the two modes partition advanced cycles differently
+by design (``engine.cycle`` itself must match).
+"""
+
+import dataclasses
+
+from repro import TrafficSpec
+from repro.core.ports import EAST, NORTH
+from repro.faults import (
+    ChaosConfig,
+    FaultInjector,
+    install_fault_tolerance,
+    run_chaos_soak,
+)
+from repro.faults.plan import CUT, REPAIR, FaultEvent, FaultPlan
+from repro.network.network import MeshNetwork
+from repro.service import ServiceRunConfig, run_service
+from repro.traffic.generators import (
+    BurstySource,
+    PeriodicSource,
+    PoissonBestEffortSource,
+)
+
+#: Metrics probes that legitimately differ between modes.
+MODE_DEPENDENT_METRICS = ("engine.cycles_stepped",
+                          "engine.cycles_fast_forwarded")
+
+
+def record_signature(net):
+    return [tuple(getattr(record, field.name)
+                  for field in dataclasses.fields(record)
+                  if field.name != "packet_id")
+            for record in net.log.records]
+
+
+def trace_signature(net):
+    return [{k: v for k, v in event.items() if k != "packet_id"}
+            for event in net.tracer.events()]
+
+
+def metrics_signature(net):
+    return {name: value for name, value in net.metrics.snapshot().items()
+            if name not in MODE_DEPENDENT_METRICS}
+
+
+def build_and_run(engine, *, cycles=12_000, trace=False):
+    """A loaded 4x4 run: periodic + bursty + Poisson traffic, a link
+    cut and repair, watchdog detection and recovery retransmission."""
+    net = MeshNetwork(4, 4, engine=engine)
+    slot = net.params.slot_cycles
+
+    c0 = net.establish_channel((0, 0), (3, 3), TrafficSpec(i_min=64),
+                               deadline=24, label="ev-c0")
+    net.attach_source((0, 0), PeriodicSource(c0, period=64,
+                                             slot_cycles=slot))
+    c1 = net.establish_channel((3, 0), (0, 3), TrafficSpec(i_min=96),
+                               deadline=24, label="ev-c1")
+    net.attach_source((3, 0), BurstySource(c1, period=96, burst=2,
+                                           slot_cycles=slot))
+    # The load: a high-rate Poisson stream keeps part of the mesh busy
+    # on most cycles, so the exact mode's all-quiescent jump gate stays
+    # shut while the event scheduler still skips the idle corners.
+    net.attach_source((1, 1), PoissonBestEffortSource(
+        destinations=[(2, 2), (3, 1)], rate=0.02, seed=99))
+
+    if trace:
+        net.enable_tracing(capacity=1 << 16)
+
+    tolerance = install_fault_tolerance(net)
+    plan = FaultPlan(events=[
+        FaultEvent(cycle=3_000, kind=CUT, node=(1, 0), direction=EAST),
+        FaultEvent(cycle=6_500, kind=REPAIR, node=(1, 0),
+                   direction=EAST),
+        FaultEvent(cycle=8_000, kind=CUT, node=(2, 2), direction=NORTH),
+    ])
+    injector = FaultInjector(net, plan)
+    net.engine.add_component(injector)
+
+    net.run(cycles)
+    return net, tolerance, injector
+
+
+class TestEventEngineEquivalence:
+    def test_loaded_faulty_run_identical(self):
+        exact, exact_tol, exact_inj = build_and_run("exact", trace=True)
+        event, event_tol, event_inj = build_and_run("event", trace=True)
+
+        # The scheduler actually skipped work under load...
+        assert event.engine.cycles_fast_forwarded > 0
+        assert (event.engine.cycles_stepped
+                + event.engine.cycles_fast_forwarded == 12_000)
+        # ...and everything observable matches.
+        assert exact.engine.cycle == event.engine.cycle == 12_000
+        assert record_signature(exact) == record_signature(event)
+        assert len(record_signature(event)) > 0
+        assert exact.fault_stats == event.fault_stats
+        assert metrics_signature(exact) == metrics_signature(event)
+        assert trace_signature(exact) == trace_signature(event)
+        assert len(event.tracer) > 0
+        assert exact_inj.fired == event_inj.fired
+        assert (exact_tol.watchdog.dead.keys()
+                == event_tol.watchdog.dead.keys())
+        assert (exact_tol.controller.pending_retransmits
+                == event_tol.controller.pending_retransmits)
+        for node in exact.routers:
+            er, vr = exact.routers[node], event.routers[node]
+            assert (er.tc_received, er.tc_transmitted, er.tc_dropped,
+                    er.be_worms_routed) \
+                == (vr.tc_received, vr.tc_transmitted, vr.tc_dropped,
+                    vr.be_worms_routed)
+
+    def test_chaos_report_signature_identical(self):
+        config = dict(seed=77, cycles=4_000, settle_cycles=2_000,
+                      cuts=2, flaps=1, corruptions=1, drops=1,
+                      babblers=1)
+        exact = run_chaos_soak(ChaosConfig(**config))
+        event = run_chaos_soak(ChaosConfig(**config, engine="event"))
+        assert exact.signature() == event.signature()
+        assert exact.counters == event.counters
+        assert exact.faults_fired == event.faults_fired > 0
+        assert exact.tc_delivered == event.tc_delivered > 0
+
+    def test_churn_slo_signature_identical(self):
+        exact = run_service(ServiceRunConfig(requests=60))
+        event = run_service(ServiceRunConfig(requests=60,
+                                             engine="event"))
+        assert exact.signature() == event.signature()
+        assert exact.cycles == event.cycles
+        assert exact.tc_delivered_total == event.tc_delivered_total > 0
+
+
+class TestEventModeCheckpointResume:
+    """The scheduler queue is transient: a checkpoint written mid-run
+    carries no queue state, and resume re-seeds it from component
+    state — in the same mode or across modes."""
+
+    CONFIG = dict(seed=55, cycles=3_000, settle_cycles=1_500,
+                  cuts=2, flaps=1, corruptions=1, drops=1, babblers=1)
+
+    def _mid_run_checkpoint(self, store_dir, engine):
+        from repro.checkpoint import ChaosSession, CheckpointStore
+
+        config = ChaosConfig(**self.CONFIG, engine=engine)
+        session = ChaosSession(config)
+        store = CheckpointStore(store_dir, "chaos",
+                                session.fingerprint())
+        report = session.run(store=store, interval=500)
+        # A genuinely mid-run crash point: strictly inside the run.
+        paths = {int(p.name.split("-")[1]): p
+                 for p in store.directory.glob("ckpt-*.json")}
+        mid = sorted(c for c in paths if 0 < c < report.cycles)
+        assert mid, "no mid-run checkpoint was written"
+        return store, paths[mid[len(mid) // 2]], report
+
+    def _resume(self, store, path, engine):
+        from repro.checkpoint import ChaosSession
+
+        config = ChaosConfig(**self.CONFIG, engine=engine)
+        document = store.load(path)
+        session = ChaosSession.restore(config, document["state"])
+        return session.run()
+
+    def test_event_resume_matches_uninterrupted(self, tmp_path):
+        reference = run_chaos_soak(ChaosConfig(**self.CONFIG))
+        store, mid, event_report = self._mid_run_checkpoint(
+            tmp_path / "event", "event")
+        assert event_report.signature() == reference.signature()
+        resumed = self._resume(store, mid, "event")
+        assert resumed.signature() == reference.signature()
+
+    def test_cross_mode_resume(self, tmp_path):
+        # A checkpoint written by the exact engine resumes under the
+        # event scheduler (and vice versa) with identical outcomes:
+        # the fingerprint deliberately excludes the mode.
+        reference = run_chaos_soak(ChaosConfig(**self.CONFIG))
+        store, mid, _ = self._mid_run_checkpoint(
+            tmp_path / "exact", "exact")
+        resumed_event = self._resume(store, mid, "event")
+        assert resumed_event.signature() == reference.signature()
+        store2, mid2, _ = self._mid_run_checkpoint(
+            tmp_path / "event2", "event")
+        resumed_exact = self._resume(store2, mid2, "exact")
+        assert resumed_exact.signature() == reference.signature()

@@ -104,12 +104,17 @@ class TestFastForwardEquivalence:
                 == (fr.tc_received, fr.tc_transmitted, fr.tc_dropped,
                     fr.be_worms_routed)
 
-    def test_poisson_source_pins_per_cycle_loop(self):
-        """A per-cycle-RNG source opts out of ``next_fire_cycle``; its
-        host reports activity every cycle, so the engine never skips —
-        preserving the seeded arrival sequence exactly."""
+    def test_poisson_source_fast_forwards_with_identical_stream(self):
+        """The Poisson source pre-draws its next arrival from the same
+        seeded stream, so ``next_fire_cycle`` lets the engine skip the
+        gaps between arrivals while the emitted packet sequence stays
+        draw-for-draw identical to per-cycle polling."""
         legacy, *_ = build_and_run(False, cycles=4_000, poisson=True)
         fast, *_ = build_and_run(True, cycles=4_000, poisson=True)
 
-        assert fast.engine.cycles_fast_forwarded == 0
+        assert fast.engine.cycles_fast_forwarded > 0
         assert record_signature(legacy) == record_signature(fast)
+        # Best-effort arrivals actually happened — the equivalence
+        # above is not vacuous.
+        assert any(record.traffic_class == "BE"
+                   for record in fast.log.records)
