@@ -1,0 +1,80 @@
+"""Sharded execution scaling: multi-process speedup at equal results.
+
+Not a paper result — infrastructure numbers for the shard layer
+(see ``docs/sharding.md``).  One seeded chaos soak on an 8x8 mesh is
+run single-process and again partitioned across 4 shard workers.
+Gates:
+
+* the sharded soak must produce the bit-identical report signature
+  (partitioning must not change results);
+* on hosts with >= 4 cores, the 4-shard run must be at least 2x
+  faster than the single-process run.  Hosts with fewer cores record
+  the measured ratio in the artefact but skip the speedup gate — the
+  lock-stepped one-cycle windows have nothing to overlap with there,
+  so the honest single-core number is a slowdown, not a speedup.
+"""
+
+import dataclasses
+import multiprocessing
+import time
+
+from conftest import fmt_table
+
+from repro.faults import ChaosConfig, run_chaos_soak
+
+#: A mesh large enough that each of 4 column strips carries real work.
+CONFIG = ChaosConfig(
+    seed=7, width=8, height=8, cycles=4_000, settle_cycles=2_000,
+    cuts=2, flaps=1, corruptions=1, drops=1, babblers=1,
+    unicast_channels=8, engine="event",
+)
+
+SHARDS = 4
+SPEEDUP_FLOOR = 2.0
+CORES_NEEDED = 4
+
+
+def timed_soak(shards):
+    config = dataclasses.replace(CONFIG, shards=shards)
+    started = time.monotonic()
+    report = run_chaos_soak(config)
+    return report, time.monotonic() - started
+
+
+def test_shard_scaling(report):
+    cores = multiprocessing.cpu_count()
+
+    single, single_s = timed_soak(1)
+    sharded, sharded_s = timed_soak(SHARDS)
+
+    speedup = single_s / sharded_s if sharded_s else float("inf")
+    gated = cores >= CORES_NEEDED
+
+    rows = [
+        ["single process", f"{single_s:.2f}",
+         single.signature()[:16]],
+        [f"{SHARDS} shards", f"{sharded_s:.2f}",
+         sharded.signature()[:16]],
+    ]
+    lines = fmt_table(["configuration", "seconds", "signature"], rows)
+    lines += [
+        "",
+        f"mesh:             {CONFIG.width}x{CONFIG.height}, "
+        f"{CONFIG.cycles} cycles",
+        f"cpu cores:        {cores}",
+        f"shard speedup:    {speedup:.2f}x "
+        + (f"(gate: >= {SPEEDUP_FLOOR}x)" if gated
+           else f"(gate skipped: needs >= {CORES_NEEDED} cores)"),
+        f"signatures match: "
+        f"{single.signature() == sharded.signature()}",
+    ]
+    report("shard_scaling", lines)
+
+    # Partitioning must not change a single byte of the outcome.
+    assert sharded.signature() == single.signature()
+    assert sharded.counters == single.counters
+    assert single.tc_delivered > 0
+    if gated:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{SHARDS}-shard speedup {speedup:.2f}x below "
+            f"{SPEEDUP_FLOOR}x on a {cores}-core host")

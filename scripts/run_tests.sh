@@ -9,6 +9,7 @@
 #   scripts/run_tests.sh campaign       # campaign runner/cache/determinism suite
 #   scripts/run_tests.sh checkpoint     # checkpoint/restore suites + overhead gate
 #   scripts/run_tests.sh service        # control-plane service suites + churn gate
+#   scripts/run_tests.sh shard          # sharded-execution equivalence + scaling gate
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
@@ -27,6 +28,13 @@
 # hysteresis, SLO determinism across fresh/resumed/spawned runs, the
 # saturation acceptance test — plus the churn benchmark gate (>=1000
 # setup requests with control-plane overhead <=10% of wall-clock).
+# The shard job runs the multi-process partitioning suites —
+# byte-identical equivalence against single-process execution on
+# loaded/chaos/churn runs, coordinated checkpoints, cross-shard-count
+# resume, the SIGKILL-one-worker recovery drill — plus the shard
+# scaling benchmark (bit-identical signature gate always; the >=2x
+# 4-shard speedup gate only on hosts with >=4 cores; artefact written
+# to benchmarks/results/shard_scaling.txt).
 # The event job runs the event-scheduler suites — byte-identical
 # equivalence against the exact engine on loaded/chaos/churn runs
 # (including cross-mode checkpoint resume), the next_event_cycle
@@ -101,6 +109,16 @@ run_event() {
         "benchmarks/bench_sim_performance.py::test_event_engine_loaded_churn_speedup"
 }
 
+run_shard() {
+    echo "== shard: multi-process equivalence suites + scaling gate =="
+    python -m pytest -q \
+        tests/integration/test_shard_equivalence.py \
+        tests/integration/test_next_event_contract.py \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        benchmarks/bench_shard_scaling.py
+}
+
 run_service() {
     echo "== service: churn, overload, SLO determinism + churn gate =="
     python -m pytest -q \
@@ -119,8 +137,9 @@ case "$job" in
     campaign) run_campaign ;;
     checkpoint) run_checkpoint ;;
     service) run_service ;;
+    shard) run_shard ;;
     event) run_event ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_event ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|event|all)" >&2
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_shard; run_event ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|shard|event|all)" >&2
            exit 2 ;;
 esac

@@ -65,7 +65,7 @@ def workload_for(config: RunConfig) -> Callable[[RunConfig], dict]:
 def build_random_workload(width: int, height: int, channels: int,
                           seed: int,
                           rejects: Optional[dict] = None, *,
-                          engine: str = "exact"):
+                          engine: str = "exact", shard_world=None):
     """Admit a seeded random channel set on a fresh mesh.
 
     Returns ``(net, admitted)`` where ``admitted`` pairs each channel
@@ -80,6 +80,10 @@ def build_random_workload(width: int, height: int, channels: int,
 
     rng = random.Random(derive_seed(seed, "admit"))
     net = build_mesh_network(width, height, engine=engine)
+    if shard_world is not None:
+        from repro.shard import install_shard_runtime
+
+        install_shard_runtime(net, shard_world)
     nodes = list(net.mesh.nodes())
     admitted = []
     for _ in range(channels):
@@ -141,7 +145,17 @@ def run_random(config: RunConfig) -> dict:
             config.width, config.height, config.channels, config.ticks,
             config.seed))
     rejects: dict = {}
-    if store is None:
+    if config.shards > 1:
+        from repro.shard import run_random_sharded
+
+        session = run_random_sharded(
+            config.width, config.height, config.channels,
+            config.ticks, config.seed, shards=config.shards,
+            store=store, interval=interval)
+        net = session.network
+        admitted = session.admitted
+        rejects = session.admission_rejects
+    elif store is None:
         net, admitted = build_random_workload(
             config.width, config.height, config.channels, config.seed,
             rejects, engine=config.engine)
@@ -189,11 +203,16 @@ def run_chaos(config: RunConfig) -> dict:
         cuts=config.cuts, flaps=config.flaps,
         corruptions=config.corruptions, drops=config.drops,
         babblers=config.babblers, unicast_channels=config.channels,
-        engine=config.engine,
+        engine=config.engine, shards=config.shards,
     )
     store, interval = _run_store_for(
         config, "chaos", ChaosSession.fingerprint_for(chaos_config))
-    if store is None:
+    if chaos_config.shards > 1:
+        # run_chaos_soak dispatches to the shard coordinator, which
+        # resumes from the store's latest coordinated checkpoint.
+        report = run_chaos_soak(chaos_config, store=store,
+                                interval=interval)
+    elif store is None:
         report = run_chaos_soak(chaos_config)
     else:
         session = open_chaos_session(chaos_config, store)
@@ -247,12 +266,17 @@ def run_churn(config: RunConfig) -> dict:
         util_threshold_pct=config.util_threshold_pct,
         buffer_watermark_pct=config.buffer_watermark_pct,
         queue_limit=config.queue_limit,
-        engine=config.engine,
+        engine=config.engine, shards=config.shards,
     )
     store, interval = _run_store_for(
         config, "service",
         ServiceSession.fingerprint_for(service_config))
-    if store is None:
+    if service_config.shards > 1:
+        # run_service dispatches to the shard coordinator, which
+        # resumes from the store's latest coordinated checkpoint.
+        report = run_service(service_config, store=store,
+                             interval=interval)
+    elif store is None:
         report = run_service(service_config)
     else:
         session = open_service_session(service_config, store)

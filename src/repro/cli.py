@@ -195,6 +195,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         RandomWorkloadSession.fingerprint_for(
             args.width, args.height, args.channels, args.ticks,
             args.seed))
+    if args.shards > 1:
+        if args.resume_from:
+            print("error: --resume-from is not supported with "
+                  "--shards; sharded runs resume from the store's "
+                  "latest coordinated checkpoint automatically",
+                  file=sys.stderr)
+            return 2
+        from repro.shard import run_random_sharded
+
+        session = run_random_sharded(
+            args.width, args.height, args.channels, args.ticks,
+            args.seed, shards=args.shards, check_every=check_every,
+            store=store, interval=args.checkpoint_interval)
+        net = session.network
+        print(f"admitted {len(session.admitted)} of {args.channels} "
+              f"channels ({args.shards} shards)")
+        for failure in session.invariant_failures:
+            print(f"INVARIANT VIOLATION: {failure}")
+        tc = net.log.latency_summary("TC")
+        be = net.log.latency_summary("BE")
+        print("\n".join(format_kv([
+            ("time-constrained delivered", tc.count),
+            ("deadline misses", net.log.deadline_misses),
+            ("TC mean latency (cycles)", f"{tc.mean:.0f}"),
+            ("best-effort delivered", be.count),
+            ("BE mean latency (cycles)", f"{be.mean:.0f}"),
+        ])))
+        if args.csv:
+            from repro.reporting import write_log_csv
+            path = write_log_csv(args.csv, net.log)
+            print(f"wrote {path}")
+        if session.invariant_failures:
+            return 1
+        return 0 if net.log.deadline_misses == 0 else 1
     if args.resume_from:
         document = store.load(args.resume_from)
         session = RandomWorkloadSession.restore(
@@ -276,9 +310,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         cycles=args.cycles, cuts=args.cuts, flaps=args.flaps,
         corruptions=args.corruptions, drops=args.drops,
         babblers=args.babblers, engine=args.engine,
+        shards=args.shards,
     )
+    if args.shards > 1 and args.resume_from:
+        print("error: --resume-from is not supported with --shards; "
+              "sharded runs resume from the store's latest coordinated "
+              "checkpoint automatically", file=sys.stderr)
+        return 2
     try:
-        if args.resume_from or args.checkpoint_dir:
+        if args.shards > 1:
+            from repro.checkpoint import ChaosSession
+
+            store = _checkpoint_store(
+                args, "chaos", ChaosSession.fingerprint_for(config))
+            report = run_chaos_soak(config,
+                                    check_every=args.check_invariants,
+                                    store=store,
+                                    interval=args.checkpoint_interval)
+        elif args.resume_from or args.checkpoint_dir:
             from repro.checkpoint import ChaosSession
 
             store = _checkpoint_store(
@@ -345,10 +394,22 @@ def _cmd_service(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff_ticks=args.retry_backoff,
         engine=args.engine,
+        shards=args.shards,
     )
     config.validate()
     check_every = args.check_invariants or 0
-    if args.resume_from or args.checkpoint_dir:
+    if args.shards > 1 and args.resume_from:
+        print("error: --resume-from is not supported with --shards; "
+              "sharded runs resume from the store's latest coordinated "
+              "checkpoint automatically", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        store = _checkpoint_store(
+            args, "service", ServiceSession.fingerprint_for(config))
+        report = run_service(config, check_every=check_every,
+                             store=store,
+                             interval=args.checkpoint_interval)
+    elif args.resume_from or args.checkpoint_dir:
         store = _checkpoint_store(
             args, "service", ServiceSession.fingerprint_for(config))
         if args.resume_from:
@@ -457,6 +518,15 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
                              "docs/performance.md)")
 
 
+def _add_shards_arg(parser: argparse.ArgumentParser) -> None:
+    """Shard-count switch shared by the simulation subcommands."""
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition the mesh across N worker "
+                             "processes (byte-identical results; "
+                             "implies --engine event; see "
+                             "docs/sharding.md)")
+
+
 def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     """Checkpoint/restore flags shared by ``simulate`` and ``chaos``."""
     parser.add_argument("--checkpoint-dir", default=None,
@@ -504,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--csv", default=None)
     _add_engine_arg(simulate)
+    _add_shards_arg(simulate)
     _add_checkpoint_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -521,6 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--repeat", action="store_true",
                        help="run twice and verify identical signatures")
     _add_engine_arg(chaos)
+    _add_shards_arg(chaos)
     _add_checkpoint_args(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -563,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--repeat", action="store_true",
                          help="run twice and verify identical signatures")
     _add_engine_arg(service)
+    _add_shards_arg(service)
     _add_checkpoint_args(service)
     service.set_defaults(func=_cmd_service)
 

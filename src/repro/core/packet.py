@@ -160,11 +160,15 @@ class TimeConstrainedPacket:
                 f"time-constrained packet must be {params.tc_packet_bytes} "
                 f"bytes, got {len(data)}"
             )
-        packet = cls(connection_id=data[0], header_deadline=data[1],
-                     payload=bytes(data[TC_HEADER_BYTES:]))
-        if meta is not None:
-            packet.meta = meta
-        return packet
+        # Reuse the carried meta directly: constructing with the default
+        # factory would burn a packet id from the process-global counter
+        # on every reassembly, which only the router's owner performs in
+        # sharded runs — the wasted draw would desynchronise id streams
+        # across shard workers.
+        if meta is None:
+            meta = PacketMeta()
+        return cls(connection_id=data[0], header_deadline=data[1],
+                   payload=bytes(data[TC_HEADER_BYTES:]), meta=meta)
 
 
 @dataclass
@@ -211,14 +215,16 @@ class BestEffortPacket:
         length = (data[2] << 8) | data[3]
         if len(data) != BE_HEADER_BYTES + length:
             raise ValueError("best-effort length field does not match data")
-        packet = cls(
+        # See TimeConstrainedPacket.from_bytes: construct with the
+        # carried meta so reassembly never draws a wasted packet id.
+        if meta is None:
+            meta = PacketMeta()
+        return cls(
             x_offset=_unsigned_to_signed(data[0]),
             y_offset=_unsigned_to_signed(data[1]),
             payload=bytes(data[BE_HEADER_BYTES:]),
+            meta=meta,
         )
-        if meta is not None:
-            packet.meta = meta
-        return packet
 
     def with_offsets(self, x_offset: int, y_offset: int) -> "BestEffortPacket":
         """Copy of this packet with rewritten routing offsets."""

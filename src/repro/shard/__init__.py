@@ -1,0 +1,44 @@
+"""Sharded execution: partition one mesh simulation across processes.
+
+See ``docs/sharding.md``.  The mesh is cut into contiguous column
+strips (:class:`ShardPlan`); each worker steps only its strip's
+routers while all replicated control software runs everywhere, and two
+per-cycle barriers over pre-forked pipes keep every worker's view of
+the world byte-identical to the single-process simulation.
+"""
+
+from repro.shard.coordinator import (
+    ShardRunFailed,
+    coordinate,
+    run_chaos_sharded,
+    run_random_sharded,
+    run_service_sharded,
+)
+from repro.shard.partition import ShardPlan
+from repro.shard.runtime import (
+    ShardPartStore,
+    ShardRuntime,
+    install_shard_runtime,
+)
+from repro.shard.transport import (
+    ShardLinks,
+    ShardPeerLost,
+    ShardTransport,
+    ShardWorld,
+)
+
+__all__ = [
+    "ShardLinks",
+    "ShardPartStore",
+    "ShardPeerLost",
+    "ShardPlan",
+    "ShardRunFailed",
+    "ShardRuntime",
+    "ShardTransport",
+    "ShardWorld",
+    "coordinate",
+    "install_shard_runtime",
+    "run_chaos_sharded",
+    "run_random_sharded",
+    "run_service_sharded",
+]

@@ -1,0 +1,253 @@
+"""Worker lifecycle for sharded runs: fork, coordinate, retry.
+
+The coordinating process builds the all-pairs pipe mesh, forks one
+child per non-zero rank, and then *becomes* worker 0 itself — so the
+caller gets rank 0's fully-synced result back in-process, with no
+result pickling.  Children inherit the closed-over run inputs (config,
+plan, store) through the fork; nothing is ever serialised between
+processes except the per-cycle barrier payloads.
+
+Failure handling reuses the checkpoint/resume machinery: if any peer
+dies mid-window (:class:`~repro.shard.transport.ShardPeerLost`), the
+coordinator kills the remaining children and retries the whole run.
+With a checkpoint store attached, each attempt resumes from the last
+*coordinated* checkpoint — rank 0 resolves ``store.latest()`` and
+broadcasts the decision before any worker constructs its session, so
+every worker restores the same document.  Without a store, a retry
+simply replays from the start (the run is deterministic either way).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Callable, Optional
+
+from repro.shard.transport import (
+    ShardLinks,
+    ShardPeerLost,
+    ShardTransport,
+    ShardWorld,
+)
+
+#: Child exit code for "a peer died" (expected during recovery drills).
+PEER_LOST_EXIT = 17
+
+
+class ShardRunFailed(RuntimeError):
+    """A sharded run could not be completed (retries exhausted, or a
+    worker failed for a reason recovery cannot paper over)."""
+
+
+def _child_main(links: ShardLinks, rank: int, size: int,
+                worker_fn: Callable) -> None:
+    links.prune_to(rank)
+    world = ShardWorld(rank, size, links.endpoint(rank))
+    try:
+        worker_fn(world)
+    except ShardPeerLost as exc:
+        print(f"shard worker {rank}: {exc}", file=sys.stderr)
+        sys.exit(PEER_LOST_EXIT)
+    finally:
+        world.transport.close()
+
+
+def coordinate(shards: int, worker_fn: Callable, *,
+               max_attempts: int = 3, ctx=None):
+    """Run ``worker_fn(world)`` across ``shards`` workers; return rank
+    0's result.
+
+    ``worker_fn`` must be fork-safe and *deterministic given its
+    closure plus the world*: every worker executes it with identical
+    inputs, differing only in ``world.rank``.  With ``shards == 1`` it
+    runs inline with an empty transport (no processes, no pipes).
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be positive")
+    if shards == 1:
+        return worker_fn(ShardWorld(0, 1, ShardTransport(0, 1, {})))
+    if ctx is None:
+        ctx = multiprocessing.get_context("fork")
+
+    last_loss: Optional[ShardPeerLost] = None
+    for __ in range(max_attempts):
+        links = ShardLinks(shards, ctx)
+        children = [
+            ctx.Process(target=_child_main,
+                        args=(links, rank, shards, worker_fn),
+                        daemon=True)
+            for rank in range(1, shards)
+        ]
+        for child in children:
+            child.start()
+        links.prune_to(0)
+        world = ShardWorld(0, shards, links.endpoint(0))
+        try:
+            result = worker_fn(world)
+        except ShardPeerLost as exc:
+            last_loss = exc
+            for child in children:
+                child.terminate()
+            for child in children:
+                child.join(30)
+            world.transport.close()
+            continue
+        world.transport.close()
+        failed = []
+        for child in children:
+            child.join(60)
+            if child.exitcode != 0:
+                failed.append((child.pid, child.exitcode))
+        if failed:
+            raise ShardRunFailed(
+                f"worker(s) exited non-zero after rank 0 finished: "
+                f"{failed}")
+        return result
+    raise ShardRunFailed(
+        f"sharded run failed after {max_attempts} attempts "
+        f"(last lost peer: {last_loss.peer if last_loss else '?'})"
+    ) from last_loss
+
+
+# ---------------------------------------------------------------------------
+# Session entry points (chaos soak, random workload, service churn)
+# ---------------------------------------------------------------------------
+
+def _resume_path(world: ShardWorld, store) -> Optional[str]:
+    """Rank 0 resolves the resume checkpoint; everyone agrees on it."""
+    path = None
+    if world.rank == 0:
+        latest = store.latest()
+        path = None if latest is None else str(latest)
+    if world.size > 1:
+        path = world.transport.broadcast_from(0, path)
+    return path
+
+
+def _worker_store(world: ShardWorld, store):
+    """Rank 0 keeps the real (full-state) store; other workers write
+    per-shard slice documents beside it."""
+    if store is None or world.rank == 0:
+        return store
+    from repro.shard.runtime import ShardPartStore
+
+    return ShardPartStore(store.directory, world.rank, store.fingerprint)
+
+
+def run_chaos_sharded(config, plan=None, *, shards: Optional[int] = None,
+                      check_every: Optional[int] = None,
+                      store=None, interval: Optional[int] = None,
+                      max_attempts: int = 3):
+    """The sharded counterpart of :func:`repro.faults.run_chaos_soak`.
+
+    Byte-identical to the single-process run: same report signature,
+    counters, records and trace.  Resumes from ``store``'s latest
+    checkpoint when one exists (which is also how a killed worker is
+    recovered mid-run).
+    """
+    import dataclasses
+
+    from repro.checkpoint.sessions import (
+        DEFAULT_CHECKPOINT_INTERVAL,
+        ChaosSession,
+        default_chaos_plan,
+    )
+
+    if shards is None:
+        shards = getattr(config, "shards", 1)
+    if config.engine != "event":
+        config = dataclasses.replace(config, engine="event")
+    if plan is None:
+        plan = default_chaos_plan(config)
+    if interval is None:
+        interval = DEFAULT_CHECKPOINT_INTERVAL
+
+    def worker(world: ShardWorld):
+        shard_world = world if world.size > 1 else None
+        path = None if store is None else _resume_path(world, store)
+        if path is None:
+            session = ChaosSession(config, plan=plan,
+                                   check_every=check_every,
+                                   shard_world=shard_world)
+        else:
+            document = store.load(path)
+            session = ChaosSession.restore(
+                config, document["state"], plan=plan,
+                check_every=check_every, shard_world=shard_world)
+        return session.run(store=_worker_store(world, store),
+                           interval=interval)
+
+    return coordinate(shards, worker, max_attempts=max_attempts)
+
+
+def run_random_sharded(width: int, height: int, channels: int,
+                       ticks: int, seed: int, *, shards: int,
+                       check_every: int = 0, store=None,
+                       interval: Optional[int] = None,
+                       max_attempts: int = 3):
+    """Run the random admitted workload sharded; returns rank 0's
+    finished :class:`~repro.checkpoint.sessions.RandomWorkloadSession`
+    (its network carries the full synced final state)."""
+    from repro.checkpoint.sessions import (
+        DEFAULT_CHECKPOINT_INTERVAL,
+        RandomWorkloadSession,
+    )
+
+    if interval is None:
+        interval = DEFAULT_CHECKPOINT_INTERVAL
+
+    def worker(world: ShardWorld):
+        shard_world = world if world.size > 1 else None
+        path = None if store is None else _resume_path(world, store)
+        if path is None:
+            session = RandomWorkloadSession(
+                width, height, channels, ticks, seed,
+                check_every=check_every, engine="event",
+                shard_world=shard_world)
+        else:
+            document = store.load(path)
+            session = RandomWorkloadSession.restore(
+                width, height, channels, ticks, seed,
+                document["state"], check_every=check_every,
+                engine="event", shard_world=shard_world)
+        session.run(store=_worker_store(world, store), interval=interval)
+        return session
+
+    return coordinate(shards, worker, max_attempts=max_attempts)
+
+
+def run_service_sharded(config, *, shards: Optional[int] = None,
+                        check_every: int = 0, store=None,
+                        interval: Optional[int] = None,
+                        max_attempts: int = 3):
+    """The sharded counterpart of :func:`repro.service.run_service`;
+    returns the identical :class:`~repro.service.slo.SLOReport`."""
+    import dataclasses
+
+    from repro.checkpoint.sessions import DEFAULT_CHECKPOINT_INTERVAL
+    from repro.service.session import ServiceSession
+
+    if shards is None:
+        shards = getattr(config, "shards", 1)
+    if config.engine != "event":
+        config = dataclasses.replace(config, engine="event")
+    if interval is None:
+        interval = DEFAULT_CHECKPOINT_INTERVAL
+
+    def worker(world: ShardWorld):
+        shard_world = world if world.size > 1 else None
+        path = None if store is None else _resume_path(world, store)
+        if path is None:
+            session = ServiceSession(config, check_every=check_every,
+                                     shard_world=shard_world)
+        else:
+            document = store.load(path)
+            session = ServiceSession.restore(
+                config, document["state"], check_every=check_every,
+                shard_world=shard_world)
+        return session.run(store=_worker_store(world, store),
+                           interval=interval)
+
+    return coordinate(shards, worker, max_attempts=max_attempts)

@@ -1,0 +1,71 @@
+"""Partitioning a mesh into per-process shards along column cuts.
+
+Every link in the fabric has a deterministic one-cycle latency (a
+router's output signal this cycle becomes its neighbour's input signal
+next cycle), which is exactly the lookahead a conservative parallel
+discrete-event window needs: no worker can observe a neighbouring
+worker's cycle-``c`` output before cycle ``c + 1``, so exchanging
+boundary signals once per executed cycle is sufficient for
+byte-identical simulation.  The partition is therefore purely a
+question of *ownership*: which worker steps which routers, and which
+links cross a cut.
+
+Shards are contiguous column strips (near-equal widths, remainder
+spread over the leftmost strips).  Column strips keep the cut surface
+minimal for the row-major meshes the campaigns sweep, and make
+ownership a one-array lookup on ``x``.  On a torus the wrap links
+between the first and last strip are boundary links too.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Mesh
+
+Node = tuple[int, int]
+Link = tuple[Node, int]
+
+
+class ShardPlan:
+    """Ownership map of one mesh across ``shards`` workers."""
+
+    def __init__(self, mesh: Mesh, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("shard count must be positive")
+        if shards > mesh.width:
+            raise ValueError(
+                f"cannot cut a {mesh.width}-column mesh into {shards} "
+                "column strips"
+            )
+        self.mesh = mesh
+        self.shards = shards
+        base, extra = divmod(mesh.width, shards)
+        self._strip_of_column: list[int] = []
+        for strip in range(shards):
+            width = base + (1 if strip < extra else 0)
+            self._strip_of_column.extend([strip] * width)
+        #: sink node of every directed link (incl. torus wrap links).
+        self.sink_of: dict[Link, Node] = {
+            (node, direction): neighbor
+            for node, direction, neighbor in mesh.links()
+        }
+        #: directed links whose source and sink live on different
+        #: workers — the cut surface the runtime exchanges each cycle.
+        self.boundary_links: frozenset[Link] = frozenset(
+            (node, direction)
+            for (node, direction), neighbor in self.sink_of.items()
+            if self.owner(node) != self.owner(neighbor)
+        )
+
+    def owner(self, node: Node) -> int:
+        """The worker rank that steps ``node``'s router."""
+        return self._strip_of_column[node[0]]
+
+    def owned_nodes(self, rank: int) -> list[Node]:
+        """The nodes whose routers ``rank`` steps, in mesh order."""
+        return [node for node in self.mesh.nodes()
+                if self.owner(node) == rank]
+
+    def boundary_out(self, rank: int) -> frozenset[Link]:
+        """Boundary links whose *source* router ``rank`` owns."""
+        return frozenset(link for link in self.boundary_links
+                         if self.owner(link[0]) == rank)

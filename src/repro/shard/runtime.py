@@ -1,0 +1,589 @@
+"""Sharded execution of one mesh: SPMD replication + boundary barriers.
+
+Every worker deterministically constructs the *entire* session —
+network, channels, workloads, fault plan, watchers — so all control
+software (hosts, channel managers, recovery controllers, watchdogs,
+fault injectors, admission, RNG streams, packet-id counters) runs
+replicated and stays byte-identical everywhere for free.  Only the
+*routers* are partitioned: each worker steps the routers of its
+:class:`~repro.shard.partition.ShardPlan` strip and marks the rest
+inert (`SynchronousEngine.set_inert`), so the expensive per-cycle
+data-path work is divided while the cheap replicated control flow
+keeps every worker's view of "the rest of the world" exact.
+
+Two barriers per executed cycle keep the replicas converged:
+
+* **Barrier A** — an engine component registered immediately after the
+  network (so it fires after every host/router, before any watcher):
+  all-exchanges the cycle's delivery-log appends.  Each worker replays
+  the foreign deliveries through the real ``DeliveryLog.add`` (dummy
+  packet carrying the shipped meta — explicit ids, so the replicated
+  packet-id counter is untouched) and re-sorts the cycle's record tail
+  into host-registration order, the order a single process would have
+  appended in.  Watchers stepping later in the same cycle therefore
+  read the exact single-process log.
+
+* **Barrier B** — the engine's ``post_wiring_hook``: exchanges
+  boundary link writes (to the sink's owner only — third-party
+  replicas stay untouched so their routers remain provably idle), link
+  monitor values, the monitor-miss epoch delta, spoofed drain-ack
+  bookkeeping, and the cycle's router-origin trace events; then
+  applies the owed drain acks for *owned* links (the single-process
+  source-less wiring, owned-filtered, moved after the boundary writes
+  so its genuine-ack guard sees the converged inputs).
+
+The lock-step window is one executed cycle — the minimum cut-link
+latency, every link being one cycle — and workers advance
+*independently between* executed cycles: the coordinated run loop
+min-reduces each worker's local event horizon and jumps the shared
+clock exactly as far as a single event engine would.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.checkpoint.codec import LoadContext, SaveContext
+from repro.checkpoint.store import CHECKPOINT_FORMAT, canonical_dumps
+from repro.core.packet import BestEffortPacket, TimeConstrainedPacket
+from repro.core.ports import OPPOSITE
+from repro.core.router import LinkSignal
+from repro.observability.trace import DELIVER, PacketTracer
+from repro.shard.partition import ShardPlan
+from repro.shard.transport import ShardWorld
+
+#: Monitor fields exchanged by value (same order as the checkpoint).
+_MONITOR_FIELDS = ("missed_transfers", "bytes_lost", "bytes_drained",
+                   "bytes_corrupted", "packets_dropped",
+                   "be_lost_uncompensated")
+
+
+def _monitor_values(monitor) -> tuple:
+    return tuple(getattr(monitor, name) for name in _MONITOR_FIELDS)
+
+
+def _apply_monitor(monitor, values) -> None:
+    for name, value in zip(_MONITOR_FIELDS, values):
+        setattr(monitor, name, value)
+
+
+class _ShardTracer(PacketTracer):
+    """Tracer that defers in-step emissions to the cycle barrier.
+
+    Emissions from inside a component step are tagged with the
+    stepping component's registration order plus a per-origin sequence
+    and buffered; barrier B merges all workers' buffers in
+    ``(origin, seq)`` order — which is exactly the order a single
+    process would have emitted in, since its batch pops components in
+    ascending registration order and wiring emits nothing.  Emissions
+    from outside any step (session loops, controllers between runs)
+    pass straight through: they are replicated on every worker.
+    """
+
+    def __init__(self, capacity: int, runtime: "ShardRuntime") -> None:
+        super().__init__(capacity)
+        self._runtime = runtime
+
+    def emit_raw(self, item: tuple) -> None:
+        order = self._runtime.engine.stepping_order
+        if order is None:
+            super().emit_raw(item)
+        else:
+            self._runtime.buffer_trace(order, item)
+
+    def flush_raw(self, item: tuple) -> None:
+        """Ring-append one merged event (barrier B only)."""
+        super().emit_raw(item)
+
+
+class _DeliveryBarrier:
+    """Barrier A as an engine component (see module docstring).
+
+    Registered right after the network's hosts and routers, so on any
+    executed cycle it fires after every delivery of that cycle and
+    before any watcher reads the log.  ``next_event_cycle`` is
+    ``None``: the coordinated run loop schedules it explicitly on
+    every globally executed cycle.
+    """
+
+    def __init__(self, runtime: "ShardRuntime") -> None:
+        self._runtime = runtime
+
+    def step(self, cycle: int) -> None:
+        self._runtime._exchange_deliveries(cycle)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return None
+
+    def state(self) -> dict:
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        pass
+
+
+class ShardRuntime:
+    """Drives one worker's slice of a sharded :class:`MeshNetwork`."""
+
+    def __init__(self, network, world: ShardWorld) -> None:
+        engine = network.engine
+        if engine.mode != "event":
+            raise ValueError("sharded execution requires engine='event'")
+        if network._shard is not None:
+            raise ValueError("network already has a shard runtime")
+        if network.tracer is not None:
+            raise ValueError("install the shard runtime before enabling "
+                             "tracing")
+        self.net = network
+        self.engine = engine
+        self.world = world
+        self.rank = world.rank
+        self.transport = world.transport
+        self.plan = ShardPlan(network.mesh, world.size)
+        self.owned_nodes = self.plan.owned_nodes(self.rank)
+        self.owned = frozenset(self.owned_nodes)
+        #: boundary link -> rank that owns its sink router.
+        self._sink_owner = {
+            link: self.plan.owner(self.plan.sink_of[link])
+            for link in self.plan.boundary_links
+        }
+        # Registration orders (network registers host then router per
+        # node): host(i) -> 2i, router(i) -> 2i+1.  Used to tag
+        # delivery/trace origins so cross-worker merges reproduce the
+        # single-process firing order.
+        self._host_order = {node: 2 * index for index, node
+                            in enumerate(network.mesh.nodes())}
+        self._owned_router_orders = frozenset(
+            2 * index + 1 for index, node
+            in enumerate(network.mesh.nodes()) if node in self.owned)
+
+        # Partition: replicas of foreign routers never step; their
+        # hosts still step (replicated regulator/trace state) but skip
+        # the inject/drain interactions with their inert router.
+        for node in network.mesh.nodes():
+            if node not in self.owned:
+                engine.set_inert(network.routers[node])
+                network.hosts[node].shard_owned = False
+
+        # Wire-level capture hooks inside the link-transfer closures.
+        cap = network._shard_capture
+        cap.owned = self.owned
+        cap.boundary_out = self.plan.boundary_out(self.rank)
+        cap.active = True
+        self._cap = cap
+
+        # Barrier A: registration index right after hosts/routers,
+        # before any watcher installed by fault tolerance / services.
+        self._barrier = _DeliveryBarrier(self)
+        engine.add_component(self._barrier, local=True)
+
+        # Delivery-log capture (barrier A payload).
+        self._orig_log_add = network.log.add
+        network.log.add = self._log_add
+        self._deliveries: list = []
+        self._delivery_seq: dict[int, int] = {}
+        self._tail_tags: list = []
+        self._record_base = len(network.log.records)
+
+        # Trace buffering (barrier B payload).
+        self._trace_buffer: list = []
+        self._trace_seq: dict[int, int] = {}
+
+        self._last_epoch = network.monitor_miss_epoch[0]
+        engine.post_wiring_hook = self._post_wiring
+        network._shard = self
+
+    # -- helpers -------------------------------------------------------
+
+    def owns(self, node) -> bool:
+        return node in self.owned
+
+    def make_tracer(self, capacity: int) -> _ShardTracer:
+        return _ShardTracer(capacity, self)
+
+    def owned_idle(self) -> bool:
+        routers = self.net.routers
+        return all(routers[node].idle for node in self.owned_nodes)
+
+    def buffer_trace(self, order: int, item: tuple) -> None:
+        seq = self._trace_seq.get(order, 0)
+        self._trace_seq[order] = seq + 1
+        self._trace_buffer.append((order, seq, item))
+
+    def resync(self) -> None:
+        """Reset cycle-local bookkeeping after a checkpoint restore."""
+        self._record_base = len(self.net.log.records)
+        self._last_epoch = self.net.monitor_miss_epoch[0]
+        self._deliveries = []
+        self._delivery_seq.clear()
+        self._tail_tags.clear()
+        self._trace_buffer = []
+        self._trace_seq.clear()
+        cap = self._cap
+        cap.writes.clear()
+        cap.touched.clear()
+        cap.ack_bumps.clear()
+
+    # -- barrier A: delivery-log convergence ---------------------------
+
+    def _log_add(self, packet, delivered_node=None):
+        record = self._orig_log_add(packet, delivered_node=delivered_node)
+        origin = self._host_order[delivered_node]
+        seq = self._delivery_seq.get(origin, 0)
+        self._delivery_seq[origin] = seq + 1
+        self._deliveries.append(
+            (origin, seq, isinstance(packet, TimeConstrainedPacket),
+             packet.meta, delivered_node))
+        self._tail_tags.append((origin, seq))
+        return record
+
+    def _exchange_deliveries(self, cycle: int) -> None:
+        received = self.transport.broadcast(self._deliveries or None)
+        foreign: list = []
+        for peer in sorted(received):
+            ops = received[peer]
+            if ops:
+                foreign.extend(ops)
+        if foreign:
+            foreign.sort(key=lambda op: (op[0], op[1]))
+            add = self._orig_log_add
+            for origin, seq, is_tc, meta, delivered_node in foreign:
+                # The dummy packet exists only to carry class + meta
+                # into DeliveryLog.add; the explicit meta means no
+                # packet-id counter draw, keeping the replicated
+                # counter streams identical.
+                if is_tc:
+                    packet = TimeConstrainedPacket(
+                        connection_id=0, header_deadline=0, meta=meta)
+                else:
+                    packet = BestEffortPacket(0, 0, meta=meta)
+                add(packet, delivered_node=delivered_node)
+                self._tail_tags.append((origin, seq))
+            records = self.net.log.records
+            base = self._record_base
+            tail = records[base:]
+            tags = self._tail_tags
+            order = sorted(range(len(tail)), key=tags.__getitem__)
+            if order != list(range(len(tail))):
+                records[base:] = [tail[i] for i in order]
+        self._record_base = len(self.net.log.records)
+        self._tail_tags.clear()
+        self._deliveries = []
+        self._delivery_seq.clear()
+
+    # -- barrier B: boundary exchange (engine post-wiring hook) --------
+
+    def _post_wiring(self, now: int):
+        net = self.net
+        cap = self._cap
+        routers = net.routers
+
+        writes_by_peer: dict[int, list] = {}
+        for entry in cap.writes:
+            writes_by_peer.setdefault(
+                self._sink_owner[entry[0]], []).append(entry)
+        monitors = [(link, _monitor_values(net.link_monitors[link]))
+                    for link in cap.touched] or None
+        epoch = net.monitor_miss_epoch[0]
+        epoch_delta = epoch - self._last_epoch
+        ack_bumps = list(cap.ack_bumps) or None
+        ack_slice = [(link, pending) for link, pending
+                     in net._drain_acks.items()
+                     if link[0] in self.owned] or None
+        trace_ship = None
+        if net.tracer is not None and self._trace_buffer:
+            router_orders = self._owned_router_orders
+            trace_ship = [entry for entry in self._trace_buffer
+                          if entry[0] in router_orders
+                          or entry[2][1] == DELIVER] or None
+
+        payloads = {}
+        for peer in range(self.world.size):
+            if peer == self.rank:
+                continue
+            payloads[peer] = (writes_by_peer.get(peer), monitors,
+                              epoch_delta, ack_bumps, ack_slice,
+                              trace_ship)
+        received = self.transport.exchange(payloads)
+
+        touched: set = set()
+        total_delta = 0
+        foreign_acks: list = []
+        foreign_trace: list = []
+        for peer in sorted(received):
+            payload = received[peer]
+            if payload is None:
+                continue
+            fwrites, fmon, fdelta, facks, fslice, ftrace = payload
+            if fwrites:
+                # Addressed to this worker: every write's sink router
+                # is owned here.
+                for link, phit, ack in fwrites:
+                    sink = routers[self.plan.sink_of[link]]
+                    sink.link_in[OPPOSITE[link[1]]] = LinkSignal(
+                        phit=phit, ack=ack)
+                    touched.add(sink)
+            if fmon:
+                for link, values in fmon:
+                    _apply_monitor(net.link_monitors[link], values)
+            total_delta += fdelta
+            if fslice:
+                for link, pending in fslice:
+                    net._drain_acks[link] = pending
+            if facks:
+                foreign_acks.extend(facks)
+            if ftrace:
+                foreign_trace.extend(ftrace)
+        net.monitor_miss_epoch[0] = epoch + total_delta
+
+        # Increments after the authoritative slice overwrites: our own
+        # captured bumps first (the target key's owner slice just wiped
+        # the local provisional bump), then everyone else's.
+        drain_acks = net._drain_acks
+        if cap.ack_bumps:
+            for link in cap.ack_bumps:
+                drain_acks[link] = drain_acks.get(link, 0) + 1
+        for link in foreign_acks:
+            drain_acks[link] = drain_acks.get(link, 0) + 1
+
+        tracer = net.tracer
+        if tracer is not None and (self._trace_buffer or foreign_trace):
+            entries = self._trace_buffer
+            entries.extend(foreign_trace)
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            flush = tracer.flush_raw
+            for _, _, item in entries:
+                flush(item)
+            self._trace_buffer = []
+            self._trace_seq.clear()
+
+        # The owed spoofed acks for owned links — the single-process
+        # source-less wiring, run here so its genuine-ack guard sees
+        # the boundary writes that just landed.
+        touched.update(net._apply_drain_acks_owned(self.owned))
+
+        cap.writes.clear()
+        cap.touched.clear()
+        cap.ack_bumps.clear()
+        self._last_epoch = net.monitor_miss_epoch[0]
+        return touched
+
+    # -- the coordinated run loop --------------------------------------
+
+    def _advance(self, limit: int) -> bool:
+        """Jump to the next *globally* scheduled cycle (mirror of
+        ``SynchronousEngine._event_advance`` with a min-reduced bound)."""
+        engine = self.engine
+        bound = self.transport.min_reduce(engine.event_bound())
+        if bound is not None and bound <= engine.cycle:
+            return False
+        jump = limit if bound is None else min(bound, limit)
+        if jump <= engine.cycle:
+            return False
+        engine.cycles_fast_forwarded += jump - engine.cycle
+        engine.cycle = jump
+        return True
+
+    def _step_cycle(self) -> None:
+        engine = self.engine
+        engine.schedule_at(self._barrier, engine.cycle)
+        engine._event_step_once()
+
+    def run(self, cycles: int) -> int:
+        """Coordinated mirror of ``SynchronousEngine.run`` (event mode).
+
+        Every worker executes exactly the cycles on which *any* worker
+        has work, so the cycle / stepped / fast-forwarded counters are
+        byte-identical to a single-process event run.
+        """
+        if cycles < 0:
+            raise ValueError("cannot run a negative number of cycles")
+        engine = self.engine
+        target = engine.cycle + cycles
+        engine._event_full_requery()
+        while engine.cycle < target:
+            if self._advance(target):
+                continue
+            self._step_cycle()
+        return engine.cycle
+
+    def run_until(self, predicate, max_cycles: int = 1_000_000) -> int:
+        """Coordinated mirror of ``SynchronousEngine.run_until``.
+
+        ``predicate`` is evaluated on every worker and AND-reduced at
+        the same points the single-process engine evaluates it, so all
+        workers stop (or time out) on the same cycle.
+        """
+        if max_cycles < 0:
+            raise ValueError("max_cycles must be non-negative")
+        engine = self.engine
+        reduce = self.transport.all_reduce
+        if reduce(predicate()):
+            return engine.cycle
+        deadline = engine.cycle + max_cycles
+        engine._event_full_requery()
+        while True:
+            if engine.cycle >= deadline:
+                raise TimeoutError(
+                    f"condition not reached within {max_cycles} cycles"
+                )
+            if self._advance(deadline):
+                if reduce(predicate()):
+                    return engine.cycle
+                continue
+            self._step_cycle()
+            if reduce(predicate()):
+                return engine.cycle
+
+    def merge_invariant_failures(self, local: list) -> list:
+        """Collective: merge per-worker invariant failures.
+
+        ``local`` holds ``(node, message)`` pairs for *owned* routers;
+        the merged list is ordered by mesh node order — the order a
+        single process's full scan would have appended in.
+        """
+        received = self.transport.broadcast(local or None)
+        entries = list(local)
+        for peer in sorted(received):
+            if received[peer]:
+                entries.extend(received[peer])
+        if not entries:
+            return []
+        order = {node: index for index, node
+                 in enumerate(self.net.mesh.nodes())}
+        entries.sort(key=lambda entry: order[tuple(entry[0])])
+        return [message for __, message in entries]
+
+    # -- coordinated checkpoints ---------------------------------------
+
+    def sync_owned_state(self) -> None:
+        """Collective: broadcast authoritative owned state.
+
+        After it returns every worker holds the canonical full network
+        state — worker 0 can then write an ordinary single-process
+        checkpoint document (resumable at *any* shard count), and
+        reports reading per-router counters see converged values.
+        Must be called between cycles (never mid-cycle), at the same
+        point on every worker.
+        """
+        net = self.net
+        ctx = SaveContext()
+        payload = {
+            "routers": [(node, net.routers[node].state(ctx))
+                        for node in self.owned_nodes],
+            "metas": ctx.metas_state(),
+            "monitors": [(link, _monitor_values(monitor))
+                         for link, monitor in net.link_monitors.items()
+                         if link[0] in self.owned],
+            "acks": [(link, pending) for link, pending
+                     in net._drain_acks.items() if link[0] in self.owned],
+            "corruptors": [(link, corruptor.state()) for link, corruptor
+                           in net._link_corruptors.items()
+                           if link[0] in self.owned],
+        }
+        received = self.transport.broadcast(payload)
+        for peer in sorted(received):
+            part = received[peer]
+            lctx = LoadContext(part["metas"])
+            for node, state in part["routers"]:
+                net.routers[node].load_state(state, lctx)
+            for link, values in part["monitors"]:
+                _apply_monitor(net.link_monitors[link], values)
+            for link, pending in part["acks"]:
+                net._drain_acks[link] = pending
+            for link, corruptor_state in part["corruptors"]:
+                # In place: the injector and the wire share instances.
+                corruptor = net._link_corruptors.get(link)
+                if corruptor is not None:
+                    corruptor.load_state(corruptor_state)
+
+    # Reports read per-router counters; the pre-report sync is the same
+    # collective as the pre-checkpoint one.
+    final_sync = sync_owned_state
+
+    def part_state(self) -> dict:
+        """This worker's owned slice as a JSON-able document
+        (the per-shard checkpoint a :class:`ShardPartStore` writes)."""
+        net = self.net
+        ctx = SaveContext()
+        routers = [[list(node), net.routers[node].state(ctx)]
+                   for node in self.owned_nodes]
+        return {
+            "rank": self.rank,
+            "shards": self.world.size,
+            "routers": routers,
+            "metas": ctx.metas_state(),
+            "monitors": [[list(node), direction,
+                          list(_monitor_values(monitor))]
+                         for (node, direction), monitor
+                         in sorted(net.link_monitors.items())
+                         if node in self.owned],
+            "drain_acks": [[list(node), direction, pending]
+                           for (node, direction), pending
+                           in sorted(net._drain_acks.items())
+                           if node in self.owned],
+            "corruptors": [[list(node), direction, corruptor.state()]
+                           for (node, direction), corruptor
+                           in sorted(net._link_corruptors.items())
+                           if node in self.owned],
+        }
+
+
+class ShardPartStore:
+    """Checkpoint sink for a non-coordinator shard worker.
+
+    Drives the session's span splitting exactly like the real store
+    (same interval, same collective sequence) but writes only this
+    worker's owned slice, as an auditable per-shard document under
+    ``<directory>/shards/``.  Resume always reads the coordinator's
+    full canonical checkpoint; ``full_state`` tells the session not to
+    build one here.
+    """
+
+    full_state = False
+
+    def __init__(self, directory, rank: int, fingerprint: str) -> None:
+        self.directory = Path(directory) / "shards"
+        self.rank = rank
+        self.fingerprint = fingerprint
+
+    def save(self, cycle: int, state: dict) -> Path:
+        document = canonical_dumps({
+            "format": CHECKPOINT_FORMAT,
+            "kind": "shard-part",
+            "fingerprint": self.fingerprint,
+            "cycle": cycle,
+            "rank": self.rank,
+            "state": state,
+        })
+        path = self.directory / f"part-r{self.rank}-{cycle}.json"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".part-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(document)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def install_shard_runtime(network, world: ShardWorld) -> ShardRuntime:
+    """Partition ``network`` across ``world`` (see :class:`ShardRuntime`).
+
+    Must be called immediately after the network is constructed —
+    before fault tolerance, services, or tracing are installed — so
+    the barrier component's registration index sits between the
+    routers and the watchers on every worker.
+    """
+    return ShardRuntime(network, world)

@@ -1,0 +1,166 @@
+"""Inter-shard transport: pre-forked pipe pairs and collective ops.
+
+One :class:`ShardLinks` is created in the coordinating process before
+any worker forks; each worker then takes its :class:`ShardTransport`
+endpoint (and closes every connection that is not its own, so a peer's
+death surfaces as EOF instead of a hang).
+
+All communication is *collective*: every worker executes the identical
+sequence of :meth:`ShardTransport.exchange` calls, driven by fully
+replicated control flow.  The pairwise exchange is deadlock-free by
+construction — for each pair the lower rank sends first and the higher
+rank receives first, and all workers walk their peers in ascending
+rank order, so among pending pairs the lexicographically smallest is
+always executable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+
+class ShardPeerLost(RuntimeError):
+    """A peer worker died (or hung past the timeout) mid-exchange."""
+
+    def __init__(self, peer: int) -> None:
+        super().__init__(f"shard peer {peer} lost")
+        self.peer = peer
+
+
+class ShardTransport:
+    """One worker's endpoint of the all-pairs pipe mesh."""
+
+    #: How long a receive may block before the peer is declared lost.
+    #: Generous — a worker can legitimately be deep in a compute span —
+    #: but bounded, so a hung (not dead) peer cannot hang the world.
+    RECV_TIMEOUT = 600.0
+
+    def __init__(self, rank: int, size: int, conns: dict) -> None:
+        self.rank = rank
+        self.size = size
+        self._conns = conns  # peer rank -> Connection
+
+    # -- point-to-point primitives ------------------------------------
+
+    def _recv(self, conn, peer: int):
+        try:
+            if not conn.poll(self.RECV_TIMEOUT):
+                raise ShardPeerLost(peer)
+            return conn.recv()
+        except ShardPeerLost:
+            raise
+        except (EOFError, OSError, ValueError) as exc:
+            raise ShardPeerLost(peer) from exc
+
+    def exchange(self, payloads: dict) -> dict:
+        """Send ``payloads[peer]`` to each peer; return what they sent.
+
+        Collective: every worker must call it at the same logical
+        point.  Missing peers in ``payloads`` send ``None``.
+        """
+        received: dict = {}
+        for peer in sorted(self._conns):
+            conn = self._conns[peer]
+            try:
+                if self.rank < peer:
+                    conn.send(payloads.get(peer))
+                    received[peer] = self._recv(conn, peer)
+                else:
+                    received[peer] = self._recv(conn, peer)
+                    conn.send(payloads.get(peer))
+            except ShardPeerLost:
+                raise
+            except (EOFError, OSError, ValueError) as exc:
+                raise ShardPeerLost(peer) from exc
+        return received
+
+    # -- collectives ---------------------------------------------------
+
+    def broadcast(self, payload) -> dict:
+        """All-gather: send ``payload`` to every peer, return theirs."""
+        return self.exchange({peer: payload for peer in self._conns})
+
+    def broadcast_from(self, root: int, value=None):
+        """Every worker returns ``root``'s value (root passes it in)."""
+        received = self.broadcast(value if self.rank == root else None)
+        return value if self.rank == root else received[root]
+
+    def min_reduce(self, value: Optional[int]) -> Optional[int]:
+        """Global minimum where ``None`` means +infinity."""
+        received = self.broadcast(value)
+        candidates = [v for v in (*received.values(), value)
+                      if v is not None]
+        return min(candidates) if candidates else None
+
+    def all_reduce(self, flag: bool) -> bool:
+        """True iff the flag is true on every worker."""
+        received = self.broadcast(bool(flag))
+        return bool(flag) and all(received.values())
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class ShardLinks:
+    """All pipe pairs for a world of ``size`` workers (built pre-fork)."""
+
+    def __init__(self, size: int, ctx=None) -> None:
+        if ctx is None:
+            ctx = multiprocessing.get_context("fork")
+        self.size = size
+        self._pipes = {}
+        for a in range(size):
+            for b in range(a + 1, size):
+                self._pipes[(a, b)] = ctx.Pipe()
+
+    def endpoint(self, rank: int) -> ShardTransport:
+        conns = {}
+        for (a, b), (conn_a, conn_b) in self._pipes.items():
+            if a == rank:
+                conns[b] = conn_a
+            elif b == rank:
+                conns[a] = conn_b
+        return ShardTransport(rank, self.size, conns)
+
+    def prune_to(self, rank: int) -> None:
+        """Close every connection not belonging to ``rank``.
+
+        Must run in each process right after fork (and in the parent
+        for the ranks it does not run itself): a pipe end left open in
+        a third process keeps the kernel buffer alive, turning a dead
+        peer's EOF into an infinite hang.
+        """
+        for (a, b), (conn_a, conn_b) in self._pipes.items():
+            if a != rank:
+                try:
+                    conn_a.close()
+                except OSError:
+                    pass
+            if b != rank:
+                try:
+                    conn_b.close()
+                except OSError:
+                    pass
+
+    def close_all(self) -> None:
+        for conn_a, conn_b in self._pipes.values():
+            for conn in (conn_a, conn_b):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+
+class ShardWorld:
+    """One worker's identity: rank, world size, transport endpoint."""
+
+    def __init__(self, rank: int, size: int,
+                 transport: ShardTransport) -> None:
+        self.rank = rank
+        self.size = size
+        self.transport = transport

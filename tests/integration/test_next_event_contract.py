@@ -178,3 +178,114 @@ class TestNextEventContract:
         audited = _audit_span(net, channels, 500, rng)
         assert audited > 0
         assert net.engine.cycle == 900
+
+
+class TestPerImplementationAnswers:
+    """Targeted answer checks for each ``next_event_cycle``
+    implementation: the exact cycles each component self-schedules,
+    not just the no-silent-mutation property the audit above proves."""
+
+    def test_snapshot_emitter_schedule(self):
+        net = MeshNetwork(2, 2)
+        emitter = net.enable_snapshots(400)
+        # First snapshot one full period out; the claim is exact.
+        assert emitter.next_event_cycle(0) == 400
+        assert emitter.next_event_cycle(399) == 400
+        assert emitter.next_event_cycle(400) == 400  # due right now
+        emitter.step(400)
+        assert len(emitter.snapshots) == 1
+        assert emitter.next_event_cycle(400) == 800
+        # A stall past several due points yields one catch-up snapshot
+        # and a next-due strictly in the future, on the original grid.
+        emitter.step(1_650)
+        assert len(emitter.snapshots) == 2
+        assert emitter.next_event_cycle(1_650) == 2_000
+
+    def test_fault_injector_schedule(self):
+        net = MeshNetwork(2, 2)
+        plan = FaultPlan(events=[
+            FaultEvent(cycle=100, kind=CUT, node=(0, 0), direction=EAST),
+            FaultEvent(cycle=250, kind=REPAIR, node=(0, 0),
+                       direction=EAST),
+        ])
+        injector = FaultInjector(net, plan)
+        assert injector.next_event_cycle(0) == 100
+        injector.step(99)
+        assert not injector.fired
+        injector.step(100)
+        assert [event.cycle for event in injector.fired] == [100]
+        assert injector.next_event_cycle(100) == 250
+        # Never a past cycle, even when queried beyond the next event.
+        assert injector.next_event_cycle(260) == 260
+        injector.step(260)
+        assert injector.exhausted
+        assert injector.next_event_cycle(261) is None
+
+    def test_host_node_schedule(self):
+        net = MeshNetwork(2, 2)
+        host = net.hosts[(0, 0)]
+        slot = net.params.slot_cycles
+        # A fresh host with no sources and an empty release heap has
+        # no self-scheduled work at all.
+        assert host.next_event_cycle(0) is None
+        # A queued release claims its exact release cycle, then "now"
+        # once due.
+        channel = net.establish_channel((0, 0), (1, 1),
+                                        TrafficSpec(i_min=16),
+                                        deadline=64, label="nec-h0")
+        net.send_message(channel, at_cycle=0)
+        claim = host.next_event_cycle(0)
+        assert claim is not None and claim % slot == 0
+        assert host.next_event_cycle(claim) == claim
+        # A source without next_fire_cycle keeps the host polling
+        # every cycle (the legacy exactness guarantee)...
+        legacy = net.hosts[(1, 0)]
+        legacy.attach_source(lambda cycle: [])
+        assert legacy.next_event_cycle(123) == 123
+        # ...while a schedule-aware source advertises its next firing.
+        aware = net.hosts[(0, 1)]
+        source = PeriodicSource(channel, period=64, slot_cycles=slot)
+        aware.attach_source(source)
+        assert aware.next_event_cycle(1) == source.next_fire_cycle(1)
+
+    def test_router_quiescence(self):
+        from repro.core.packet import BestEffortPacket, phits_of
+        from repro.core.params import RouterParams
+        from repro.core.router import LinkSignal, RealTimeRouter
+
+        params = RouterParams()
+        router = RealTimeRouter(params, router_id="nec")
+        assert router.next_event_cycle(0) is None
+        # A phit arriving on a link is work *now*, and stays work on
+        # every cycle until the worm has fully drained through.
+        phits = phits_of(BestEffortPacket(x_offset=0, y_offset=0,
+                                          payload=b"zz"), params)
+        cycle = 0
+        for phit in phits:
+            router.link_in[NORTH] = LinkSignal(phit=phit)
+            assert router.next_event_cycle(cycle) == cycle
+            router.step()
+            cycle += 1
+        while not router.delivered:
+            assert router.next_event_cycle(cycle) == cycle
+            router.step()
+            cycle += 1
+            assert cycle < 200, "the worm never arrived"
+        # An undrained reception port is still the host's work to do...
+        assert router.next_event_cycle(cycle) == cycle
+        router.delivered.clear()
+        while router.next_event_cycle(cycle) is not None:
+            router.step()
+            cycle += 1
+            assert cycle < 400, "router never went quiescent"
+        # ...and once drained, the claim settles on None.
+        assert router.next_event_cycle(cycle) is None
+
+    def test_recovery_controller_timer(self):
+        net, tolerance, _, channels = _build()
+        controller = tolerance.controller
+        # Nothing tracked: nothing scheduled.
+        assert controller.next_event_cycle(net.cycle) is None
+        net.run(700)  # past the first cut: retransmit timers armed
+        claim = controller.next_event_cycle(net.cycle)
+        assert claim is None or claim >= net.cycle

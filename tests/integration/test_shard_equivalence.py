@@ -1,0 +1,290 @@
+"""Sharded execution vs single-process: byte-identical simulations.
+
+A sharded run partitions the mesh across worker processes
+(:mod:`repro.shard`): every worker replicates the full session, steps
+only the routers it owns, and exchanges boundary traffic and delivery
+records in lock-stepped one-cycle windows.  The result must be
+*identical* to the single-process run — the same delivery records,
+counters, metrics, traces, and chaos/SLO report signatures — on
+loaded, faulty and churning runs, across coordinated checkpoints, and
+through a mid-run worker crash recovered from the last checkpoint.
+
+``packet_id`` is excluded from record and trace comparison for the
+same reason as in ``test_event_engine_equivalence.py``: it is a
+process-global allocation counter, so two runs in one test process
+draw different ids for the same packets.  *Within* one sharded run,
+however, every worker must draw identical id streams — that alignment
+is what lets a replica recognise a foreign delivery record — so the
+reassembly path is pinned to draw no ids at all (see
+``TestPacketIdDiscipline``).
+"""
+
+import dataclasses
+import os
+import signal
+
+import pytest
+
+from repro import TrafficSpec
+from repro.core.packet import BestEffortPacket, PacketMeta, TimeConstrainedPacket
+from repro.core.params import RouterParams
+from repro.faults import ChaosConfig, run_chaos_soak
+from repro.network.network import MeshNetwork
+from repro.service import ServiceRunConfig, run_service
+from repro.shard import coordinate, install_shard_runtime, run_chaos_sharded
+from repro.shard.runtime import ShardRuntime
+from repro.traffic.generators import PeriodicSource, PoissonBestEffortSource
+
+CHAOS_CONFIG = dict(seed=1234, cycles=3_000, settle_cycles=1_500,
+                    cuts=2, flaps=1, corruptions=2, drops=1, babblers=1,
+                    engine="event")
+
+
+def record_signature(net):
+    return [tuple(getattr(record, field.name)
+                  for field in dataclasses.fields(record)
+                  if field.name != "packet_id")
+            for record in net.log.records]
+
+
+def trace_signature(net):
+    return [{k: v for k, v in event.items() if k != "packet_id"}
+            for event in net.tracer.events()]
+
+
+def build_and_run(world=None, *, cycles=2_000):
+    """A loaded 4x4 run crossing every shard cut: a TC channel corner
+    to corner, plus Poisson best-effort background traffic."""
+    net = MeshNetwork(4, 4, engine="event")
+    if world is not None and world.size > 1:
+        install_shard_runtime(net, world)
+    slot = net.params.slot_cycles
+    c0 = net.establish_channel((0, 0), (3, 3), TrafficSpec(i_min=64),
+                               deadline=24, label="sh-c0")
+    net.attach_source((0, 0), PeriodicSource(c0, period=64,
+                                             slot_cycles=slot))
+    net.attach_source((1, 1), PoissonBestEffortSource(
+        destinations=[(2, 2), (3, 1)], rate=0.02, seed=99))
+    net.enable_tracing(capacity=1 << 16)
+    net.run(cycles)
+    if world is not None and net._shard is not None:
+        net._shard.final_sync()
+    return summarize(net)
+
+
+def summarize(net):
+    return {
+        "cycle": net.engine.cycle,
+        "stepped": net.engine.cycles_stepped,
+        "fast_forwarded": net.engine.cycles_fast_forwarded,
+        "records": record_signature(net),
+        "trace": trace_signature(net),
+        "counters": {node: (router.tc_received, router.tc_transmitted,
+                            router.tc_dropped, router.be_worms_routed)
+                     for node, router in net.routers.items()},
+        "epoch": net.monitor_miss_epoch[0],
+    }
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_loaded_run_identical(self, shards):
+        single = build_and_run()
+        sharded = coordinate(shards, build_and_run)
+        assert sharded == single
+        assert len(single["records"]) > 0
+        assert len(single["trace"]) > 0
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_chaos_report_signature_identical(self, shards):
+        reference = run_chaos_soak(ChaosConfig(**CHAOS_CONFIG))
+        sharded = run_chaos_soak(
+            ChaosConfig(**CHAOS_CONFIG, shards=shards))
+        assert sharded.signature() == reference.signature()
+        assert sharded.counters == reference.counters
+        assert sharded.invariant_failures == reference.invariant_failures
+        assert sharded.tc_delivered == reference.tc_delivered > 0
+        assert sharded.faults_fired == reference.faults_fired > 0
+
+    def test_churn_slo_signature_identical(self):
+        reference = run_service(ServiceRunConfig(requests=60,
+                                                 engine="event"))
+        sharded = run_service(ServiceRunConfig(requests=60,
+                                               engine="event", shards=2))
+        assert sharded.signature() == reference.signature()
+        assert sharded.as_dict() == reference.as_dict()
+        assert sharded.tc_delivered_total > 0
+
+
+class TestPacketIdDiscipline:
+    """Packet reassembly must never draw from the process-global
+    packet-id counter: only the owning worker reassembles, so a wasted
+    draw would desynchronise every worker's subsequent id stream (the
+    root cause of a spurious best-effort retransmit in sharded soaks).
+    """
+
+    def test_be_reassembly_draws_no_packet_id(self):
+        packet = BestEffortPacket(x_offset=1, y_offset=0, payload=b"xy")
+        before = PacketMeta().packet_id
+        rebuilt = BestEffortPacket.from_bytes(packet.to_bytes(),
+                                              meta=packet.meta)
+        assert rebuilt.meta is packet.meta
+        assert PacketMeta().packet_id == before + 1
+
+    def test_tc_reassembly_draws_no_packet_id(self):
+        params = RouterParams()
+        packet = TimeConstrainedPacket(
+            connection_id=3, header_deadline=7,
+            payload=bytes(params.tc_packet_bytes - 2))
+        before = PacketMeta().packet_id
+        rebuilt = TimeConstrainedPacket.from_bytes(
+            packet.to_bytes(params), params, meta=packet.meta)
+        assert rebuilt.meta is packet.meta
+        assert PacketMeta().packet_id == before + 1
+
+
+class TestShardInvariance:
+    """Shard count is an execution strategy, not an outcome: it is
+    excluded from campaign content hashes and checkpoint fingerprints,
+    exactly like the engine mode."""
+
+    def test_run_config_content_hash_invariant(self):
+        from repro.campaign import RunConfig
+
+        base = RunConfig(workload="chaos", seed=9)
+        for shards in (2, 4):
+            other = dataclasses.replace(base, shards=shards)
+            assert other.content_hash() == base.content_hash()
+            assert "shards" not in other.to_dict()
+
+    def test_derived_seeds_invariant(self):
+        # A spec that flips the shard count (or engine mode) must
+        # derive the same per-run seeds — otherwise the flip silently
+        # reshuffles seeds, misses the cache, and changes the campaign
+        # signature.
+        from repro.campaign import CampaignSpec
+
+        def expanded(extra):
+            spec = CampaignSpec(
+                name="inv", master_seed=3, mode="grid",
+                base=dict({"workload": "random", "width": 4,
+                           "height": 4, "channels": 3, "ticks": 60},
+                          **extra),
+                axes={"replica": [0, 1]})
+            return spec.expand()
+
+        plain = expanded({})
+        for extra in ({"shards": 2}, {"engine": "event"},
+                      {"engine": "event", "shards": 4}):
+            runs = expanded(extra)
+            assert [r.seed for r in runs] == [r.seed for r in plain]
+            assert ([r.content_hash() for r in runs]
+                    == [r.content_hash() for r in plain])
+
+    def test_chaos_fingerprint_invariant(self):
+        from repro.checkpoint import ChaosSession
+
+        base = ChaosConfig(**CHAOS_CONFIG)
+        sharded = ChaosConfig(**CHAOS_CONFIG, shards=4)
+        assert (ChaosSession.fingerprint_for(sharded)
+                == ChaosSession.fingerprint_for(base))
+
+    def test_service_fingerprint_invariant(self):
+        from repro.service import ServiceSession
+
+        base = ServiceRunConfig(requests=60)
+        sharded = ServiceRunConfig(requests=60, shards=4)
+        assert (ServiceSession.fingerprint_for(sharded)
+                == ServiceSession.fingerprint_for(base))
+
+
+class TestShardCheckpointResume:
+    """Coordinated checkpoints: rank 0 writes ordinary full-state
+    documents (readable at any shard count), other workers write
+    per-shard slice documents beside them.  A store written by a
+    2-shard run must resume at 1 or 4 shards with identical outcomes —
+    the sharded analog of cross-mode resume in
+    ``test_event_engine_equivalence.py``."""
+
+    def _checkpointed_store(self, tmp_path, shards=2, interval=500):
+        from repro.checkpoint import ChaosSession, CheckpointStore
+
+        config = ChaosConfig(**CHAOS_CONFIG, shards=shards)
+        store = CheckpointStore(tmp_path / "store", "chaos",
+                                ChaosSession.fingerprint_for(config))
+        report = run_chaos_soak(config, store=store, interval=interval)
+        return config, store, report
+
+    def test_sharded_checkpointed_run_matches(self, tmp_path):
+        reference = run_chaos_soak(ChaosConfig(**CHAOS_CONFIG))
+        config, store, report = self._checkpointed_store(tmp_path)
+        assert report.signature() == reference.signature()
+        # Rank 0 wrote ordinary full-state documents...
+        full = sorted(store.directory.glob("ckpt-*.json"))
+        assert len(full) >= 2
+        # ...and rank 1 wrote per-shard slices beside them.
+        parts = sorted((store.directory / "shards").glob(
+            "part-r1-*.json"))
+        assert len(parts) >= 2
+
+    def test_cross_shard_count_resume(self, tmp_path):
+        from repro.checkpoint import ChaosSession
+
+        reference = run_chaos_soak(ChaosConfig(**CHAOS_CONFIG))
+        config, store, _ = self._checkpointed_store(tmp_path)
+        paths = {int(p.name.split("-")[1]): p
+                 for p in store.directory.glob("ckpt-*.json")}
+        mid = sorted(c for c in paths if 0 < c < reference.cycles)
+        assert mid, "no mid-run checkpoint was written"
+        document = store.load(paths[mid[len(mid) // 2]])
+        # Resume the 2-shard store single-process...
+        session = ChaosSession.restore(
+            dataclasses.replace(config, shards=1), document["state"])
+        assert session.run().signature() == reference.signature()
+        # ...and at a different shard count (the coordinator resumes
+        # from the store's latest coordinated checkpoint).
+        resumed = run_chaos_sharded(
+            dataclasses.replace(config, shards=4), store=store)
+        assert resumed.signature() == reference.signature()
+
+
+def _kill_once_step(sentinel, kill_at):
+    """A ``ShardRuntime._step_cycle`` wrapper: SIGKILL rank 1
+    mid-window, exactly once.  The sentinel file makes the crash
+    one-shot across the coordinator's retry (the respawned worker must
+    survive) — it lives on disk, so it survives the fork."""
+    original = ShardRuntime._step_cycle
+
+    def step(runtime):
+        if (runtime.world.rank == 1
+                and runtime.net.cycle >= kill_at
+                and not os.path.exists(sentinel)):
+            with open(sentinel, "w") as handle:
+                handle.write("killed\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original(runtime)
+
+    return step
+
+
+class TestShardCrashRecovery:
+    def test_killed_worker_resumes_byte_identical(self, tmp_path,
+                                                  monkeypatch):
+        """SIGKILL one shard worker mid-window; the coordinator detects
+        the lost peer, retries from the last coordinated checkpoint,
+        and the final report is byte-identical to an uninterrupted
+        single-process run."""
+        from repro.checkpoint import ChaosSession, CheckpointStore
+
+        reference = run_chaos_soak(ChaosConfig(**CHAOS_CONFIG))
+        config = ChaosConfig(**CHAOS_CONFIG, shards=2)
+        store = CheckpointStore(tmp_path / "store", "chaos",
+                                ChaosSession.fingerprint_for(config))
+        sentinel = str(tmp_path / "killed-once")
+        monkeypatch.setattr(
+            ShardRuntime, "_step_cycle",
+            _kill_once_step(sentinel, kill_at=1_700))
+        report = run_chaos_soak(config, store=store, interval=500)
+        assert os.path.exists(sentinel), "the crash never fired"
+        assert report.signature() == reference.signature()
+        assert report.counters == reference.counters

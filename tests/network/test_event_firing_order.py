@@ -64,6 +64,37 @@ def _run_log(cycles, mode="event"):
     return log
 
 
+class _Churner:
+    """At its trigger cycle, removes a recorder and re-registers it."""
+
+    def __init__(self, engine, target, trigger):
+        self.engine = engine
+        self.target = target
+        self.trigger = trigger
+        self.done = False
+
+    def step(self, cycle):
+        if not self.done and cycle >= self.trigger:
+            self.done = True
+            self.engine.remove_component(self.target)
+            self.engine.add_component(self.target, local=True)
+            self.engine.wake(self.target)
+
+    def next_event_cycle(self, cycle):
+        if self.done:
+            return None
+        return max(cycle, self.trigger)
+
+
+def _run_churn_log(mode):
+    log = []
+    engine, recorders = _build(log, mode)
+    churner = _Churner(engine, recorders["delta"], trigger=13)
+    engine.add_component(churner, local=True)
+    engine.run(100)
+    return log
+
+
 class TestFiringOrder:
     def test_same_cycle_order_is_registration_order(self):
         log = _run_log(100)
@@ -99,6 +130,20 @@ class TestFiringOrder:
         resumed.load_state(snapshot["engine"])
         resumed.run(200)
         assert log + resumed_log == whole
+
+    def test_removed_then_readded_component_fires_at_new_order(self):
+        # "delta" is removed and immediately re-registered at cycle 13
+        # — inside the run, by a *local* component, so the scheduler
+        # queue is never rebuilt.  Its old heap entry (queued for cycle
+        # 20 under the old registration index) must not survive: a
+        # stale entry matching the re-scheduled cycle would fire delta
+        # first instead of last.
+        log = _run_churn_log("event")
+        burst = [name for cycle, name in log if cycle == 20]
+        assert burst == ["alpha", "charlie", "bravo", "delta"]
+
+    def test_churn_remove_readd_matches_exact_mode(self):
+        assert _run_churn_log("event") == _run_churn_log("exact")
 
     def test_stable_across_interpreters(self, tmp_path):
         # A spawned interpreter gets a different hash seed; if the
