@@ -10,6 +10,7 @@
 #   scripts/run_tests.sh checkpoint     # checkpoint/restore suites + overhead gate
 #   scripts/run_tests.sh service        # control-plane service suites + churn gate
 #   scripts/run_tests.sh shard          # sharded-execution equivalence + scaling gate
+#   scripts/run_tests.sh schedulability # analytic engine suites + tightness gate
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
@@ -41,6 +42,15 @@
 # contract audit, firing-order determinism, accounting — and the
 # loaded-churn speedup gate (>=5x on a 16x16 mesh, artefact written
 # to benchmarks/results/event_engine_speedup.txt).
+# The schedulability job runs the analytic-engine suites —
+# engine/simulator admission agreement, the netcalc brute-force
+# oracle, rollover edge cases, the observed<=predicted safety
+# invariant on random and adversarial sets, campaign pre-filter
+# skip/record/override semantics, service pre-admission — plus the
+# schedulability benchmark gates (>=1 provably infeasible sweep cell
+# skipped and recorded; every measured worst case at or under its
+# bound; gap table written to
+# benchmarks/results/schedulability_tightness.txt).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -129,6 +139,17 @@ run_service() {
         benchmarks/bench_service_churn.py
 }
 
+run_schedulability() {
+    echo "== schedulability: analytic verdicts, oracle, tightness gate =="
+    python -m pytest -q \
+        tests/schedulability \
+        tests/analysis/test_netcalc_oracle.py \
+        tests/service/test_preadmission.py \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        benchmarks/bench_schedulability.py
+}
+
 case "$job" in
     tier1) run_tier1 ;;
     chaos) run_chaos ;;
@@ -139,7 +160,8 @@ case "$job" in
     service) run_service ;;
     shard) run_shard ;;
     event) run_event ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_shard; run_event ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|shard|event|all)" >&2
+    schedulability) run_schedulability ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_shard; run_event; run_schedulability ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|shard|event|schedulability|all)" >&2
            exit 2 ;;
 esac

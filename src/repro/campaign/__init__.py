@@ -8,7 +8,8 @@ package turns "run the grid" into one declarative, resumable job:
   with stable content hashes, grid/zip/list sweep expansion, and
   deterministic seed derivation (:func:`derive_seed`).
 * :mod:`repro.campaign.workloads` — the executable workloads
-  (``random``, ``chaos``), registerable by name.
+  (``random``, ``adversarial``, ``chaos``, ``churn``), registerable
+  by name.
 * :mod:`repro.campaign.cache` — :class:`ResultCache`: atomic,
   content-addressed JSONL result shards; interrupted campaigns resume
   from whatever finished.
@@ -41,6 +42,8 @@ from repro.campaign.aggregate import (
     fault_totals,
     merged_latency,
     summary_lines,
+    tightness_summary,
+    tightness_table,
 )
 from repro.campaign.cache import ResultCache
 from repro.campaign.runner import (
@@ -83,4 +86,6 @@ __all__ = [
     "register_workload",
     "run_and_store",
     "summary_lines",
+    "tightness_summary",
+    "tightness_table",
 ]

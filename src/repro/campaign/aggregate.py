@@ -127,6 +127,65 @@ def admission_reject_table(results: Iterable[Mapping]) -> list[str]:
     return format_table(["admission reject reason", "total"], rows)
 
 
+def tightness_summary(results: Iterable[Mapping]) -> Optional[dict]:
+    """Predicted-vs-observed tightness reduced across runs.
+
+    ``None`` when no run shipped a ``tightness`` payload (only the
+    ``adversarial`` workload does).  Gap statistics cover channels
+    that delivered at least one message; silent channels count toward
+    ``channels`` only.
+    """
+    channels = violations = misses = 0
+    gaps: list[int] = []
+    seen = False
+    for stats in results:
+        tightness = stats.get("tightness")
+        if tightness is None:
+            continue
+        seen = True
+        entries = tightness.get("channels") or []
+        channels += len(entries)
+        violations += len(tightness.get("violations") or ())
+        misses += tightness.get("total_misses", 0)
+        gaps += [entry["gap"] for entry in entries
+                 if entry.get("gap") is not None]
+    if not seen:
+        return None
+    return {
+        "channels": channels,
+        "measured": len(gaps),
+        "violations": violations,
+        "misses": misses,
+        "gap_min": min(gaps) if gaps else None,
+        "gap_mean": sum(gaps) / len(gaps) if gaps else None,
+        "gap_max": max(gaps) if gaps else None,
+    }
+
+
+def tightness_table(results: Iterable[Mapping]) -> list[str]:
+    """The campaign's bound-tightness table (empty list if no run
+    measured tightness)."""
+    summary = tightness_summary(results)
+    if summary is None:
+        return []
+
+    def cell(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    row = [cell(summary[key]) for key in
+           ("channels", "measured", "violations", "misses",
+            "gap_min", "gap_mean", "gap_max")]
+    return format_table(
+        ["channels", "measured", "violations", "misses",
+         "gap min", "gap mean", "gap max"],
+        [row],
+    )
+
+
 def campaign_signature(results: Mapping[str, Mapping]) -> str:
     """Stable digest of every run's stats, keyed by config hash.
 
@@ -148,6 +207,9 @@ def summary_lines(results: Mapping[str, Mapping]) -> list[str]:
     rejects = admission_reject_table(stats_list)
     if rejects:
         lines += ["", *rejects]
+    tightness = tightness_table(stats_list)
+    if tightness:
+        lines += ["", *tightness]
     degraded = sorted({label for stats in stats_list
                        for label in stats.get("degraded") or ()})
     if degraded:

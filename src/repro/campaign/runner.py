@@ -18,6 +18,12 @@
 * **Resume** — results are read from / written to a content-addressed
   :class:`~repro.campaign.cache.ResultCache`; a re-invoked or
   interrupted campaign executes only the missing runs.
+* **Pre-filter** — workloads with a registered feasibility pre-filter
+  (see :mod:`repro.schedulability.prefilter`) have provably-infeasible
+  cells skipped before any worker is paid for: the analytic verdict is
+  recorded in ``CampaignReport.infeasible`` and surfaced in the
+  summary, never silently dropped.  ``prefilter=False`` executes
+  every cell regardless.
 
 The runner keeps its own :class:`~repro.observability.MetricsRegistry`
 (``campaign.*`` counters) so campaign execution is observable with the
@@ -65,6 +71,9 @@ class CampaignReport:
     #: Hashes satisfied from the cache by this invocation.
     cached: list[str]
     quarantined: list[QuarantinedRun] = field(default_factory=list)
+    #: config hash -> analytic verdict, for cells the feasibility
+    #: pre-filter proved infeasible and skipped (never executed).
+    infeasible: dict[str, dict] = field(default_factory=dict)
     retries: int = 0
     elapsed_seconds: float = 0.0
 
@@ -74,8 +83,10 @@ class CampaignReport:
 
     @property
     def ok(self) -> bool:
-        """Every run in the grid has a result (nothing quarantined)."""
-        return not self.quarantined and len(self.results) == self.total
+        """Every run in the grid has a result or an analytic verdict
+        (nothing quarantined)."""
+        return (not self.quarantined
+                and len(self.results) + len(self.infeasible) == self.total)
 
     def signature(self) -> str:
         """Stable digest of the aggregated outcome (resume checks)."""
@@ -87,8 +98,12 @@ class CampaignReport:
         lines += ["", f"runs: {self.total} total, "
                       f"{len(self.executed)} executed, "
                       f"{len(self.cached)} cached, "
+                      f"{len(self.infeasible)} infeasible, "
                       f"{len(self.quarantined)} quarantined, "
                       f"{self.retries} retries"]
+        for config_hash, verdict in sorted(self.infeasible.items()):
+            lines.append(f"INFEASIBLE {config_hash[:8]} skipped: "
+                         f"{verdict.get('reason', 'analytic verdict')}")
         for bad in self.quarantined:
             lines.append(f"QUARANTINED {bad.config_hash[:8]} "
                          f"after {bad.attempts} attempts: {bad.error}")
@@ -132,6 +147,7 @@ class CampaignRunner:
         timeout_seconds: Optional[float] = None,
         backoff_base: float = 0.5,
         reuse_cache: bool = True,
+        prefilter: bool = True,
         executor: Optional[Executor] = None,
         start_method: Optional[str] = None,
         progress: Optional[Callable[[str], None]] = None,
@@ -147,6 +163,7 @@ class CampaignRunner:
         self.timeout_seconds = timeout_seconds
         self.backoff_base = backoff_base
         self.reuse_cache = reuse_cache
+        self.prefilter = prefilter
         self.executor = executor if executor is not None else execute_run
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -156,7 +173,8 @@ class CampaignRunner:
         self.metrics = MetricsRegistry()
         self._counters = {name: self.metrics.counter(f"campaign.{name}")
                           for name in ("runs_total", "cached", "executed",
-                                       "retried", "quarantined")}
+                                       "infeasible", "retried",
+                                       "quarantined")}
 
     # -- internals ---------------------------------------------------------
 
@@ -182,6 +200,24 @@ class CampaignRunner:
         if active.process.is_alive():
             active.process.kill()
             active.process.join()
+
+    def _prefilter_verdict(self, config: RunConfig, done: int,
+                           total: int) -> Optional[dict]:
+        """The analytic skip verdict for ``config``, or ``None``.
+
+        A crashing pre-filter must never lose a run, so any exception
+        degrades to "no verdict" and the cell executes normally.
+        """
+        if not self.prefilter:
+            return None
+        try:
+            from repro.schedulability.prefilter import prefilter_verdict
+
+            return prefilter_verdict(config)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._say(done, total, config.content_hash(),
+                      f"prefilter error (executing anyway): {exc}")
+            return None
 
     def _failure_reason(self, active: _Active) -> str:
         if active.timed_out:
@@ -210,6 +246,7 @@ class CampaignRunner:
         cached: list[str] = []
         executed: list[str] = []
         quarantined: list[QuarantinedRun] = []
+        infeasible: dict[str, dict] = {}
         retries = 0
         total = len(grid)
         done = 0
@@ -219,11 +256,22 @@ class CampaignRunner:
             config_hash = config.content_hash()
             stats = self.cache.load(config) if self.reuse_cache else None
             if stats is not None:
+                # A cached result wins over the pre-filter: the cell
+                # already paid for its simulation, keep the evidence.
                 results[config_hash] = stats
                 cached.append(config_hash)
                 self._counters["cached"].inc()
                 done += 1
                 self._say(done, total, config_hash, "cached")
+                continue
+            verdict = self._prefilter_verdict(config, done, total)
+            if verdict is not None:
+                infeasible[config_hash] = verdict
+                self._counters["infeasible"].inc()
+                done += 1
+                self._say(done, total, config_hash,
+                          f"infeasible: "
+                          f"{verdict.get('reason', 'analytic verdict')}")
             else:
                 pending.append(_Task(config))
 
@@ -302,6 +350,7 @@ class CampaignRunner:
             executed=executed,
             cached=cached,
             quarantined=quarantined,
+            infeasible=infeasible,
             retries=retries,
             elapsed_seconds=time.monotonic() - started,
         )

@@ -7,14 +7,20 @@ is the load-bearing property — the result cache and the determinism
 tests rely on the same config producing byte-identical stats in any
 process.
 
-Two workloads ship by default:
+Four workloads ship by default:
 
 * ``random`` — the CLI's seeded random admitted workload (mixed
   time-constrained and best-effort traffic on a mesh), shared with
   ``repro-router simulate`` so the CLI and campaigns measure the same
   thing.
+* ``adversarial`` — the schedulability tightness harness: analyse a
+  stress-leaning demand set, then drive it with worst-case phasing and
+  report predicted-vs-observed latency per channel
+  (:func:`repro.schedulability.measure_tightness`).
 * ``chaos`` — one seeded fault-injection soak
   (:func:`repro.faults.run_chaos_soak`).
+* ``churn`` — the control-plane service layer under request churn
+  (:func:`repro.service.run_service`).
 
 RNG streams inside a workload are derived with
 :func:`~repro.campaign.spec.derive_seed` per stage (admission vs.
@@ -75,25 +81,26 @@ def build_random_workload(width: int, height: int, channels: int,
     ``rejects``, when given, tallies refused establishments by
     structured :class:`AdmissionError` reason.
     """
-    from repro import TrafficSpec, build_mesh_network
+    from repro import build_mesh_network
     from repro.channels import AdmissionError
+    from repro.schedulability import random_channel_demands
 
-    rng = random.Random(derive_seed(seed, "admit"))
     net = build_mesh_network(width, height, engine=engine)
     if shard_world is not None:
         from repro.shard import install_shard_runtime
 
         install_shard_runtime(net, shard_world)
-    nodes = list(net.mesh.nodes())
+    # The demand generator replays this workload's historical RNG
+    # stream draw for draw, so admission outcomes are unchanged — and
+    # the analytic engine can predict them from the same demand list.
+    demands = random_channel_demands(width, height, channels, seed)
     admitted = []
-    for _ in range(channels):
-        src, dst = rng.sample(nodes, 2)
-        i_min = rng.choice([6, 10, 16, 24])
-        deadline = i_min * (net.mesh.hop_distance(src, dst) + 1) + 10
+    for demand in demands:
         try:
             admitted.append((net.establish_channel(
-                src, dst, TrafficSpec(i_min=i_min), deadline=deadline,
-            ), i_min))
+                demand.source, demand.destinations[0], demand.spec(),
+                deadline=demand.deadline,
+            ), demand.i_min))
         except AdmissionError as exc:
             if rejects is not None:
                 rejects[exc.reason] = rejects.get(exc.reason, 0) + 1
@@ -184,6 +191,56 @@ def run_random(config: RunConfig) -> dict:
         "deadline_misses_undegraded": misses,
         "faults_fired": 0,
         "signature": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The adversarial tightness workload (predict, then measure)
+# ---------------------------------------------------------------------------
+
+def run_adversarial(config: RunConfig) -> dict:
+    """Predict-then-measure one adversarial channel set.
+
+    Analyses the seeded adversarial demand list, establishes it on a
+    real mesh, drives every admitted channel with worst-case phasing
+    (aligned sends, bursts up front), and reduces the delivery log to
+    per-channel tightness — predicted bound, observed worst case, and
+    the gap between them.  Safety failures (a mismatching admission
+    verdict, or an observation above its bound) surface as
+    ``invariant_failures``.  This workload has a registered campaign
+    pre-filter: cells whose demand set is analytically infeasible are
+    skipped before simulation (see :mod:`repro.schedulability.prefilter`).
+    Single-process only; the shard count is ignored.
+    """
+    from repro.schedulability import (TopologySpec,
+                                      adversarial_channel_demands,
+                                      measure_tightness)
+
+    demands = adversarial_channel_demands(
+        config.width, config.height, config.channels, config.seed,
+        torus=config.torus)
+    net, tightness = measure_tightness(
+        TopologySpec(config.width, config.height, torus=config.torus),
+        demands, ticks=config.ticks, engine=config.engine)
+    log = net.log
+    return {
+        "workload": "adversarial",
+        "cycles": net.cycle,
+        "channels_established": len(tightness.channels),
+        "admission_rejects": dict(sorted(
+            tightness.prediction.reject_reasons.items())),
+        "classes": {cls: log.class_stats(cls) for cls in ("TC", "BE")},
+        "latency": {cls: histogram.state() for cls, histogram
+                    in log.latency_histograms.items()},
+        "faults": net.fault_counters().as_dict(),
+        "degraded": [],
+        "duplicates": log.duplicate_deliveries,
+        "invariant_failures": (len(tightness.mismatches)
+                               + len(tightness.violations)),
+        "deadline_misses_undegraded": log.deadline_misses,
+        "faults_fired": 0,
+        "signature": tightness.signature(),
+        "tightness": tightness.as_dict(),
     }
 
 
@@ -287,7 +344,7 @@ def run_churn(config: RunConfig) -> dict:
         "workload": "churn",
         "cycles": report.cycles,
         "channels_established": report.accepted_tc,
-        "admission_rejects": dict(slo["reject_reasons"]),
+        "admission_rejects": dict(slo["admission_reject_reasons"]),
         "classes": {
             "TC": {"delivered": report.tc_delivered_total,
                    "deadline_misses": report.tc_misses_total,
@@ -309,5 +366,6 @@ def run_churn(config: RunConfig) -> dict:
 
 
 register_workload("random", run_random)
+register_workload("adversarial", run_adversarial)
 register_workload("chaos", run_chaos)
 register_workload("churn", run_churn)

@@ -18,6 +18,8 @@ Subcommands::
                              [--report PATH] [--repeat] [...]
     repro-router campaign    SPEC.json [--workers N] [--resume|--rerun]
                              [--cache DIR] [--retries N] [...]
+    repro-router analyze     PROBLEM.json [--json PATH] [--validate]
+                             [--ticks N] [--engine {exact,event}]
 
 ``datasheet`` prints the Table-4-style chip summary; ``experiment``
 regenerates one of the paper's results; ``simulate`` runs a random
@@ -31,7 +33,12 @@ runs the ``simulate`` workload with packet-lifecycle tracing on and
 exports the events as JSON Lines; ``metrics`` runs it with periodic
 registry snapshots and prints the final metric values; ``campaign``
 fans a sweep spec out over worker processes with result caching (see
-``docs/campaigns.md``; exit status 1 when any run was quarantined).
+``docs/campaigns.md``; exit status 1 when any run was quarantined);
+``analyze`` predicts admission verdicts and worst-case latency bounds
+for a topology + channel-set problem file without simulating, and with
+``--validate`` measures the tightness of every predicted bound against
+an adversarially driven simulation (see ``docs/schedulability.md``;
+exit status 1 on an infeasible problem or a violated bound).
 
 Seeding: every seeded subcommand derives independent RNG substreams
 from ``--seed`` via :func:`repro.campaign.derive_seed`, the same
@@ -393,6 +400,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         queue_timeout_ticks=args.queue_timeout,
         max_retries=args.max_retries,
         retry_backoff_ticks=args.retry_backoff,
+        analytic_preadmission=args.analytic_preadmission,
         engine=args.engine,
         shards=args.shards,
     )
@@ -446,6 +454,58 @@ def _cmd_service(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.schedulability import Problem, analyze, measure_tightness
+
+    # Malformed files surface as OSError/ValueError, which main()
+    # turns into a clear message on stderr and exit status 2.
+    problem = Problem.from_file(args.problem)
+    report = analyze(problem.topology, problem.channels)
+    rows = []
+    for verdict in report.channels:
+        destinations = " ".join(f"{d[0]},{d[1]}"
+                                for d in verdict.destinations)
+        rows.append([
+            verdict.label,
+            f"{verdict.source[0]},{verdict.source[1]}",
+            destinations,
+            str(verdict.i_min),
+            str(verdict.deadline),
+            "yes" if verdict.feasible else "NO",
+            "-" if verdict.predicted_bound is None
+            else str(verdict.predicted_bound),
+            "-" if verdict.slack is None else str(verdict.slack),
+            verdict.reason or "-",
+        ])
+    print("\n".join(format_table(
+        ["channel", "src", "dst", "i_min", "D", "feasible",
+         "bound", "slack", "reason"], rows)))
+    print("\n".join(format_kv(report.summary_rows())))
+    payload = report.as_dict()
+    tightness_ok = True
+    if args.validate:
+        net, tightness = measure_tightness(
+            problem.topology, problem.channels, ticks=args.ticks,
+            engine=args.engine)
+        tightness_ok = tightness.ok
+        print("")
+        print("\n".join(format_table(
+            ["channel", "predicted", "observed", "gap",
+             "deliveries", "safe"], tightness.gap_rows())))
+        for mismatch in tightness.mismatches:
+            print(f"PREDICTION MISMATCH: {mismatch}")
+        for label in tightness.violations:
+            print(f"BOUND VIOLATED: {label}")
+        payload["tightness"] = tightness.as_dict()
+    print(f"signature: {report.signature()}")
+    if args.json:
+        from repro.reporting import write_report_json
+
+        path = write_report_json(args.json, payload)
+        print(f"wrote {path}")
+    return 0 if report.feasible and tightness_ok else 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -462,6 +522,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         timeout_seconds=args.timeout,
         backoff_base=args.backoff,
         reuse_cache=args.resume,
+        prefilter=args.prefilter,
         progress=progress,
     )
     report = runner.run()
@@ -630,6 +691,11 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--retry-backoff", type=int, default=4,
                          metavar="TICKS",
                          help="base retry backoff (doubles per attempt)")
+    service.add_argument("--analytic-preadmission",
+                         action="store_true",
+                         help="reject load-independent infeasible "
+                              "requests immediately via the analytic "
+                              "schedulability engine")
     service.add_argument("--report", default=None, metavar="PATH",
                          help="append the SLO report to this JSONL file")
     service.add_argument("--repeat", action="store_true",
@@ -664,9 +730,31 @@ def build_parser() -> argparse.ArgumentParser:
                                "(doubles per attempt)")
     campaign.add_argument("--summary", default=None,
                           help="also write the summary to this text file")
+    campaign.add_argument("--no-prefilter", dest="prefilter",
+                          action="store_false", default=True,
+                          help="execute analytically infeasible cells "
+                               "instead of skipping them")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-run progress lines")
     campaign.set_defaults(func=_cmd_campaign)
+
+    analyze = commands.add_parser(
+        "analyze", help="predict admission verdicts and worst-case "
+                        "bounds for a schedulability problem file "
+                        "(see docs/schedulability.md)")
+    analyze.add_argument("problem",
+                         help="problem JSON path (topology + channels)")
+    analyze.add_argument("--json", default=None, metavar="PATH",
+                         help="also export the verdict report as JSON")
+    analyze.add_argument("--validate", action="store_true",
+                         help="drive the admitted set adversarially in "
+                              "simulation and report predicted-vs-"
+                              "observed tightness")
+    analyze.add_argument("--ticks", type=int, default=200,
+                         help="driving window for --validate "
+                              "(default 200)")
+    _add_engine_arg(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
 
     generate = commands.add_parser(
         "generate-trace", help="write a seeded random workload trace")

@@ -8,6 +8,7 @@ from repro.reporting.export import (
     read_trace_jsonl,
     write_jsonl,
     write_log_csv,
+    write_report_json,
     write_series_csv,
     write_snapshots_jsonl,
     write_trace_jsonl,
@@ -26,6 +27,7 @@ __all__ = [
     "read_trace_jsonl",
     "write_jsonl",
     "write_log_csv",
+    "write_report_json",
     "write_series_csv",
     "write_snapshots_jsonl",
     "write_trace_jsonl",

@@ -53,6 +53,19 @@ def write_log_csv(path: str | pathlib.Path,
     return path
 
 
+def write_report_json(path: str | pathlib.Path,
+                      report: Mapping[str, object]) -> pathlib.Path:
+    """Write a report dictionary as pretty-printed, key-sorted JSON.
+
+    Used by the ``analyze`` CLI subcommand for schedulability verdict
+    exports; sorted keys keep the artefact diff-stable.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def write_jsonl(path: str | pathlib.Path,
                 records: Iterable[Mapping[str, object]],
                 *, canonical: bool = False) -> pathlib.Path:

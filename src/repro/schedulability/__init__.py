@@ -1,0 +1,46 @@
+"""Analytic schedulability engine: predict, then validate by campaign.
+
+The subsystem answers "will this channel set be admitted, and what is
+each channel's worst-case latency?" without running a simulated cycle
+(:func:`analyze`), and backs every bound with a predict-then-measure
+harness that drives the simulator adversarially and reports the
+tightness gap (:func:`measure_tightness`).  See
+``docs/schedulability.md`` for the model and verdict schema.
+"""
+
+from repro.schedulability.engine import (LOAD_INDEPENDENT_REASONS,
+                                         ChannelVerdict, ScheduleReport,
+                                         analyze, predict_admission)
+from repro.schedulability.prefilter import (PREFILTERS, prefilter_verdict,
+                                            register_prefilter)
+from repro.schedulability.spec import (I_MIN_CHOICES, ChannelDemand,
+                                       Problem, TopologySpec,
+                                       adversarial_channel_demands,
+                                       demands_for_requests,
+                                       random_channel_demands)
+from repro.schedulability.validate import (ChannelTightness,
+                                           TightnessReport,
+                                           drive_worst_case,
+                                           measure_tightness)
+
+__all__ = [
+    "I_MIN_CHOICES",
+    "LOAD_INDEPENDENT_REASONS",
+    "PREFILTERS",
+    "ChannelDemand",
+    "ChannelTightness",
+    "ChannelVerdict",
+    "Problem",
+    "ScheduleReport",
+    "TightnessReport",
+    "TopologySpec",
+    "adversarial_channel_demands",
+    "analyze",
+    "demands_for_requests",
+    "drive_worst_case",
+    "measure_tightness",
+    "predict_admission",
+    "prefilter_verdict",
+    "random_channel_demands",
+    "register_prefilter",
+]

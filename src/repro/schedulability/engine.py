@@ -1,0 +1,441 @@
+"""The analytic schedulability engine: verdicts without simulation.
+
+:func:`analyze` replays a channel demand list against a fresh
+:class:`~repro.channels.admission.AdmissionController`, mirroring the
+:class:`~repro.channels.manager.ChannelManager` establishment path
+step for step — route selection, deadline decomposition, the per-link
+EDF demand-bound test, buffer reservation and connection-id allocation
+— but never instantiates a router or runs a cycle.  The result is a
+:class:`ScheduleReport`: per-channel feasibility with a structured
+rejection, the predicted end-to-end worst-case bound (the sum of the
+per-hop ``d_j`` along the deepest path), the slack against the
+requested deadline, per-hop buffer demand, and the network-wide
+bottleneck-link utilisation.
+
+Because the mirror is exact, the engine's verdict on a demand list
+equals the simulator's admission outcome for the same list established
+in the same order — the agreement the validation harness
+(:mod:`repro.schedulability.validate`) asserts before measuring
+tightness.
+
+:func:`predict_admission` is the *live* variant: a dry-run (admit,
+then immediately release) against an existing controller, used by the
+service layer's optional analytic pre-admission verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.netcalc import channel_delay_bound
+from repro.campaign.spec import canonical_dumps
+from repro.channels.admission import (
+    AdmissionController,
+    AdmissionError,
+    HopDescriptor,
+)
+from repro.channels.routing import (
+    dimension_ordered_route,
+    least_loaded_route,
+    multicast_tree,
+    shortest_route_avoiding,
+    tree_parents,
+)
+from repro.channels.spec import FlowRequirements, TrafficSpec
+from repro.core.params import RouterParams
+from repro.schedulability.spec import ChannelDemand, TopologySpec
+
+#: Rejection reasons that no amount of already-admitted load explains:
+#: they follow from the request's own parameters against the router
+#: constants (deadline decomposition, per-hop overhead, i_min cap,
+#: rollover half-range) or from a degenerate route.  A request refused
+#: for one of these can never succeed on retry while the topology and
+#: parameters stand — the service layer's analytic pre-admission
+#: verdict rejects them immediately instead of queueing.
+LOAD_INDEPENDENT_REASONS = frozenset({
+    "empty-route",
+    "delay-caps",
+    "deadline-too-tight",
+    "hop-overhead",
+    "delay-exceeds-imin",
+    "rollover",
+})
+
+
+@dataclass
+class ChannelVerdict:
+    """The engine's prediction for one channel demand."""
+
+    label: str
+    source: tuple[int, int]
+    destinations: tuple[tuple[int, int], ...]
+    i_min: int
+    s_max: int
+    b_max: int
+    deadline: int
+    feasible: bool
+    #: Structured rejection (reason slug + AdmissionError details) when
+    #: infeasible; ``None`` when admitted.
+    reason: Optional[str] = None
+    rejection: Optional[dict] = None
+    #: The (node, out_port) hops the engine routed the channel over.
+    hops: list = field(default_factory=list)
+    #: Per-hop delay decomposition d_j (one entry per hop).
+    local_delays: list = field(default_factory=list)
+    #: Predicted end-to-end worst-case latency bound in ticks: the sum
+    #: of d_j along the deepest source-to-destination path.
+    predicted_bound: Optional[int] = None
+    #: The same bound from the min-plus calculus (cross-check).
+    netcalc_bound: Optional[float] = None
+    #: Deadline budget left unused: requested D minus the bound.
+    slack: Optional[int] = None
+    #: Per-hop buffer demand as (node, port, packets) triples.
+    buffers: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "source": list(self.source),
+            "destinations": [list(node) for node in self.destinations],
+            "i_min": self.i_min,
+            "s_max": self.s_max,
+            "b_max": self.b_max,
+            "deadline": self.deadline,
+            "feasible": self.feasible,
+            "reason": self.reason,
+            "rejection": self.rejection,
+            "hops": [[list(node), port] for node, port in self.hops],
+            "local_delays": list(self.local_delays),
+            "predicted_bound": self.predicted_bound,
+            "netcalc_bound": self.netcalc_bound,
+            "slack": self.slack,
+            "buffers": [[list(node), port, packets]
+                        for node, port, packets in self.buffers],
+        }
+
+
+@dataclass
+class ScheduleReport:
+    """The engine's verdict on a whole problem."""
+
+    topology: TopologySpec
+    channels: list[ChannelVerdict]
+    #: Network-wide occupancy after all admissions (the controller's
+    #: occupancy summary: max/mean link utilisation, buffer fill).
+    occupancy: dict
+    #: The most-utilised link as (node, port, utilisation), or None
+    #: when nothing was admitted.
+    bottleneck: Optional[tuple[tuple[int, int], int, float]]
+    #: Per-node reserved packet buffers as (node, reserved, capacity),
+    #: loaded nodes only.
+    node_buffers: list
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for verdict in self.channels if verdict.feasible)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.channels) - self.admitted
+
+    @property
+    def feasible(self) -> bool:
+        """Every demanded channel is admissible."""
+        return self.rejected == 0
+
+    @property
+    def reject_reasons(self) -> dict:
+        tally: dict[str, int] = {}
+        for verdict in self.channels:
+            if not verdict.feasible and verdict.reason:
+                tally[verdict.reason] = tally.get(verdict.reason, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def verdict_for(self, label: str) -> ChannelVerdict:
+        for verdict in self.channels:
+            if verdict.label == label:
+                return verdict
+        raise KeyError(f"no verdict for channel {label!r}")
+
+    def as_dict(self) -> dict:
+        occupancy = dict(sorted(self.occupancy.items()))
+        for key in ("max_link_utilisation", "mean_link_utilisation",
+                    "max_buffer_fill"):
+            if key in occupancy:
+                occupancy[key] = round(occupancy[key], 9)
+        bottleneck = None
+        if self.bottleneck is not None:
+            node, port, utilisation = self.bottleneck
+            bottleneck = [list(node), port, round(utilisation, 9)]
+        return {
+            "topology": self.topology.to_dict(),
+            "channels": [verdict.as_dict() for verdict in self.channels],
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "feasible": self.feasible,
+            "reject_reasons": self.reject_reasons,
+            "occupancy": occupancy,
+            "bottleneck": bottleneck,
+            "node_buffers": [[list(node), reserved, capacity]
+                             for node, reserved, capacity
+                             in self.node_buffers],
+        }
+
+    def signature(self) -> str:
+        """Stable digest of the whole report (determinism checks)."""
+        return hashlib.sha256(
+            canonical_dumps(self.as_dict()).encode()).hexdigest()
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Headline numbers as display rows (CLI output)."""
+        occupancy = self.occupancy
+        rows = [
+            ("channels", str(len(self.channels))),
+            ("admissible", str(self.admitted)),
+            ("infeasible", str(self.rejected)),
+            ("max link utilisation",
+             f"{occupancy.get('max_link_utilisation', 0.0):.3f}"),
+            ("mean link utilisation",
+             f"{occupancy.get('mean_link_utilisation', 0.0):.3f}"),
+            ("links loaded", str(occupancy.get("links_loaded", 0))),
+            ("max buffer fill",
+             f"{occupancy.get('max_buffer_fill', 0.0):.3f}"),
+        ]
+        if self.bottleneck is not None:
+            node, port, utilisation = self.bottleneck
+            rows.append(("bottleneck link",
+                         f"{node} port {port} ({utilisation:.3f})"))
+        return rows
+
+
+class _IdAllocator:
+    """Mirror of the manager's per-node connection-id allocation."""
+
+    def __init__(self, connections: int) -> None:
+        self.connections = connections
+        self.used: dict[tuple[int, int], set[int]] = {}
+
+    def allocate(self, node: tuple[int, int]) -> int:
+        used = self.used.setdefault(node, set())
+        for cid in range(self.connections):
+            if cid not in used:
+                used.add(cid)
+                return cid
+        raise AdmissionError(
+            f"router {node!r} has no free connection ids",
+            reason="connection-ids", node=node, demanded=1, available=0)
+
+    def allocate_common(self, nodes: Sequence[tuple[int, int]]) -> int:
+        for cid in range(self.connections):
+            if all(cid not in self.used.setdefault(node, set())
+                   for node in nodes):
+                for node in nodes:
+                    self.used[node].add(cid)
+                return cid
+        raise AdmissionError(
+            "no connection id free at every tree node",
+            reason="connection-ids", demanded=1, available=0)
+
+    def rollback(self, allocations: list[tuple[tuple[int, int], int]]
+                 ) -> None:
+        for node, cid in allocations:
+            self.used[node].discard(cid)
+
+
+def _unicast_route(topology: TopologySpec, admission: AdmissionController,
+                   source, destination, *, adaptive: bool):
+    if topology.torus:
+        # Mirrors MeshNetwork.establish_channel: on a torus the
+        # shortest path may cross a wrap link, which dimension-ordered
+        # construction never uses, so the network routes by BFS.
+        return shortest_route_avoiding(
+            topology.width, topology.height, source, destination,
+            failed=set(), torus=True)
+    if adaptive:
+        return least_loaded_route(admission, source, destination)
+    return dimension_ordered_route(source, destination)
+
+
+def _rejected(demand: ChannelDemand,
+              exc: AdmissionError) -> ChannelVerdict:
+    return ChannelVerdict(
+        label=demand.label, source=demand.source,
+        destinations=demand.destinations, i_min=demand.i_min,
+        s_max=demand.s_max, b_max=demand.b_max,
+        deadline=demand.deadline, feasible=False,
+        reason=exc.reason, rejection=exc.details(),
+    )
+
+
+def _admit_unicast(demand: ChannelDemand, topology: TopologySpec,
+                   admission: AdmissionController, ids: _IdAllocator,
+                   *, adaptive: bool) -> ChannelVerdict:
+    route = _unicast_route(topology, admission, demand.source,
+                           demand.destinations[0], adaptive=adaptive)
+    horizon = admission.params.default_horizon
+    hops = [HopDescriptor(node=node, out_port=port, horizon=horizon)
+            for node, port in route]
+    reservation = admission.admit(hops, demand.spec(),
+                                  demand.requirements())
+    allocations: list[tuple[tuple[int, int], int]] = []
+    try:
+        for node, __ in route:
+            allocations.append((node, ids.allocate(node)))
+    except AdmissionError:
+        ids.rollback(allocations)
+        admission.release(reservation)
+        raise
+    delays = reservation.local_delays
+    bound = sum(delays)
+    return ChannelVerdict(
+        label=demand.label, source=demand.source,
+        destinations=demand.destinations, i_min=demand.i_min,
+        s_max=demand.s_max, b_max=demand.b_max,
+        deadline=demand.deadline, feasible=True,
+        hops=list(route), local_delays=list(delays),
+        predicted_bound=bound,
+        netcalc_bound=channel_delay_bound(demand.spec(), list(delays)),
+        slack=demand.deadline - bound,
+        buffers=list(reservation.buffers),
+    )
+
+
+def _admit_multicast(demand: ChannelDemand,
+                     admission: AdmissionController,
+                     ids: _IdAllocator) -> ChannelVerdict:
+    ports_by_node, order = multicast_tree(demand.source,
+                                          list(demand.destinations))
+    parents_map = tree_parents(ports_by_node, order)
+
+    hops: list[HopDescriptor] = []
+    hop_parent: list[int] = []
+    node_first_hop: dict[tuple[int, int], int] = {}
+    horizon = admission.params.default_horizon
+    for node in order:
+        for port in sorted(ports_by_node[node]):
+            parent_node = parents_map[node]
+            parent_index = (node_first_hop[parent_node]
+                            if parent_node is not None else -1)
+            node_first_hop.setdefault(node, len(hops))
+            hops.append(HopDescriptor(node=node, out_port=port,
+                                      horizon=horizon))
+            hop_parent.append(parent_index)
+
+    depth: dict[tuple[int, int], int] = {}
+    for node in order:
+        parent = parents_map[node]
+        depth[node] = 1 if parent is None else depth[parent] + 1
+    tree_depth = max(depth.values()) if depth else 1
+
+    d_min = admission.hop_overhead + 1
+    d_cap = min(demand.i_min, admission.params.half_range - 1)
+    uniform = min(d_cap, demand.deadline // tree_depth)
+    if uniform < d_min:
+        raise AdmissionError(
+            f"deadline {demand.deadline} too tight for a "
+            f"depth-{tree_depth} multicast tree",
+            reason="deadline-too-tight",
+            demanded=d_min * tree_depth, available=demand.deadline)
+    reservation = admission.admit(
+        hops, demand.spec(), demand.requirements(),
+        local_delays=[uniform] * len(hops), parents=hop_parent)
+    try:
+        ids.allocate_common(order)
+    except AdmissionError:
+        admission.release(reservation)
+        raise
+    bound = uniform * tree_depth
+    return ChannelVerdict(
+        label=demand.label, source=demand.source,
+        destinations=demand.destinations, i_min=demand.i_min,
+        s_max=demand.s_max, b_max=demand.b_max,
+        deadline=demand.deadline, feasible=True,
+        hops=[(hop.node, hop.out_port) for hop in hops],
+        local_delays=[uniform] * len(hops),
+        predicted_bound=bound,
+        netcalc_bound=channel_delay_bound(
+            demand.spec(), [uniform] * tree_depth),
+        slack=demand.deadline - bound,
+        buffers=list(reservation.buffers),
+    )
+
+
+def analyze(topology: TopologySpec,
+            demands: Sequence[ChannelDemand], *,
+            params: Optional[RouterParams] = None,
+            adaptive: bool = True) -> ScheduleReport:
+    """Predict admission outcomes and worst-case bounds for a problem.
+
+    Demands are replayed in list order against a fresh controller —
+    order matters exactly as it does for real establishment (earlier
+    channels consume link budget and buffers the later ones see).
+    ``adaptive`` mirrors the manager's default least-loaded route
+    selection; ``False`` forces dimension order (the service layer's
+    setting).
+    """
+    admission = AdmissionController(params or RouterParams())
+    ids = _IdAllocator(admission.params.connections)
+    verdicts: list[ChannelVerdict] = []
+    for demand in demands:
+        try:
+            if len(demand.destinations) == 1:
+                verdicts.append(_admit_unicast(
+                    demand, topology, admission, ids, adaptive=adaptive))
+            else:
+                verdicts.append(_admit_multicast(demand, admission, ids))
+        except AdmissionError as exc:
+            verdicts.append(_rejected(demand, exc))
+
+    bottleneck = None
+    for (node, port), schedule in sorted(admission._links.items()):
+        if not schedule.loads:
+            continue
+        utilisation = schedule.utilisation
+        if bottleneck is None or utilisation > bottleneck[2]:
+            bottleneck = (node, port, utilisation)
+    capacity = admission.params.tc_packet_slots
+    node_buffers = [(node, buffers.reserved_total, capacity)
+                    for node, buffers in sorted(admission._nodes.items())
+                    if buffers.reserved_total]
+    return ScheduleReport(
+        topology=topology, channels=verdicts,
+        occupancy=admission.occupancy(), bottleneck=bottleneck,
+        node_buffers=node_buffers,
+    )
+
+
+def predict_admission(admission: AdmissionController,
+                      hops: list[HopDescriptor], spec: TrafficSpec,
+                      requirements: FlowRequirements) -> dict:
+    """Dry-run verdict against a *live* controller (no state change).
+
+    Admits and immediately releases: :meth:`AdmissionController.admit`
+    commits nothing on failure and :meth:`~AdmissionController.release`
+    exactly undoes a success, so the controller is untouched either
+    way.  Returns a verdict dict with ``feasible``, the structured
+    ``reason``/``rejection`` on failure, whether that reason is
+    load-independent (see :data:`LOAD_INDEPENDENT_REASONS`), and the
+    predicted bound/decomposition on success.
+    """
+    try:
+        reservation = admission.admit(hops, spec, requirements)
+    except AdmissionError as exc:
+        return {
+            "feasible": False,
+            "reason": exc.reason,
+            "rejection": exc.details(),
+            "load_independent": exc.reason in LOAD_INDEPENDENT_REASONS,
+            "local_delays": None,
+            "predicted_bound": None,
+        }
+    admission.release(reservation)
+    return {
+        "feasible": True,
+        "reason": None,
+        "rejection": None,
+        "load_independent": False,
+        "local_delays": list(reservation.local_delays),
+        "predicted_bound": sum(reservation.local_delays),
+    }

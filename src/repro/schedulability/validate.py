@@ -1,0 +1,237 @@
+"""Tightness validation: predicted bounds against simulated worst cases.
+
+The engine's bounds are only trustworthy if (a) its admission verdicts
+match what the simulator actually admits and (b) no fault-free run
+ever observes a latency above the predicted bound.
+:func:`measure_tightness` checks both: it analyses a demand list, then
+establishes the same demands in the same order on a real
+:class:`~repro.network.network.MeshNetwork` and drives every admitted
+channel with its worst case — all sources phase-aligned at tick zero,
+the full ``B_max`` burst up front, then strictly periodic sends at
+``I_min`` — and reduces the delivery log to per-channel observed
+worst-case latency.
+
+The observed latency of a delivery is measured against its *logical*
+arrival time (the deadline clock of the model): ``delivered_tick -
+(absolute_deadline - predicted_bound)``.  The safety invariant
+``observed <= predicted`` is therefore exactly "no deadline miss", and
+the per-channel ``gap = predicted - observed`` quantifies how
+conservative the analysis is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.campaign.spec import canonical_dumps
+from repro.channels.admission import AdmissionError
+from repro.core.params import RouterParams
+from repro.schedulability.engine import ScheduleReport, analyze
+from repro.schedulability.spec import ChannelDemand, TopologySpec
+
+
+@dataclass
+class ChannelTightness:
+    """Predicted versus observed worst case for one admitted channel."""
+
+    label: str
+    predicted: int                 # the engine's bound, ticks
+    observed: Optional[int]        # worst measured latency, ticks
+    deliveries: int
+    misses: int
+
+    @property
+    def gap(self) -> Optional[int]:
+        """How far under the bound the worst observation stayed."""
+        if self.observed is None:
+            return None
+        return self.predicted - self.observed
+
+    @property
+    def safe(self) -> bool:
+        """The safety invariant for this channel (vacuous if silent)."""
+        return self.observed is None or self.observed <= self.predicted
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "predicted": self.predicted,
+            "observed": self.observed,
+            "gap": self.gap,
+            "deliveries": self.deliveries,
+            "misses": self.misses,
+            "safe": self.safe,
+        }
+
+
+@dataclass
+class TightnessReport:
+    """Outcome of one predict-then-measure validation run."""
+
+    topology: TopologySpec
+    engine: str
+    ticks: int
+    prediction: ScheduleReport
+    channels: list[ChannelTightness]
+    #: Engine-vs-simulator admission disagreements (must stay empty).
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        """Channels whose observed worst case exceeded the bound."""
+        return [entry.label for entry in self.channels if not entry.safe]
+
+    @property
+    def total_misses(self) -> int:
+        return sum(entry.misses for entry in self.channels)
+
+    @property
+    def ok(self) -> bool:
+        """Verdicts agreed, every bound held, no deadline missed."""
+        return (not self.mismatches and not self.violations
+                and self.total_misses == 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "topology": self.topology.to_dict(),
+            "engine": self.engine,
+            "ticks": self.ticks,
+            "admitted": self.prediction.admitted,
+            "rejected": self.prediction.rejected,
+            "reject_reasons": self.prediction.reject_reasons,
+            "channels": [entry.as_dict() for entry in self.channels],
+            "mismatches": list(self.mismatches),
+            "violations": self.violations,
+            "total_misses": self.total_misses,
+            "ok": self.ok,
+        }
+
+    def signature(self) -> str:
+        return hashlib.sha256(
+            canonical_dumps(self.as_dict()).encode()).hexdigest()
+
+    def gap_rows(self) -> list[list[str]]:
+        """Per-channel tightness rows (label, predicted, observed...)."""
+        rows = []
+        for entry in self.channels:
+            observed = "-" if entry.observed is None else str(entry.observed)
+            gap = "-" if entry.gap is None else str(entry.gap)
+            rows.append([entry.label, str(entry.predicted), observed,
+                         gap, str(entry.deliveries),
+                         "yes" if entry.safe else "NO"])
+        return rows
+
+
+def drive_worst_case(net, channels: Sequence[tuple[ChannelDemand, object]],
+                     ticks: int) -> None:
+    """Adversarial driving: aligned phases, bursts up front.
+
+    Every channel sends at tick zero (maximal contention: the i_min
+    draw set shares that phase), fires its whole ``B_max`` allowance
+    there, and then sends strictly periodically.  Rate-based source
+    flow control shapes the burst's injection (horizon zero holds a
+    packet until its logical arrival), which is precisely the model's
+    worst admissible behaviour — faster sources only push their own
+    deadlines out.
+    """
+    for tick in range(ticks):
+        for demand, channel in channels:
+            if tick % demand.i_min == 0:
+                sends = demand.b_max if tick == 0 else 1
+                for __ in range(sends):
+                    net.send_message(channel)
+        net.run_ticks(1)
+    net.drain(max_cycles=2_000_000)
+
+
+def measure_tightness(topology: TopologySpec,
+                      demands: Sequence[ChannelDemand], *,
+                      ticks: int, engine: str = "exact",
+                      params: Optional[RouterParams] = None,
+                      adaptive: bool = True):
+    """Run the predict-then-measure loop; returns ``(net, report)``.
+
+    The returned network has run to completion (drained), so callers
+    can reduce its delivery log further (the campaign workload does).
+    """
+    from repro.network.network import MeshNetwork
+
+    prediction = analyze(topology, demands, params=params,
+                         adaptive=adaptive)
+    net = MeshNetwork(topology.width, topology.height, params=params,
+                      torus=topology.torus, engine=engine)
+    mismatches: list[str] = []
+    established: list[tuple[ChannelDemand, object]] = []
+    verdicts: dict[str, object] = {}
+    for demand, verdict in zip(demands, prediction.channels):
+        destinations = (demand.destinations[0]
+                        if len(demand.destinations) == 1
+                        else demand.destinations)
+        try:
+            channel = net.establish_channel(
+                demand.source, destinations, demand.spec(),
+                deadline=demand.deadline, label=demand.label,
+                adaptive=adaptive)
+        except AdmissionError as exc:
+            if verdict.feasible:
+                mismatches.append(
+                    f"{demand.label}: engine admitted but simulator "
+                    f"rejected ({exc.reason})")
+            elif exc.reason != verdict.reason:
+                mismatches.append(
+                    f"{demand.label}: rejection reason diverged "
+                    f"(engine {verdict.reason!r}, "
+                    f"simulator {exc.reason!r})")
+            continue
+        if not verdict.feasible:
+            mismatches.append(
+                f"{demand.label}: engine rejected ({verdict.reason}) "
+                f"but simulator admitted")
+            continue
+        if channel.deadline != verdict.predicted_bound:
+            mismatches.append(
+                f"{demand.label}: bound diverged (engine "
+                f"{verdict.predicted_bound}, simulator "
+                f"{channel.deadline})")
+        established.append((demand, channel))
+        verdicts[demand.label] = verdict
+
+    drive_worst_case(net, established, ticks)
+
+    slot = net.params.slot_cycles
+    worst: dict[str, int] = {}
+    counts: dict[str, int] = {}
+    misses: dict[str, int] = {}
+    for record in net.log.records:
+        label = record.connection_label
+        if (label not in verdicts or record.duplicate
+                or record.traffic_class != "TC"):
+            continue
+        delivered_tick = -(-record.delivered_cycle // slot)
+        predicted = verdicts[label].predicted_bound
+        # absolute_deadline = logical_arrival + predicted, so this is
+        # the latency measured from the logical arrival time.
+        latency = delivered_tick - (record.absolute_deadline - predicted)
+        worst[label] = max(worst.get(label, latency), latency)
+        counts[label] = counts.get(label, 0) + 1
+        if record.deadline_met is False:
+            misses[label] = misses.get(label, 0) + 1
+
+    channels = [
+        ChannelTightness(
+            label=demand.label,
+            predicted=verdicts[demand.label].predicted_bound,
+            observed=worst.get(demand.label),
+            deliveries=counts.get(demand.label, 0),
+            misses=misses.get(demand.label, 0),
+        )
+        for demand, __ in established
+    ]
+    report = TightnessReport(
+        topology=topology, engine=engine, ticks=ticks,
+        prediction=prediction, channels=channels,
+        mismatches=mismatches,
+    )
+    return net, report

@@ -78,6 +78,11 @@ class ServiceConfig:
     max_retries: int = 3
     retry_backoff_ticks: int = 4
     teardown_margin_ticks: int = 4
+    #: Consult the analytic schedulability engine before the headroom
+    #: ladder: a request whose infeasibility is load-independent (bad
+    #: deadline, hop overhead, rollover — nothing queueing can fix) is
+    #: rejected immediately instead of burning queue slots and retries.
+    analytic_preadmission: bool = False
 
     def validate(self) -> None:
         if not 0.0 < self.util_threshold <= 1.0:
@@ -150,6 +155,11 @@ class ServiceController:
         self.counters: dict[str, int] = {name: 0
                                          for name in COUNTER_NAMES}
         self.reject_reasons: dict[str, int] = {}
+        #: Structured :class:`AdmissionError` reasons behind every
+        #: failed establishment attempt (including analytic
+        #: pre-admission verdicts) — distinct from ``reject_reasons``,
+        #: which tallies the service's own final decisions.
+        self.admission_reject_reasons: dict[str, int] = {}
         self.flows: dict[str, Flow] = {}
         self._queue: list[_QueueEntry] = []
         #: Labels of every TC channel the service admitted (kept after
@@ -211,12 +221,43 @@ class ServiceController:
             return "accepted"
         if self.overload.active:
             return self._enqueue(request, tick, "overload")
+        reason = self._preadmission_reason(request)
+        if reason is not None:
+            return self._reject(request, reason)
         if not self._headroom_ok(request):
             return self._enqueue(request, tick, "headroom")
         reason = self._try_establish(request, tick)
         if reason is None:
             return "accepted"
         return self._enqueue(request, tick, reason)
+
+    def _preadmission_reason(self, request: ChannelRequest
+                             ) -> Optional[str]:
+        """The analytic verdict's reason iff the request can *never*
+        be admitted (load-independent infeasibility), else ``None``.
+
+        Load-dependent verdicts fall through to the normal ladder —
+        load changes as flows retire, so queueing may still win; the
+        eventual failure is tallied by :meth:`_try_establish`.
+        """
+        if not self.config.analytic_preadmission:
+            return None
+        from repro.channels.spec import FlowRequirements
+        from repro.schedulability.engine import predict_admission
+
+        manager = self.network.manager
+        route = dimension_ordered_route(request.source,
+                                        request.destination)
+        verdict = predict_admission(
+            manager.admission, manager._hop_descriptors(route),
+            TrafficSpec(i_min=request.i_min),
+            FlowRequirements(deadline=request.deadline_ticks))
+        if verdict["feasible"] or not verdict["load_independent"]:
+            return None
+        reason = verdict["reason"]
+        self.admission_reject_reasons[reason] = (
+            self.admission_reject_reasons.get(reason, 0) + 1)
+        return reason
 
     def _headroom_ok(self, request: ChannelRequest) -> bool:
         """Preventive check: would this setup breach the thresholds?"""
@@ -247,6 +288,8 @@ class ServiceController:
                 label=request.label, adaptive=False,
             )
         except AdmissionError as exc:
+            self.admission_reject_reasons[exc.reason] = (
+                self.admission_reject_reasons.get(exc.reason, 0) + 1)
             return exc.reason
         self._activate_tc(request, tick)
         return None
@@ -438,6 +481,8 @@ class ServiceController:
         return {
             "counters": dict(sorted(self.counters.items())),
             "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "admission_reject_reasons": dict(sorted(
+                self.admission_reject_reasons.items())),
             "queue": [[entry.index, entry.enqueued_tick, entry.attempts,
                        entry.next_retry_tick]
                       for entry in self._queue],
@@ -457,6 +502,9 @@ class ServiceController:
                          for name in COUNTER_NAMES}
         self.reject_reasons = {str(reason): int(count) for reason, count
                                in state["reject_reasons"].items()}
+        self.admission_reject_reasons = {
+            str(reason): int(count) for reason, count
+            in state.get("admission_reject_reasons", {}).items()}
         self._queue = [
             _QueueEntry(index=index, enqueued_tick=enqueued,
                         attempts=attempts, next_retry_tick=retry)

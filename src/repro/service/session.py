@@ -58,6 +58,10 @@ class ServiceRunConfig:
     queue_timeout_ticks: int = 64
     max_retries: int = 3
     retry_backoff_ticks: int = 4
+    #: Ask the analytic schedulability engine for a verdict before the
+    #: headroom ladder; load-independent infeasibilities are rejected
+    #: immediately (see :class:`~repro.service.controller.ServiceConfig`).
+    analytic_preadmission: bool = False
     #: Engine scheduling mode ("exact" or "event"); both produce
     #: byte-identical reports — "event" just skips idle work.
     engine: str = "exact"
@@ -98,6 +102,7 @@ class ServiceRunConfig:
             queue_timeout_ticks=self.queue_timeout_ticks,
             max_retries=self.max_retries,
             retry_backoff_ticks=self.retry_backoff_ticks,
+            analytic_preadmission=self.analytic_preadmission,
         )
 
     def churn_workload(self) -> ChurnWorkload:
@@ -162,6 +167,11 @@ class ServiceSession(_SessionBase):
         # docs/sharding.md).
         config_dict.pop("engine", None)
         config_dict.pop("shards", None)
+        # The pre-admission verdict *is* behaviour-shaping when on, but
+        # its default-off value is dropped so fingerprints of every
+        # pre-existing checkpoint stay valid.
+        if not config_dict.get("analytic_preadmission"):
+            config_dict.pop("analytic_preadmission", None)
         return fingerprint_of({
             "workload": cls.KIND,
             "config": config_dict,

@@ -59,6 +59,10 @@ class SLOReport:
     peak_queue_depth: int
     peak_link_utilisation: float
     demoted_labels: list = field(default_factory=list)
+    #: Structured AdmissionError reasons behind failed establishment
+    #: attempts (audit trail; distinct from ``reject_reasons``, the
+    #: service's own final decisions).
+    admission_reject_reasons: dict = field(default_factory=dict)
 
     @property
     def accept_rate(self) -> float:
@@ -96,6 +100,8 @@ class SLOReport:
             "accepted_be": self.accepted_be,
             "rejected": self.rejected,
             "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "admission_reject_reasons": dict(sorted(
+                self.admission_reject_reasons.items())),
             "queued_total": self.queued_total,
             "queue_timeouts": self.queue_timeouts,
             "retries_total": self.retries_total,
@@ -192,6 +198,8 @@ def build_slo_report(controller, network, workload_payload: dict,
         rejected=counters["rejected"],
         reject_reasons=dict(sorted(
             controller.reject_reasons.items())),
+        admission_reject_reasons=dict(sorted(
+            controller.admission_reject_reasons.items())),
         queued_total=counters["queued_total"],
         queue_timeouts=counters["queue_timeouts"],
         retries_total=counters["retries_total"],

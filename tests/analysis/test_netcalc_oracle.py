@@ -1,0 +1,169 @@
+"""Brute-force oracles for the network-calculus bounds.
+
+The closed-form ``delay_bound``/``backlog_bound`` implementations scan
+arrival-curve breakpoints.  These tests cross-check them against
+exhaustive numeric evaluation of the defining suprema over dense time
+grids, for seeded families of curve shapes — the oracle may slightly
+under-estimate (grid resolution) but must never exceed the analytic
+answer, and the two must agree to within the grid step.
+
+Also covers the clock-rollover half-range edge cases the analytic
+engine leans on (paper section 4.3).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.netcalc import (
+    ArrivalCurve,
+    ServiceCurve,
+    TokenBucket,
+    backlog_bound,
+    channel_delay_bound,
+    delay_bound,
+)
+from repro.analysis.rollover import (
+    classify,
+    is_safe,
+    live_window,
+    required_clock_bits,
+)
+from repro.channels.spec import TrafficSpec
+
+#: Numeric slack for grid-based suprema versus the closed forms.
+EPS = 1e-6
+
+
+def oracle_delay(arrival: ArrivalCurve, service: ServiceCurve,
+                 horizon: float, step: float) -> float:
+    """sup_t inf{d : service(t + d) >= arrival(t)} by grid + bisection."""
+    worst = 0.0
+    steps = int(horizon / step)
+    for index in range(steps + 1):
+        t = index * step
+        need = arrival(t)
+        lo, hi = 0.0, 1.0
+        while service(t + hi) < need and hi < 1e7:
+            hi *= 2
+        assert hi < 1e7, "service never catches up (unstable case)"
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if service(t + mid) >= need:
+                hi = mid
+            else:
+                lo = mid
+        worst = max(worst, hi)
+    return worst
+
+
+def oracle_backlog(arrival: ArrivalCurve, service: ServiceCurve,
+                   horizon: float, step: float) -> float:
+    """sup_t (arrival(t) - service(t)) by dense grid."""
+    steps = int(horizon / step)
+    return max(arrival(index * step) - service(index * step)
+               for index in range(steps + 1))
+
+
+def random_stable_pair(rng: random.Random):
+    """A seeded (arrival, service) pair with guaranteed stability."""
+    buckets = [TokenBucket(burst=rng.uniform(0.5, 8.0),
+                           rate=rng.uniform(0.05, 0.6))
+               for _ in range(rng.randint(1, 3))]
+    arrival = ArrivalCurve(buckets)
+    # Rate strictly above the long-term arrival rate keeps the delay
+    # and backlog suprema finite (and reached at a breakpoint).
+    rate = arrival.long_term_rate + rng.uniform(0.1, 1.0)
+    latency = rng.uniform(0.0, 12.0)
+    return arrival, ServiceCurve(rate=rate, latency=latency)
+
+
+@pytest.mark.parametrize("seed", range(12))
+class TestBruteForceOracles:
+    def test_delay_bound_matches_exhaustive_evaluation(self, seed):
+        rng = random.Random(seed)
+        arrival, service = random_stable_pair(rng)
+        analytic = delay_bound(arrival, service)
+        horizon = max(arrival.breakpoints(), default=1.0) * 3 + 50.0
+        observed = oracle_delay(arrival, service, horizon, step=0.02)
+        assert observed <= analytic + EPS
+        assert observed == pytest.approx(analytic, abs=0.05)
+
+    def test_backlog_bound_matches_exhaustive_evaluation(self, seed):
+        rng = random.Random(seed)
+        arrival, service = random_stable_pair(rng)
+        analytic = backlog_bound(arrival, service)
+        horizon = max(arrival.breakpoints(), default=1.0) * 3 + 50.0
+        observed = oracle_backlog(arrival, service, horizon, step=0.02)
+        assert observed <= analytic + EPS
+        assert observed == pytest.approx(analytic, abs=0.05)
+
+
+class TestPureDelayComposition:
+    def test_channel_bound_is_exactly_the_delay_sum(self):
+        spec = TrafficSpec(i_min=10, b_max=2)
+        delays = [4, 7, 3]
+        assert channel_delay_bound(spec, delays) == pytest.approx(14.0)
+
+    def test_infinite_rate_service_delay_is_its_latency(self):
+        arrival = ArrivalCurve.token_bucket(burst=5, rate=0.3)
+        service = ServiceCurve.pure_delay(9.0)
+        assert delay_bound(arrival, service) == pytest.approx(9.0)
+
+
+class TestRolloverEdgeCases:
+    def test_safe_exactly_below_half_range(self):
+        # clock_bits=8 -> half range 128: 127 is the last safe value.
+        assert is_safe(8, 127, 0, 0)
+        assert is_safe(8, 0, 127, 0)
+        assert not is_safe(8, 128, 0, 0)
+        assert not is_safe(8, 0, 128, 0)
+        assert not is_safe(8, 0, 64, 64)  # sum crosses the half range
+
+    def test_live_window_span(self):
+        window = live_window(5, 7, 2)
+        assert window.behind == 5
+        assert window.ahead == 9
+        assert window.span == 15
+
+    def test_required_clock_bits_is_minimal(self):
+        for max_delay in (1, 2, 7, 127, 128, 255):
+            for max_horizon in (0, 1, 64):
+                bits = required_clock_bits(max_delay, max_horizon)
+                worst = max(max_delay, max_horizon + max_delay)
+                assert is_safe(bits, max_delay, max_delay, max_horizon)
+                # One bit fewer must break the half-range condition
+                # (unless already at the floor of 2 bits).
+                if bits > 2:
+                    assert worst >= (1 << (bits - 1)) // 2
+
+    def test_required_clock_bits_floor(self):
+        assert required_clock_bits(1, 0) == 2
+
+    def test_classify_at_the_half_boundary(self):
+        half = (1 << 8) // 2
+        assert classify(8, 100, 100) == "on-time"       # zero age
+        assert classify(8, 100 + half - 1, 100) == "on-time"
+        assert classify(8, 100 + half, 100) == "early"  # wrapped past
+        assert classify(8, 100, 101) == "early"         # truly early
+
+    def test_classify_wraps_modulo_clock(self):
+        # Ages congruent mod 2^bits classify identically.
+        assert classify(8, 300, 44) == classify(8, 300 + 256, 44)
+        assert classify(8, 300, 44) == classify(8, 300, 44 + 256)
+
+    def test_wrapped_delay_would_misclassify(self):
+        # The failure mode the half-range rule prevents: a packet
+        # delayed by >= half the clock range decodes as "early".
+        half = (1 << 8) // 2
+        assert classify(8, half, 0) == "early"
+        assert not is_safe(8, half, 0, 0)
+
+    def test_math_against_window(self):
+        # required bits always cover the live window's span.
+        for delay, horizon in ((3, 0), (10, 5), (127, 0), (60, 60)):
+            bits = required_clock_bits(delay, horizon)
+            window = live_window(delay, delay, horizon)
+            assert window.span <= (1 << bits)
+            assert math.ceil(math.log2(window.span)) <= bits

@@ -1,0 +1,210 @@
+"""Tests for the analytic engine: specs, verdicts, simulator agreement.
+
+The engine's whole value is that ``analyze`` is *exactly* the
+simulator's admission control replayed without a simulator, so the
+heart of this file is agreement testing: for seeded demand lists, the
+engine and :meth:`MeshNetwork.establish_channel` must reach identical
+admit/reject decisions, identical rejection reasons, and identical
+end-to-end bounds.
+"""
+
+import json
+
+import pytest
+
+from repro.channels.admission import AdmissionError
+from repro.network.network import MeshNetwork
+from repro.schedulability import (
+    ChannelDemand,
+    Problem,
+    TopologySpec,
+    adversarial_channel_demands,
+    analyze,
+    predict_admission,
+    random_channel_demands,
+)
+
+
+def simulate_admissions(topology, demands):
+    """Ground truth: establish the demands in order on a real mesh."""
+    net = MeshNetwork(topology.width, topology.height,
+                      torus=topology.torus)
+    outcomes = []
+    for demand in demands:
+        destinations = (demand.destinations[0]
+                        if len(demand.destinations) == 1
+                        else demand.destinations)
+        try:
+            channel = net.establish_channel(
+                demand.source, destinations, demand.spec(),
+                deadline=demand.deadline, label=demand.label)
+        except AdmissionError as exc:
+            outcomes.append((False, exc.reason, None))
+        else:
+            outcomes.append((True, None, channel.deadline))
+    return net, outcomes
+
+
+class TestSpecs:
+    def test_problem_json_roundtrip(self, tmp_path):
+        problem = Problem(
+            topology=TopologySpec(3, 3),
+            channels=tuple(random_channel_demands(3, 3, 4, seed=5)),
+        )
+        again = Problem.from_json(problem.to_json())
+        assert again == problem
+        path = problem.save(tmp_path / "p.json")
+        assert Problem.from_file(path) == problem
+
+    def test_malformed_inputs_raise_value_error(self):
+        with pytest.raises(ValueError, match="invalid problem JSON"):
+            Problem.from_json("{nope")
+        with pytest.raises(ValueError, match="needs a topology"):
+            Problem.from_dict({"channels": []})
+        with pytest.raises(ValueError, match="unknown problem fields"):
+            Problem.from_dict({"topology": {"width": 2, "height": 2},
+                               "channels": [], "bogus": 1})
+        with pytest.raises(ValueError, match="duplicate channel labels"):
+            Problem.from_dict({
+                "topology": {"width": 2, "height": 2},
+                "channels": [
+                    {"label": "a", "source": [0, 0],
+                     "destinations": [[1, 0]], "i_min": 6,
+                     "deadline": 20},
+                    {"label": "a", "source": [0, 1],
+                     "destinations": [[1, 1]], "i_min": 6,
+                     "deadline": 20},
+                ],
+            })
+        with pytest.raises(ValueError, match="i_min"):
+            ChannelDemand(label="x", source=(0, 0),
+                          destinations=((1, 0),), i_min=0, deadline=5)
+        with pytest.raises(ValueError):
+            TopologySpec(0, 4)
+
+    def test_random_demands_are_deterministic(self):
+        a = random_channel_demands(4, 4, 8, seed=7)
+        b = random_channel_demands(4, 4, 8, seed=7)
+        assert a == b
+        assert a != random_channel_demands(4, 4, 8, seed=8)
+
+    def test_adversarial_demands_mix_bursts_and_sizes(self):
+        demands = adversarial_channel_demands(4, 4, 32, seed=1)
+        assert {demand.b_max for demand in demands} == {1, 2}
+        assert len({demand.s_max for demand in demands}) == 2
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+    @pytest.mark.parametrize("channels", [8, 40])
+    def test_random_demands_agree(self, seed, channels):
+        topology = TopologySpec(4, 4)
+        demands = random_channel_demands(4, 4, channels, seed)
+        report = analyze(topology, demands)
+        _, outcomes = simulate_admissions(topology, demands)
+        for verdict, (feasible, reason, deadline) in zip(
+                report.channels, outcomes):
+            assert verdict.feasible == feasible, verdict.label
+            assert verdict.reason == reason, verdict.label
+            if feasible:
+                assert verdict.predicted_bound == deadline
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_adversarial_demands_agree(self, seed):
+        topology = TopologySpec(4, 4)
+        demands = adversarial_channel_demands(4, 4, 28, seed)
+        report = analyze(topology, demands)
+        _, outcomes = simulate_admissions(topology, demands)
+        for verdict, (feasible, reason, deadline) in zip(
+                report.channels, outcomes):
+            assert verdict.feasible == feasible, verdict.label
+            assert verdict.reason == reason, verdict.label
+            if feasible:
+                assert verdict.predicted_bound == deadline
+
+    def test_multicast_agrees(self):
+        topology = TopologySpec(4, 4)
+        demands = [ChannelDemand(
+            label="mc", source=(0, 0),
+            destinations=((3, 0), (0, 3), (3, 3)),
+            i_min=10, deadline=60,
+        )]
+        report = analyze(topology, demands)
+        _, outcomes = simulate_admissions(topology, demands)
+        verdict = report.verdict_for("mc")
+        assert verdict.feasible == outcomes[0][0] is True
+        assert verdict.predicted_bound == outcomes[0][2]
+
+    def test_torus_agrees(self):
+        topology = TopologySpec(4, 4, torus=True)
+        demands = random_channel_demands(4, 4, 12, seed=3, torus=True)
+        report = analyze(topology, demands)
+        _, outcomes = simulate_admissions(topology, demands)
+        for verdict, (feasible, reason, deadline) in zip(
+                report.channels, outcomes):
+            assert verdict.feasible == feasible, verdict.label
+            if feasible:
+                assert verdict.predicted_bound == deadline
+
+
+class TestVerdictReport:
+    def test_rejections_carry_structured_reasons(self):
+        # A deadline shorter than the route can ever satisfy.
+        topology = TopologySpec(4, 4)
+        demands = [ChannelDemand(label="tight", source=(0, 0),
+                                 destinations=((3, 3),), i_min=24,
+                                 deadline=2)]
+        report = analyze(topology, demands)
+        verdict = report.verdict_for("tight")
+        assert not verdict.feasible
+        assert verdict.reason
+        assert verdict.rejection is not None
+        assert report.reject_reasons == {verdict.reason: 1}
+        assert not report.feasible
+
+    def test_report_round_trips_through_json(self):
+        topology = TopologySpec(4, 4)
+        report = analyze(topology, random_channel_demands(4, 4, 6, 11))
+        payload = report.as_dict()
+        assert json.loads(json.dumps(payload)) == json.loads(
+            json.dumps(payload))
+        assert payload["admitted"] == 6
+        assert len(payload["channels"]) == 6
+        assert payload["bottleneck"] is not None
+        assert payload["node_buffers"]
+
+    def test_signature_is_stable(self):
+        topology = TopologySpec(4, 4)
+        demands = random_channel_demands(4, 4, 6, 11)
+        assert (analyze(topology, demands).signature()
+                == analyze(topology, demands).signature())
+
+    def test_per_hop_decomposition_sums_to_bound(self):
+        topology = TopologySpec(4, 4)
+        report = analyze(topology, random_channel_demands(4, 4, 6, 2))
+        for verdict in report.channels:
+            assert verdict.feasible
+            assert sum(verdict.local_delays) == verdict.predicted_bound
+            assert len(verdict.hops) == len(verdict.local_delays)
+            assert verdict.slack == (verdict.deadline
+                                     - verdict.predicted_bound)
+            assert verdict.netcalc_bound == pytest.approx(
+                float(verdict.predicted_bound))
+            assert verdict.buffers  # every hop reserves buffers
+
+    def test_predict_admission_leaves_controller_untouched(self):
+        net = MeshNetwork(4, 4)
+        manager = net.manager
+        demand = random_channel_demands(4, 4, 1, seed=0)[0]
+        from repro.channels.routing import dimension_ordered_route
+
+        route = dimension_ordered_route(demand.source,
+                                        demand.destinations[0])
+        before = manager.admission.occupancy()
+        verdict = predict_admission(
+            manager.admission, manager._hop_descriptors(route),
+            demand.spec(), demand.requirements())
+        assert verdict["feasible"]
+        assert verdict["predicted_bound"] == sum(
+            verdict["local_delays"])
+        assert manager.admission.occupancy() == before

@@ -1,0 +1,121 @@
+"""Tests for the campaign feasibility pre-filter.
+
+Skipping is only acceptable if it is provable, recorded, and
+overridable: an infeasible cell must land in
+``CampaignReport.infeasible`` with its analytic verdict, show up in
+the summary output, count toward ``report.ok`` — and execute normally
+under ``prefilter=False`` or when a cached result already exists.
+"""
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+from repro.campaign.spec import RunConfig
+from repro.schedulability import (
+    PREFILTERS,
+    prefilter_verdict,
+    register_prefilter,
+)
+
+#: With this fixed seed on a 4x4 mesh, 4 adversarial channels are
+#: analytically feasible and 24 are not (link-schedulability).
+FEASIBLE, INFEASIBLE = 4, 24
+
+
+def adversarial_spec(channels):
+    return CampaignSpec(
+        name="tightness", mode="grid",
+        base={"workload": "adversarial", "width": 4, "height": 4,
+              "ticks": 60, "seed": 123},
+        axes={"channels": channels},
+    )
+
+
+def run_campaign(tmp_path, spec, **kwargs):
+    kwargs.setdefault("backoff_base", 0.01)
+    runner = CampaignRunner(spec, ResultCache(tmp_path / "cache"),
+                            **kwargs)
+    return runner, runner.run()
+
+
+class TestVerdictFunction:
+    def test_infeasible_cell_yields_structured_verdict(self):
+        verdict = prefilter_verdict(RunConfig(
+            workload="adversarial", channels=INFEASIBLE, seed=123))
+        assert verdict is not None
+        assert verdict["rejected"] >= 1
+        assert verdict["total"] == INFEASIBLE
+        assert verdict["reject_reasons"]
+        assert "infeasible" in verdict["reason"]
+
+    def test_feasible_cell_yields_none(self):
+        assert prefilter_verdict(RunConfig(
+            workload="adversarial", channels=FEASIBLE, seed=123)) is None
+
+    def test_unfiltered_workloads_always_run(self):
+        assert prefilter_verdict(RunConfig(workload="random",
+                                           channels=999)) is None
+
+    def test_registry_mechanism(self):
+        marker = {"reason": "always skip"}
+        register_prefilter("always-skip", lambda config: marker)
+        try:
+            config = RunConfig(workload="always-skip")
+            assert prefilter_verdict(config) is marker
+        finally:
+            del PREFILTERS["always-skip"]
+        # Deregistered: back to "no verdict".
+        assert prefilter_verdict(RunConfig(
+            workload="always-skip")) is None
+
+
+class TestRunnerIntegration:
+    def test_infeasible_cells_skipped_and_recorded(self, tmp_path):
+        progress = []
+        _, report = run_campaign(
+            tmp_path, adversarial_spec([FEASIBLE, INFEASIBLE]),
+            progress=progress.append)
+        assert len(report.infeasible) == 1
+        assert len(report.results) == 1
+        assert len(report.executed) == 1
+        assert report.ok  # a skipped cell is accounted for, not lost
+        (verdict,) = report.infeasible.values()
+        assert verdict["rejected"] >= 1
+        summary = "\n".join(report.summary_lines())
+        assert "INFEASIBLE" in summary
+        assert "1 infeasible" in summary
+        assert any("infeasible" in line for line in progress)
+
+    def test_summary_includes_tightness_table(self, tmp_path):
+        _, report = run_campaign(tmp_path, adversarial_spec([FEASIBLE]))
+        summary = "\n".join(report.summary_lines())
+        assert "gap mean" in summary
+        stats = next(iter(report.results.values()))
+        assert stats["tightness"]["ok"] is True
+        assert stats["tightness"]["violations"] == []
+        assert stats["invariant_failures"] == 0
+
+    def test_prefilter_off_executes_everything(self, tmp_path):
+        _, report = run_campaign(
+            tmp_path, adversarial_spec([FEASIBLE, INFEASIBLE]),
+            prefilter=False)
+        assert not report.infeasible
+        assert len(report.results) == 2
+        assert report.ok
+
+    def test_cached_result_wins_over_prefilter(self, tmp_path):
+        spec = adversarial_spec([INFEASIBLE])
+        _, first = run_campaign(tmp_path, spec, prefilter=False)
+        assert len(first.executed) == 1
+        # Same cache: the pre-filter never discards paid-for evidence.
+        _, second = run_campaign(tmp_path, spec, prefilter=True)
+        assert not second.infeasible
+        assert len(second.cached) == 1
+        assert second.signature() == first.signature()
+
+    def test_skip_decision_is_deterministic(self, tmp_path):
+        spec = adversarial_spec([FEASIBLE, INFEASIBLE])
+        _, first = run_campaign(tmp_path, spec)
+        _, second = run_campaign(tmp_path / "again", spec)
+        assert first.infeasible == second.infeasible
+        assert first.signature() == second.signature()

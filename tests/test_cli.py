@@ -357,3 +357,78 @@ class TestCampaignCommand:
         bad.write_text('{"name": "x", "mode": "shuffle"}\n')
         assert main(["campaign", str(bad)]) == 2
         assert "mode" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def _problem_path(self, tmp_path, channels=4, extra=None):
+        from repro.schedulability import (
+            Problem,
+            TopologySpec,
+            random_channel_demands,
+        )
+
+        demands = tuple(random_channel_demands(4, 4, channels, seed=1))
+        if extra is not None:
+            demands += tuple(extra)
+        problem = Problem(topology=TopologySpec(4, 4), channels=demands)
+        return problem.save(tmp_path / "problem.json")
+
+    def test_feasible_problem_exits_zero(self, capsys, tmp_path):
+        path = self._problem_path(tmp_path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "admissible" in out
+        assert "signature: " in out
+        assert "bottleneck" in out
+
+    def test_infeasible_problem_exits_one(self, capsys, tmp_path):
+        from repro.schedulability import ChannelDemand
+
+        doomed = ChannelDemand(label="doomed", source=(0, 0),
+                               destinations=((3, 3),), i_min=24,
+                               deadline=2)
+        path = self._problem_path(tmp_path, extra=[doomed])
+        assert main(["analyze", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "NO" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        path = self._problem_path(tmp_path)
+        out_path = tmp_path / "reports" / "verdict.json"
+        assert main(["analyze", str(path),
+                     "--json", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["admitted"] == 4
+        assert len(payload["channels"]) == 4
+        assert "wrote " in capsys.readouterr().out
+
+    def test_validate_prints_gap_table(self, capsys, tmp_path):
+        path = self._problem_path(tmp_path)
+        out_path = tmp_path / "verdict.json"
+        assert main(["analyze", str(path), "--validate",
+                     "--ticks", "60", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "observed" in out
+        assert "MISMATCH" not in out
+        assert "VIOLATED" not in out
+        payload = json.loads(out_path.read_text())
+        assert payload["tightness"]["ok"] is True
+
+    def test_missing_problem_is_an_error(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_json_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["analyze", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "invalid problem JSON" in err
+
+    def test_unknown_field_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"topology": {"width": 2, "height": 2},'
+                       ' "channels": [], "bogus": 1}\n')
+        assert main(["analyze", str(bad)]) == 2
+        assert "unknown problem fields" in capsys.readouterr().err
