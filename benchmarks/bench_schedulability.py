@@ -1,7 +1,7 @@
 """Schedulability engine validation: pre-filter skips and bound tightness.
 
 Not a paper table — acceptance gates for the analytic engine
-(see ``docs/schedulability.md``).  Two claims are demonstrated:
+(see ``docs/schedulability.md``).  Three claims are demonstrated:
 
 * the campaign feasibility pre-filter skips at least one provably
   infeasible sweep cell, and the skip is *recorded* in the campaign
@@ -9,15 +9,22 @@ Not a paper table — acceptance gates for the analytic engine
 * driving every analytically admitted channel set adversarially
   (aligned phases, full bursts up front) never observes an end-to-end
   latency above the engine's predicted bound on a fault-free run —
-  and the per-channel tightness gap is quantified in the artefact.
+  and the per-channel tightness gap is quantified in the artefact;
+* under injected faults, every channel the fault model calls
+  guaranteed or degraded-guaranteed stays inside its recovery
+  envelope on both scheduling engines, with the degraded gap
+  quantified per channel.
 """
 
 from conftest import fmt_table
 
 from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+from repro.faults.plan import CUT, DROP, FaultEvent, FaultPlan
 from repro.schedulability import (
+    DEGRADED_GUARANTEED,
     TopologySpec,
     adversarial_channel_demands,
+    measure_chaos_tightness,
     measure_tightness,
     random_channel_demands,
 )
@@ -96,3 +103,57 @@ def test_tightness_gap_is_quantified_and_safe(report):
     ]
     report("schedulability_tightness", lines)
     assert min(gaps) >= 0
+
+
+#: (name, demand seed, fault plan) for the degraded-tightness gate.
+#: The single-cut case pins the canonical degraded scenario; the mixed
+#: case adds a drop corruptor burning retransmissions on a second route.
+CHAOS_CASES = [
+    ("single-cut", 1, FaultPlan(events=[
+        FaultEvent(cycle=600, kind=CUT, node=(1, 1), direction=0)])),
+    ("cut-and-drop", 7, FaultPlan(events=[
+        FaultEvent(cycle=500, kind=CUT, node=(2, 1), direction=3),
+        FaultEvent(cycle=700, kind=DROP, node=(2, 3), direction=0,
+                   amount=2)])),
+]
+CHAOS_TICKS = 120
+
+
+def test_degraded_tightness_gap_is_quantified_and_safe(report):
+    rows = []
+    degraded_total = 0
+    for name, seed, plan in CHAOS_CASES:
+        topology = TopologySpec(4, 4)
+        demands = random_channel_demands(4, 4, 4, seed)
+        for engine in ("exact", "event"):
+            net, chaos = measure_chaos_tightness(
+                topology, demands, plan, ticks=CHAOS_TICKS,
+                engine=engine)
+
+            # Gates: fault-model verdicts mirrored the run, and every
+            # guaranteed/degraded-guaranteed channel stayed inside its
+            # envelope with nothing lost or late.
+            assert chaos.mismatches == []
+            assert chaos.violations == []
+            assert chaos.total_misses == 0
+            assert chaos.ok
+
+            degraded_total += sum(
+                1 for entry in chaos.channels
+                if entry.status == DEGRADED_GUARANTEED)
+            for entry_row in chaos.gap_rows():
+                rows.append([name, engine] + entry_row)
+
+    lines = fmt_table(
+        ["case", "engine", "channel", "verdict", "predicted",
+         "observed", "gap", "deliveries", "misses", "safe"], rows)
+    lines += [
+        "",
+        f"channels gated: {len(rows)}",
+        f"degraded-guaranteed channels: {degraded_total}",
+        "envelope violations: 0",
+        "deadline misses (gated channels): 0",
+    ]
+    report("schedulability_degraded_tightness", lines)
+    # The gate is not vacuous: faults really degraded channels.
+    assert degraded_total >= 2

@@ -11,6 +11,7 @@
 #   scripts/run_tests.sh service        # control-plane service suites + churn gate
 #   scripts/run_tests.sh shard          # sharded-execution equivalence + scaling gate
 #   scripts/run_tests.sh schedulability # analytic engine suites + tightness gate
+#   scripts/run_tests.sh schedulability-faults # fault-aware verdicts + chaos gate
 #
 # The benchmark smoke step runs the fast-forward speedup gate — it
 # fails the pipeline if the idle-cycle fast path drops below 3x on the
@@ -51,6 +52,15 @@
 # skipped and recorded; every measured worst case at or under its
 # bound; gap table written to
 # benchmarks/results/schedulability_tightness.txt).
+# The schedulability-faults job runs the fault-aware layer — fault-plan
+# JSON round-trip and overlap semantics, verdict taxonomy and the
+# derived recovery model, the chaos-tightness gate on both engines,
+# the fault-plan CLI exit codes, the chaos-tightness campaign
+# workload/pre-filter, the service intake screen — plus the
+# degraded-tightness benchmark gate (every guaranteed or
+# degraded-guaranteed channel inside its recovery envelope under real
+# injected faults; artefact written to
+# benchmarks/results/schedulability_degraded_tightness.txt).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -150,6 +160,20 @@ run_schedulability() {
         benchmarks/bench_schedulability.py
 }
 
+run_schedulability_faults() {
+    echo "== schedulability-faults: fault-aware verdicts + chaos gate =="
+    python -m pytest -q \
+        tests/faults/test_plan.py \
+        tests/faults/test_overlap.py \
+        tests/schedulability/test_faultmodel.py \
+        tests/schedulability/test_chaos_tightness.py \
+        tests/campaign/test_chaos_tightness_workload.py \
+        tests/service/test_fault_screen.py \
+        tests/test_cli.py
+    python -m pytest -q -p no:cacheprovider \
+        "benchmarks/bench_schedulability.py::test_degraded_tightness_gap_is_quantified_and_safe"
+}
+
 case "$job" in
     tier1) run_tier1 ;;
     chaos) run_chaos ;;
@@ -161,7 +185,8 @@ case "$job" in
     shard) run_shard ;;
     event) run_event ;;
     schedulability) run_schedulability ;;
-    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_shard; run_event; run_schedulability ;;
-    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|shard|event|schedulability|all)" >&2
+    schedulability-faults) run_schedulability_faults ;;
+    all)   run_tier1; run_chaos; run_bench; run_observability; run_campaign; run_checkpoint; run_service; run_shard; run_event; run_schedulability; run_schedulability_faults ;;
+    *)     echo "unknown job '$job' (tier1|chaos|bench|observability|campaign|checkpoint|service|shard|event|schedulability|schedulability-faults|all)" >&2
            exit 2 ;;
 esac

@@ -7,7 +7,7 @@ is the load-bearing property — the result cache and the determinism
 tests rely on the same config producing byte-identical stats in any
 process.
 
-Four workloads ship by default:
+Five workloads ship by default:
 
 * ``random`` — the CLI's seeded random admitted workload (mixed
   time-constrained and best-effort traffic on a mesh), shared with
@@ -19,6 +19,11 @@ Four workloads ship by default:
   (:func:`repro.schedulability.measure_tightness`).
 * ``chaos`` — one seeded fault-injection soak
   (:func:`repro.faults.run_chaos_soak`).
+* ``chaos-tightness`` — the fault-aware schedulability gate: derive
+  degraded-but-guaranteed verdicts for a seeded channel set under a
+  seeded fault plan, then validate every envelope against a real
+  fault-injected run
+  (:func:`repro.schedulability.measure_chaos_tightness`).
 * ``churn`` — the control-plane service layer under request churn
   (:func:`repro.service.run_service`).
 
@@ -245,6 +250,84 @@ def run_adversarial(config: RunConfig) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# The chaos tightness workload (fault-aware predict, then inject)
+# ---------------------------------------------------------------------------
+
+def chaos_tightness_inputs(config: RunConfig):
+    """The ``(topology, demands, plan)`` a chaos-tightness cell runs on.
+
+    Shared verbatim by the workload and its campaign pre-filter so the
+    analytic skip decision and the executed run always describe the
+    same experiment.  The fault plan draws from its own derived
+    substream and lands every event inside the driving window, where
+    losses actually exercise the recovery envelope.
+    """
+    from repro.core import RouterParams
+    from repro.faults.plan import FaultPlan
+    from repro.schedulability import TopologySpec, random_channel_demands
+
+    demands = random_channel_demands(
+        config.width, config.height, config.channels, config.seed,
+        torus=config.torus)
+    slot = RouterParams().slot_cycles
+    window = (slot, max(2 * slot, config.ticks * slot * 2 // 3))
+    plan = FaultPlan.random(
+        derive_seed(config.seed, "faultplan"),
+        config.width, config.height,
+        cuts=config.cuts, flaps=config.flaps,
+        corruptions=config.corruptions, drops=config.drops,
+        babblers=config.babblers, window=window)
+    topology = TopologySpec(config.width, config.height,
+                            torus=config.torus)
+    return topology, demands, plan
+
+
+def run_chaos_tightness(config: RunConfig) -> dict:
+    """Predict fault-aware verdicts, then validate them by injection.
+
+    Derives degraded-but-guaranteed bounds for the seeded channel set
+    under a seeded fault plan, replays the plan through a real
+    fault-injected run on the configured engine, and gates every
+    guaranteed/degraded channel on ``observed <= predicted`` with zero
+    deadline misses and zero lost messages.  Gate failures (and any
+    predicted-vs-simulated admission mismatch) surface as
+    ``invariant_failures``.  Cells whose base problem is infeasible or
+    whose plan leaves channels at risk are skipped by a registered
+    pre-filter (see :mod:`repro.schedulability.prefilter`).
+    Single-process only; the shard count is ignored.
+    """
+    from repro.schedulability import measure_chaos_tightness
+    from repro.schedulability.faultmodel import DEGRADED_GUARANTEED
+
+    topology, demands, plan = chaos_tightness_inputs(config)
+    net, report = measure_chaos_tightness(
+        topology, demands, plan, ticks=config.ticks,
+        engine=config.engine)
+    log = net.log
+    prediction = report.prediction
+    return {
+        "workload": "chaos-tightness",
+        "cycles": net.cycle,
+        "channels_established": len(report.channels),
+        "admission_rejects": dict(sorted(
+            prediction.base.reject_reasons.items())),
+        "classes": {cls: log.class_stats(cls) for cls in ("TC", "BE")},
+        "latency": {cls: histogram.state() for cls, histogram
+                    in log.latency_histograms.items()},
+        "faults": net.fault_counters().as_dict(),
+        "degraded": [verdict.label for verdict in prediction.verdicts
+                     if verdict.status == DEGRADED_GUARANTEED],
+        "duplicates": log.duplicate_deliveries,
+        "invariant_failures": (len(report.mismatches)
+                               + len(report.violations)),
+        "deadline_misses_undegraded": report.total_misses,
+        "faults_fired": len(plan),
+        "signature": report.signature(),
+        "fault_tightness": report.as_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
 # The chaos soak workload
 # ---------------------------------------------------------------------------
 
@@ -368,4 +451,5 @@ def run_churn(config: RunConfig) -> dict:
 register_workload("random", run_random)
 register_workload("adversarial", run_adversarial)
 register_workload("chaos", run_chaos)
+register_workload("chaos-tightness", run_chaos_tightness)
 register_workload("churn", run_churn)

@@ -19,7 +19,8 @@ Subcommands::
     repro-router campaign    SPEC.json [--workers N] [--resume|--rerun]
                              [--cache DIR] [--retries N] [...]
     repro-router analyze     PROBLEM.json [--json PATH] [--validate]
-                             [--ticks N] [--engine {exact,event}]
+                             [--fault-plan PLAN.json] [--ticks N]
+                             [--engine {exact,event}]
 
 ``datasheet`` prints the Table-4-style chip summary; ``experiment``
 regenerates one of the paper's results; ``simulate`` runs a random
@@ -38,7 +39,12 @@ fans a sweep spec out over worker processes with result caching (see
 for a topology + channel-set problem file without simulating, and with
 ``--validate`` measures the tightness of every predicted bound against
 an adversarially driven simulation (see ``docs/schedulability.md``;
-exit status 1 on an infeasible problem or a violated bound).
+exit status 1 on an infeasible problem or a violated bound); with
+``--fault-plan`` it additionally classifies every admitted channel as
+guaranteed / degraded-guaranteed / at-risk under that fault schedule,
+and ``--validate`` then replays the plan through a real chaos run and
+gates observed against predicted degraded bounds (exit status 1 if
+any channel is left at risk, 2 for a malformed plan file).
 
 Seeding: every seeded subcommand derives independent RNG substreams
 from ``--seed`` via :func:`repro.campaign.derive_seed`, the same
@@ -319,6 +325,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         babblers=args.babblers, engine=args.engine,
         shards=args.shards,
     )
+    plan = None
+    if args.plan_file:
+        from repro.faults.plan import FaultPlan
+
+        # Malformed plan files raise ValueError, which main() turns
+        # into a message on stderr and exit status 2.
+        plan = FaultPlan.from_file(args.plan_file)
     if args.shards > 1 and args.resume_from:
         print("error: --resume-from is not supported with --shards; "
               "sharded runs resume from the store's latest coordinated "
@@ -329,8 +342,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             from repro.checkpoint import ChaosSession
 
             store = _checkpoint_store(
-                args, "chaos", ChaosSession.fingerprint_for(config))
-            report = run_chaos_soak(config,
+                args, "chaos",
+                ChaosSession.fingerprint_for(config, plan=plan))
+            report = run_chaos_soak(config, plan,
                                     check_every=args.check_invariants,
                                     store=store,
                                     interval=args.checkpoint_interval)
@@ -338,21 +352,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             from repro.checkpoint import ChaosSession
 
             store = _checkpoint_store(
-                args, "chaos", ChaosSession.fingerprint_for(config))
+                args, "chaos",
+                ChaosSession.fingerprint_for(config, plan=plan))
             if args.resume_from:
                 document = store.load(args.resume_from)
                 session = ChaosSession.restore(
-                    config, document["state"],
+                    config, document["state"], plan=plan,
                     check_every=args.check_invariants)
                 print(f"resumed from checkpoint at cycle "
                       f"{document['cycle']}")
             else:
                 session = ChaosSession(
-                    config, check_every=args.check_invariants)
+                    config, plan=plan,
+                    check_every=args.check_invariants)
             report = session.run(store=store,
                                  interval=args.checkpoint_interval)
         else:
-            report = run_chaos_soak(config,
+            report = run_chaos_soak(config, plan,
                                     check_every=args.check_invariants)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -367,7 +383,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"INVARIANT VIOLATION: {failure}")
     print(f"signature: {report.signature()}")
     if args.repeat:
-        again = run_chaos_soak(config)
+        again = run_chaos_soak(config, plan)
         if again.signature() != report.signature():
             print("NON-DETERMINISTIC: repeat run diverged")
             return 1
@@ -388,6 +404,17 @@ def _cmd_service(args: argparse.Namespace) -> int:
         print(f"error: unknown service workload {args.workload!r} "
               f"(available: churn)", file=sys.stderr)
         return 2
+    fault_plan_json = None
+    if args.fault_plan:
+        import pathlib
+
+        # Parse eagerly: a malformed plan raises ValueError, which
+        # main() reports on stderr with exit status 2.
+        from repro.faults.plan import FaultPlan
+
+        text = pathlib.Path(args.fault_plan).read_text()
+        FaultPlan.from_json(text)
+        fault_plan_json = text
     config = ServiceRunConfig(
         seed=args.seed, width=args.width, height=args.height,
         requests=args.requests,
@@ -401,6 +428,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff_ticks=args.retry_backoff,
         analytic_preadmission=args.analytic_preadmission,
+        fault_plan_json=fault_plan_json,
         engine=args.engine,
         shards=args.shards,
     )
@@ -483,7 +511,44 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print("\n".join(format_kv(report.summary_rows())))
     payload = report.as_dict()
     tightness_ok = True
-    if args.validate:
+    fault_ok = True
+    if args.fault_plan:
+        from repro.faults.plan import FaultPlan
+        from repro.schedulability import (
+            analyze_problem_with_faults,
+            measure_chaos_tightness,
+        )
+
+        # Malformed plan files raise ValueError -> exit status 2.
+        plan = FaultPlan.from_file(args.fault_plan)
+        fault_report = analyze_problem_with_faults(problem, plan)
+        fault_ok = fault_report.ok
+        print("")
+        print(f"fault plan: {len(plan)} events, "
+              f"signature {plan.signature()[:16]}")
+        print("\n".join(format_table(
+            ["channel", "verdict", "D", "bound", "degraded",
+             "retries", "reason"], fault_report.verdict_rows())))
+        print("\n".join(format_kv(fault_report.summary_rows())))
+        for verdict in fault_report.at_risk:
+            print(f"AT RISK: {verdict.label} ({verdict.reason})")
+        payload["faults"] = fault_report.as_dict()
+        if args.validate:
+            net, chaos = measure_chaos_tightness(
+                problem.topology, problem.channels, plan,
+                ticks=args.ticks, engine=args.engine)
+            tightness_ok = chaos.ok
+            print("")
+            print("\n".join(format_table(
+                ["channel", "verdict", "predicted", "observed",
+                 "gap", "deliveries", "misses", "safe"],
+                chaos.gap_rows())))
+            for mismatch in chaos.mismatches:
+                print(f"PREDICTION MISMATCH: {mismatch}")
+            for label in chaos.violations:
+                print(f"BOUND VIOLATED: {label}")
+            payload["fault_tightness"] = chaos.as_dict()
+    elif args.validate:
         net, tightness = measure_tightness(
             problem.topology, problem.channels, ticks=args.ticks,
             engine=args.engine)
@@ -503,7 +568,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         path = write_report_json(args.json, payload)
         print(f"wrote {path}")
-    return 0 if report.feasible and tightness_ok else 1
+    return (0 if report.feasible and tightness_ok and fault_ok
+            else 1)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -650,6 +716,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--corruptions", type=int, default=2)
     chaos.add_argument("--drops", type=int, default=1)
     chaos.add_argument("--babblers", type=int, default=1)
+    chaos.add_argument("--plan-file", default=None, metavar="PATH",
+                       help="replay an explicit fault plan JSON instead "
+                            "of deriving one from the seed")
     chaos.add_argument("--repeat", action="store_true",
                        help="run twice and verify identical signatures")
     _add_engine_arg(chaos)
@@ -696,6 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reject load-independent infeasible "
                               "requests immediately via the analytic "
                               "schedulability engine")
+    service.add_argument("--fault-plan", default=None, metavar="PATH",
+                         help="fault plan JSON the fabric must survive; "
+                              "requests the fault model leaves at risk "
+                              "under it are rejected at intake")
     service.add_argument("--report", default=None, metavar="PATH",
                          help="append the SLO report to this JSONL file")
     service.add_argument("--repeat", action="store_true",
@@ -746,10 +819,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="problem JSON path (topology + channels)")
     analyze.add_argument("--json", default=None, metavar="PATH",
                          help="also export the verdict report as JSON")
+    analyze.add_argument("--fault-plan", default=None, metavar="PATH",
+                         help="also derive fault-aware verdicts under "
+                              "this fault plan JSON (exit 1 if any "
+                              "channel is at risk)")
     analyze.add_argument("--validate", action="store_true",
                          help="drive the admitted set adversarially in "
                               "simulation and report predicted-vs-"
-                              "observed tightness")
+                              "observed tightness (with --fault-plan: "
+                              "a chaos run with the plan injected)")
     analyze.add_argument("--ticks", type=int, default=200,
                          help="driving window for --validate "
                               "(default 200)")

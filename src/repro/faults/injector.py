@@ -174,6 +174,26 @@ class FaultInjector:
         return max(cycle, self.plan.events[self._index].cycle)
 
     def _fire(self, event: FaultEvent) -> None:
+        """Execute one due event.
+
+        Overlap semantics on a single link are pinned (and unit-tested
+        in ``tests/faults/test_overlap.py``):
+
+        * ``cut`` of an already-failed link is a no-op — cuts are
+          idempotent, and the later ``repair`` still restores the link.
+        * ``repair`` of a link that is not failed is a no-op
+          (``Network.repair_link`` returns early).
+        * a second ``corrupt``/``drop`` on a link *replaces* the
+          installed corruptor — last write wins and any unspent budget
+          of the previous corruptor is discarded, so budgets never
+          silently merge across events.
+        * corruptors are wire properties, independent of link state:
+          they survive cut/repair cycles on the same link.
+
+        Plans loaded from JSON reject overlapping cut windows outright
+        (:meth:`FaultPlan.from_dict`); these rules govern what the
+        injector does when handed such a plan programmatically.
+        """
         network = self.network
         link = (event.node, event.direction)
         if event.kind == CUT:

@@ -12,9 +12,11 @@ schedule.
 from __future__ import annotations
 
 import hashlib
+import json
+import pathlib
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.network.topology import Mesh
 
@@ -26,6 +28,14 @@ REPAIR = "repair"      # bring a cut link back (the tail of a flap)
 CORRUPT = "corrupt"    # install a bit-flip corruptor on a link
 DROP = "drop"          # install a whole-packet-drop corruptor on a link
 BABBLE = "babble"      # a babbling host fires an unsolicited packet
+
+#: All recognised event kinds (file-format validation).
+KINDS = (CUT, REPAIR, CORRUPT, DROP, BABBLE)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
 
 
 @dataclass(frozen=True)
@@ -42,6 +52,68 @@ class FaultEvent:
     def sort_key(self) -> tuple:
         return (self.cycle, self.kind, self.node, self.direction,
                 self.target or (-1, -1), self.amount)
+
+    def as_dict(self) -> dict:
+        data: dict = {"cycle": self.cycle, "kind": self.kind,
+                      "node": list(self.node)}
+        if self.direction != -1:
+            data["direction"] = self.direction
+        if self.target is not None:
+            data["target"] = list(self.target)
+        if self.amount:
+            data["amount"] = self.amount
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultEvent":
+        _require(isinstance(data, Mapping),
+                 "fault event must be a JSON object")
+        known = {"cycle", "kind", "node", "direction", "target", "amount"}
+        unknown = sorted(set(data) - known)
+        _require(not unknown, f"unknown fault event fields: {unknown}")
+        for field_name in ("cycle", "kind", "node"):
+            _require(field_name in data,
+                     f"fault event needs {field_name!r}")
+
+        def node_of(value: object, what: str) -> Node:
+            _require(isinstance(value, (list, tuple)) and len(value) == 2
+                     and all(isinstance(c, int) for c in value),
+                     f"{what} must be an (x, y) pair, got {value!r}")
+            return (value[0], value[1])  # type: ignore[index]
+
+        cycle = data["cycle"]
+        _require(isinstance(cycle, int) and cycle >= 0,
+                 f"cycle must be a non-negative integer, got {cycle!r}")
+        kind = data["kind"]
+        _require(kind in KINDS,
+                 f"unknown fault kind {kind!r} (expected one of {KINDS})")
+        node = node_of(data["node"], "node")
+        direction = data.get("direction", -1)
+        _require(isinstance(direction, int),
+                 f"direction must be an integer, got {direction!r}")
+        amount = data.get("amount", 0)
+        _require(isinstance(amount, int) and amount >= 0,
+                 f"amount must be a non-negative integer, got {amount!r}")
+        target: Optional[Node] = None
+        if data.get("target") is not None:
+            target = node_of(data["target"], "target")
+        if kind == BABBLE:
+            _require(target is not None, "babble event needs a target")
+            _require(direction == -1,
+                     "babble events carry no link direction")
+        else:
+            _require(target is None,
+                     f"{kind} events carry no target")
+            _require(direction >= 0,
+                     f"{kind} event needs a link direction >= 0")
+            if kind in (CUT, REPAIR):
+                _require(amount == 0,
+                         f"{kind} events carry no amount")
+            else:
+                _require(amount >= 1,
+                         f"{kind} event needs a positive budget")
+        return cls(cycle=cycle, kind=kind, node=node,  # type: ignore[arg-type]
+                   direction=direction, target=target, amount=amount)
 
 
 @dataclass
@@ -76,6 +148,84 @@ class FaultPlan:
         for event in self.events:
             digest.update(repr(event.sort_key()).encode())
         return digest.hexdigest()
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def as_dict(self) -> dict:
+        data: dict = {"events": [event.as_dict() for event in self.events]}
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        _require(isinstance(data, Mapping),
+                 "fault plan must be a JSON object")
+        known = {"events", "seed"}
+        unknown = sorted(set(data) - known)
+        _require(not unknown, f"unknown fault plan fields: {unknown}")
+        seed = data.get("seed")
+        _require(seed is None or isinstance(seed, int),
+                 f"seed must be an integer, got {seed!r}")
+        entries = data.get("events", [])
+        _require(isinstance(entries, (list, tuple)),
+                 "events must be a list")
+        events = [FaultEvent.from_dict(entry) for entry in entries]
+        keys = [event.sort_key() for event in events]
+        duplicates = sorted({key for key in keys if keys.count(key) > 1})
+        _require(not duplicates,
+                 f"duplicate fault events: {duplicates}")
+        plan = cls(events=events, seed=seed)  # type: ignore[arg-type]
+        plan._check_cut_windows()
+        return plan
+
+    def _check_cut_windows(self) -> None:
+        """Reject overlapping cut windows on one link.
+
+        A link's cut window runs from a ``cut`` event to its matching
+        ``repair`` (or forever).  A second cut inside an open window, or
+        a repair with no open window, is almost always a plan-authoring
+        mistake — the injector would silently no-op it (cuts are
+        idempotent, repairs of live links do nothing), so the file
+        format refuses the ambiguity outright.
+        """
+        open_cut: dict[tuple[Node, int], int] = {}
+        for event in self.events:
+            if event.kind not in (CUT, REPAIR):
+                continue
+            link = (event.node, event.direction)
+            if event.kind == CUT:
+                _require(link not in open_cut,
+                         f"overlapping cut windows on link {link}: cut at "
+                         f"cycle {event.cycle} while the cut from cycle "
+                         f"{open_cut.get(link)} is still open")
+                open_cut[link] = event.cycle
+            else:
+                _require(link in open_cut,
+                         f"repair of link {link} at cycle {event.cycle} "
+                         f"without a preceding cut")
+                del open_cut[link]
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid fault plan JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "FaultPlan":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
 
     @classmethod
     def random(

@@ -34,7 +34,10 @@ from repro.campaign.spec import canonical_dumps
 from repro.channels.admission import (
     AdmissionController,
     AdmissionError,
+    ConnectionLoad,
     HopDescriptor,
+    LinkSchedule,
+    Reservation,
 )
 from repro.channels.routing import (
     dimension_ordered_route,
@@ -87,6 +90,12 @@ class ChannelVerdict:
     #: Predicted end-to-end worst-case latency bound in ticks: the sum
     #: of d_j along the deepest source-to-destination path.
     predicted_bound: Optional[int] = None
+    #: Holding-time-aware refinement of the bound (never larger): the
+    #: last hop's EDF worst-case response replaces its full d_j budget.
+    #: Upstream hops keep their d_j — the deadline clock holds early
+    #: arrivals to their logical schedule, so only the final hop's
+    #: earliness reaches the receiving host.
+    refined_bound: Optional[int] = None
     #: The same bound from the min-plus calculus (cross-check).
     netcalc_bound: Optional[float] = None
     #: Deadline budget left unused: requested D minus the bound.
@@ -109,6 +118,7 @@ class ChannelVerdict:
             "hops": [[list(node), port] for node, port in self.hops],
             "local_delays": list(self.local_delays),
             "predicted_bound": self.predicted_bound,
+            "refined_bound": self.refined_bound,
             "netcalc_bound": self.netcalc_bound,
             "slack": self.slack,
             "buffers": [[list(node), port, packets]
@@ -244,6 +254,74 @@ class _IdAllocator:
             self.used[node].discard(cid)
 
 
+def edf_response_bound(loads: Sequence[ConnectionLoad],
+                       deadline: int) -> int:
+    """Worst-case EDF completion of a packet, relative to its release.
+
+    ``deadline`` is the packet's relative scheduling deadline on the
+    link (a :class:`ConnectionLoad` deadline, i.e. ``d_j`` minus the
+    hop overhead); ``loads`` is every load sharing the link, the
+    packet's own connection included.  The bound is the classical
+    busy-period argument: a packet released ``x`` ticks into a busy
+    interval completes once all work due no later than it has been
+    served, so its response is at most
+
+        max over x in [0, busy] of  sum_l demand_l(x + deadline) - x
+
+    which the admission test (``demand(t) <= t`` everywhere) already
+    caps at ``deadline`` — this is a refinement, never a relaxation.
+    The maximum over the piecewise-linear objective is attained where
+    some load's demand steps, so only those candidates are evaluated.
+    """
+    loads = list(loads)
+    if not loads:
+        return min(1, deadline)
+    busy = LinkSchedule()._busy_period(loads)
+    if busy is None:
+        return deadline
+    candidates = {0}
+    for load in loads:
+        step = load.deadline
+        while step <= busy + deadline:
+            offset = step - deadline
+            if 0 <= offset <= busy:
+                candidates.add(offset)
+            step += load.i_min
+    worst = max(
+        sum(load.demand(offset + deadline) for load in loads) - offset
+        for offset in sorted(candidates)
+    )
+    return max(1, min(deadline, worst))
+
+
+def _refine_bounds(verdicts: Sequence["ChannelVerdict"],
+                   admission: AdmissionController,
+                   reservations: dict) -> None:
+    """Fill ``refined_bound`` on every admitted verdict.
+
+    Must run after the whole demand list is replayed: the last hop's
+    response depends on every load sharing the reception link.  Only
+    unicast channels refine — a multicast tree's deepest leaf already
+    uses a uniform decomposition and its reception links are leaves of
+    the same analysis, so the refinement is left as the plain bound.
+    """
+    for verdict in verdicts:
+        if not verdict.feasible:
+            continue
+        reservation = reservations.get(verdict.label)
+        if reservation is None or len(verdict.destinations) != 1:
+            verdict.refined_bound = verdict.predicted_bound
+            continue
+        last_hop = reservation.hops[-1]
+        own = reservation.loads[-1]
+        schedule = admission.link(last_hop.node, last_hop.out_port)
+        response = edf_response_bound(schedule.loads, own.deadline)
+        refined = (verdict.predicted_bound
+                   - reservation.local_delays[-1]
+                   + admission.hop_overhead + response)
+        verdict.refined_bound = min(verdict.predicted_bound, refined)
+
+
 def _unicast_route(topology: TopologySpec, admission: AdmissionController,
                    source, destination, *, adaptive: bool):
     if topology.torus:
@@ -271,7 +349,8 @@ def _rejected(demand: ChannelDemand,
 
 def _admit_unicast(demand: ChannelDemand, topology: TopologySpec,
                    admission: AdmissionController, ids: _IdAllocator,
-                   *, adaptive: bool) -> ChannelVerdict:
+                   *, adaptive: bool
+                   ) -> tuple[ChannelVerdict, Reservation]:
     route = _unicast_route(topology, admission, demand.source,
                            demand.destinations[0], adaptive=adaptive)
     horizon = admission.params.default_horizon
@@ -289,7 +368,7 @@ def _admit_unicast(demand: ChannelDemand, topology: TopologySpec,
         raise
     delays = reservation.local_delays
     bound = sum(delays)
-    return ChannelVerdict(
+    return reservation, ChannelVerdict(
         label=demand.label, source=demand.source,
         destinations=demand.destinations, i_min=demand.i_min,
         s_max=demand.s_max, b_max=demand.b_max,
@@ -304,7 +383,8 @@ def _admit_unicast(demand: ChannelDemand, topology: TopologySpec,
 
 def _admit_multicast(demand: ChannelDemand,
                      admission: AdmissionController,
-                     ids: _IdAllocator) -> ChannelVerdict:
+                     ids: _IdAllocator
+                     ) -> tuple[ChannelVerdict, Reservation]:
     ports_by_node, order = multicast_tree(demand.source,
                                           list(demand.destinations))
     parents_map = tree_parents(ports_by_node, order)
@@ -347,7 +427,7 @@ def _admit_multicast(demand: ChannelDemand,
         admission.release(reservation)
         raise
     bound = uniform * tree_depth
-    return ChannelVerdict(
+    return reservation, ChannelVerdict(
         label=demand.label, source=demand.source,
         destinations=demand.destinations, i_min=demand.i_min,
         s_max=demand.s_max, b_max=demand.b_max,
@@ -360,6 +440,65 @@ def _admit_multicast(demand: ChannelDemand,
         slack=demand.deadline - bound,
         buffers=list(reservation.buffers),
     )
+
+
+@dataclass
+class _AnalysisState:
+    """The live mirror behind a report (internal; fault model input).
+
+    ``analyze`` discards this; :mod:`repro.schedulability.faultmodel`
+    keeps it to replay fault-recovery re-admissions (detour routes,
+    connection-id churn) against exactly the state the fault-free
+    verdicts left behind.
+    """
+
+    admission: AdmissionController
+    ids: _IdAllocator
+    reservations: dict[str, Reservation]
+
+
+def _analyze_live(topology: TopologySpec,
+                  demands: Sequence[ChannelDemand], *,
+                  params: Optional[RouterParams] = None,
+                  adaptive: bool = True
+                  ) -> tuple[ScheduleReport, _AnalysisState]:
+    """`analyze`, but also returning the live admission mirror."""
+    admission = AdmissionController(params or RouterParams())
+    ids = _IdAllocator(admission.params.connections)
+    verdicts: list[ChannelVerdict] = []
+    reservations: dict[str, Reservation] = {}
+    for demand in demands:
+        try:
+            if len(demand.destinations) == 1:
+                reservation, verdict = _admit_unicast(
+                    demand, topology, admission, ids, adaptive=adaptive)
+            else:
+                reservation, verdict = _admit_multicast(
+                    demand, admission, ids)
+            reservations[demand.label] = reservation
+            verdicts.append(verdict)
+        except AdmissionError as exc:
+            verdicts.append(_rejected(demand, exc))
+    _refine_bounds(verdicts, admission, reservations)
+
+    bottleneck = None
+    for (node, port), schedule in sorted(admission._links.items()):
+        if not schedule.loads:
+            continue
+        utilisation = schedule.utilisation
+        if bottleneck is None or utilisation > bottleneck[2]:
+            bottleneck = (node, port, utilisation)
+    capacity = admission.params.tc_packet_slots
+    node_buffers = [(node, buffers.reserved_total, capacity)
+                    for node, buffers in sorted(admission._nodes.items())
+                    if buffers.reserved_total]
+    report = ScheduleReport(
+        topology=topology, channels=verdicts,
+        occupancy=admission.occupancy(), bottleneck=bottleneck,
+        node_buffers=node_buffers,
+    )
+    return report, _AnalysisState(admission=admission, ids=ids,
+                                  reservations=reservations)
 
 
 def analyze(topology: TopologySpec,
@@ -375,35 +514,9 @@ def analyze(topology: TopologySpec,
     selection; ``False`` forces dimension order (the service layer's
     setting).
     """
-    admission = AdmissionController(params or RouterParams())
-    ids = _IdAllocator(admission.params.connections)
-    verdicts: list[ChannelVerdict] = []
-    for demand in demands:
-        try:
-            if len(demand.destinations) == 1:
-                verdicts.append(_admit_unicast(
-                    demand, topology, admission, ids, adaptive=adaptive))
-            else:
-                verdicts.append(_admit_multicast(demand, admission, ids))
-        except AdmissionError as exc:
-            verdicts.append(_rejected(demand, exc))
-
-    bottleneck = None
-    for (node, port), schedule in sorted(admission._links.items()):
-        if not schedule.loads:
-            continue
-        utilisation = schedule.utilisation
-        if bottleneck is None or utilisation > bottleneck[2]:
-            bottleneck = (node, port, utilisation)
-    capacity = admission.params.tc_packet_slots
-    node_buffers = [(node, buffers.reserved_total, capacity)
-                    for node, buffers in sorted(admission._nodes.items())
-                    if buffers.reserved_total]
-    return ScheduleReport(
-        topology=topology, channels=verdicts,
-        occupancy=admission.occupancy(), bottleneck=bottleneck,
-        node_buffers=node_buffers,
-    )
+    report, __ = _analyze_live(topology, demands, params=params,
+                               adaptive=adaptive)
+    return report
 
 
 def predict_admission(admission: AdmissionController,

@@ -65,4 +65,36 @@ def _adversarial_prefilter(config: RunConfig) -> Optional[dict]:
     }
 
 
+def _chaos_tightness_prefilter(config: RunConfig) -> Optional[dict]:
+    """Skip cells the fault model already refuses to guarantee.
+
+    The chaos-tightness workload gates ``observed <= predicted`` for
+    every guaranteed and degraded-guaranteed channel; a cell whose base
+    problem is analytically infeasible, or whose fault plan leaves
+    channels at risk (no reroute path, no reroute capacity, retry
+    budget exhausted), has no envelope to validate.  The skip verdict
+    records the at-risk labels and reasons so the decision is auditable
+    in the campaign report, never silent.
+    """
+    from repro.campaign.workloads import chaos_tightness_inputs
+    from repro.schedulability.faultmodel import analyze_with_faults
+
+    topology, demands, plan = chaos_tightness_inputs(config)
+    report = analyze_with_faults(topology, demands, plan)
+    if report.ok:
+        return None
+    at_risk = [{"label": verdict.label, "reason": verdict.reason}
+               for verdict in report.at_risk]
+    return {
+        "reason": ("fault plan leaves channels at risk" if at_risk
+                   else "analytically infeasible channel set"),
+        "rejected": report.base.rejected,
+        "total": len(report.base.channels),
+        "reject_reasons": report.base.reject_reasons,
+        "at_risk": at_risk,
+        "plan_signature": report.plan_signature,
+    }
+
+
 register_prefilter("adversarial", _adversarial_prefilter)
+register_prefilter("chaos-tightness", _chaos_tightness_prefilter)

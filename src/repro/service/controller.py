@@ -83,6 +83,13 @@ class ServiceConfig:
     #: deadline, hop overhead, rollover — nothing queueing can fix) is
     #: rejected immediately instead of burning queue slots and retries.
     analytic_preadmission: bool = False
+    #: Optional fault-aware screen: a :class:`~repro.faults.plan.FaultPlan`
+    #: the operator expects the fabric to survive.  Requests the fault
+    #: model leaves *at risk* under this plan even on an idle fabric
+    #: (no disjoint reroute path, retry budget exhausted) are rejected
+    #: at intake — the service never promises a guarantee the recovery
+    #: layer could not keep.
+    fault_plan: Optional[object] = None
 
     def validate(self) -> None:
         if not 0.0 < self.util_threshold <= 1.0:
@@ -162,6 +169,8 @@ class ServiceController:
         self.admission_reject_reasons: dict[str, int] = {}
         self.flows: dict[str, Flow] = {}
         self._queue: list[_QueueEntry] = []
+        #: Memoised fault-screen verdicts (pure in the request shape).
+        self._fault_screen: dict[tuple, Optional[str]] = {}
         #: Labels of every TC channel the service admitted (kept after
         #: teardown: SLO accounting needs the full-population set).
         self.tc_labels: list[str] = []
@@ -238,26 +247,62 @@ class ServiceController:
 
         Load-dependent verdicts fall through to the normal ladder —
         load changes as flows retire, so queueing may still win; the
-        eventual failure is tallied by :meth:`_try_establish`.
+        eventual failure is tallied by :meth:`_try_establish`.  With a
+        configured ``fault_plan``, requests the fault model leaves at
+        risk under that plan are rejected here too.
         """
-        if not self.config.analytic_preadmission:
-            return None
-        from repro.channels.spec import FlowRequirements
-        from repro.schedulability.engine import predict_admission
+        reason = None
+        if self.config.analytic_preadmission:
+            from repro.channels.spec import FlowRequirements
+            from repro.schedulability.engine import predict_admission
 
-        manager = self.network.manager
-        route = dimension_ordered_route(request.source,
-                                        request.destination)
-        verdict = predict_admission(
-            manager.admission, manager._hop_descriptors(route),
-            TrafficSpec(i_min=request.i_min),
-            FlowRequirements(deadline=request.deadline_ticks))
-        if verdict["feasible"] or not verdict["load_independent"]:
-            return None
-        reason = verdict["reason"]
-        self.admission_reject_reasons[reason] = (
-            self.admission_reject_reasons.get(reason, 0) + 1)
+            manager = self.network.manager
+            route = dimension_ordered_route(request.source,
+                                            request.destination)
+            verdict = predict_admission(
+                manager.admission, manager._hop_descriptors(route),
+                TrafficSpec(i_min=request.i_min),
+                FlowRequirements(deadline=request.deadline_ticks))
+            if not verdict["feasible"] and verdict["load_independent"]:
+                reason = verdict["reason"]
+        if reason is None and self.config.fault_plan is not None:
+            reason = self._fault_screen_reason(request)
+        if reason is not None:
+            self.admission_reject_reasons[reason] = (
+                self.admission_reject_reasons.get(reason, 0) + 1)
         return reason
+
+    def _fault_screen_reason(self, request: ChannelRequest
+                             ) -> Optional[str]:
+        """Static fault screen against the configured plan.
+
+        Analyses the request as a lone channel on an idle fabric under
+        ``config.fault_plan``; an at-risk verdict (no surviving reroute
+        path, retry budget exhausted) means no amount of queueing or
+        load decay can ever make the guarantee survivable, so the
+        request is rejected outright.  Verdicts are load-independent by
+        construction and cached per ``(source, destination, i_min,
+        deadline)``.
+        """
+        key = (request.source, request.destination, request.i_min,
+               request.deadline_ticks)
+        if key not in self._fault_screen:
+            from repro.schedulability import ChannelDemand, TopologySpec
+            from repro.schedulability.faultmodel import analyze_with_faults
+
+            mesh = self.network.mesh
+            demand = ChannelDemand(
+                label="candidate", source=request.source,
+                destinations=(request.destination,),
+                i_min=request.i_min, deadline=request.deadline_ticks)
+            report = analyze_with_faults(
+                TopologySpec(mesh.width, mesh.height, torus=mesh.torus),
+                [demand], self.config.fault_plan)
+            at_risk = report.at_risk
+            self._fault_screen[key] = (
+                f"fault-at-risk-{at_risk[0].reason}" if at_risk
+                else None)
+        return self._fault_screen[key]
 
     def _headroom_ok(self, request: ChannelRequest) -> bool:
         """Preventive check: would this setup breach the thresholds?"""

@@ -62,6 +62,12 @@ class ServiceRunConfig:
     #: headroom ladder; load-independent infeasibilities are rejected
     #: immediately (see :class:`~repro.service.controller.ServiceConfig`).
     analytic_preadmission: bool = False
+    #: Optional fault-aware intake screen: a serialised
+    #: :class:`~repro.faults.plan.FaultPlan` (JSON text, kept as a
+    #: string so the config stays hashable).  Requests the fault model
+    #: leaves at risk under this plan are rejected at intake (see
+    #: :class:`~repro.service.controller.ServiceConfig`).
+    fault_plan_json: Optional[str] = None
     #: Engine scheduling mode ("exact" or "event"); both produce
     #: byte-identical reports — "event" just skips idle work.
     engine: str = "exact"
@@ -95,6 +101,11 @@ class ServiceRunConfig:
         self.service_config().validate()
 
     def service_config(self) -> ServiceConfig:
+        fault_plan = None
+        if self.fault_plan_json is not None:
+            from repro.faults.plan import FaultPlan
+
+            fault_plan = FaultPlan.from_json(self.fault_plan_json)
         return ServiceConfig(
             util_threshold=self.util_threshold_pct / 100.0,
             buffer_watermark=self.buffer_watermark_pct / 100.0,
@@ -103,6 +114,7 @@ class ServiceRunConfig:
             max_retries=self.max_retries,
             retry_backoff_ticks=self.retry_backoff_ticks,
             analytic_preadmission=self.analytic_preadmission,
+            fault_plan=fault_plan,
         )
 
     def churn_workload(self) -> ChurnWorkload:
@@ -169,9 +181,12 @@ class ServiceSession(_SessionBase):
         config_dict.pop("shards", None)
         # The pre-admission verdict *is* behaviour-shaping when on, but
         # its default-off value is dropped so fingerprints of every
-        # pre-existing checkpoint stay valid.
+        # pre-existing checkpoint stay valid.  Same for the fault-aware
+        # intake screen.
         if not config_dict.get("analytic_preadmission"):
             config_dict.pop("analytic_preadmission", None)
+        if not config_dict.get("fault_plan_json"):
+            config_dict.pop("fault_plan_json", None)
         return fingerprint_of({
             "workload": cls.KIND,
             "config": config_dict,

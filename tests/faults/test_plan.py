@@ -62,6 +62,58 @@ class TestSchedule:
         assert all(e.amount > 0 for e in babbles)
 
 
+class TestJsonRoundTrip:
+    def test_random_plan_survives_round_trip(self):
+        plan = FaultPlan.random(11, 4, 4, babblers=2)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.events == plan.events
+        assert restored.seed == plan.seed
+        assert restored.signature() == plan.signature()
+
+    def test_file_round_trip(self, tmp_path):
+        plan = FaultPlan.random(11, 4, 4)
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.from_file(path).signature() == plan.signature()
+
+    def test_malformed_json_raises_value_error(self):
+        with pytest.raises(ValueError, match="invalid fault plan JSON"):
+            FaultPlan.from_json("not json at all")
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan fields"):
+            FaultPlan.from_json('{"events": [], "surprise": 1}')
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event fields"):
+            FaultPlan.from_json(
+                '{"events": [{"cycle": 1, "kind": "cut",'
+                ' "node": [0, 0], "direction": 0, "colour": "red"}]}')
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_json(
+                '{"events": [{"cycle": 1, "kind": "meteor",'
+                ' "node": [0, 0], "direction": 0}]}')
+
+    def test_duplicate_events_rejected(self):
+        event = ('{"cycle": 5, "kind": "cut",'
+                 ' "node": [1, 1], "direction": 2}')
+        with pytest.raises(ValueError, match="duplicate fault events"):
+            FaultPlan.from_json(f'{{"events": [{event}, {event}]}}')
+
+    def test_babble_requires_target(self):
+        with pytest.raises(ValueError, match="babble event needs a target"):
+            FaultPlan.from_json(
+                '{"events": [{"cycle": 1, "kind": "babble",'
+                ' "node": [0, 0], "amount": 4}]}')
+
+    def test_corrupt_requires_budget(self):
+        with pytest.raises(ValueError, match="positive budget"):
+            FaultPlan.from_json(
+                '{"events": [{"cycle": 1, "kind": "corrupt",'
+                ' "node": [0, 0], "direction": 0}]}')
+
+
 class TestValidation:
     def test_too_many_links_rejected(self):
         with pytest.raises(ValueError, match="distinct links"):

@@ -135,6 +135,7 @@ class TestRunConfigIntegration:
         legacy.pop("engine")
         legacy.pop("shards")
         legacy.pop("analytic_preadmission")
+        legacy.pop("fault_plan_json")
         from repro.checkpoint.store import fingerprint_of
 
         assert ServiceSession.fingerprint_for(base) == fingerprint_of(

@@ -432,3 +432,173 @@ class TestAnalyzeCommand:
                        ' "channels": [], "bogus": 1}\n')
         assert main(["analyze", str(bad)]) == 2
         assert "unknown problem fields" in capsys.readouterr().err
+
+class TestAnalyzeFaultPlan:
+    """``analyze --fault-plan``: verdicts, chaos gating, exit codes."""
+
+    def _problem_path(self, tmp_path, topology=None, demands=None):
+        from repro.schedulability import (
+            Problem,
+            TopologySpec,
+            random_channel_demands,
+        )
+
+        topology = topology or TopologySpec(4, 4)
+        if demands is None:
+            demands = tuple(random_channel_demands(4, 4, 4, seed=1))
+        problem = Problem(topology=topology, channels=tuple(demands))
+        return problem.save(tmp_path / "problem.json")
+
+    def _plan_path(self, tmp_path, events):
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan(events=events).save(tmp_path / "plan.json")
+
+    def test_degraded_but_guaranteed_exits_zero(self, capsys, tmp_path):
+        from repro.faults.plan import CUT, FaultEvent
+
+        problem = self._problem_path(tmp_path)
+        plan = self._plan_path(tmp_path, [
+            FaultEvent(cycle=600, kind=CUT, node=(1, 1), direction=0)])
+        out_path = tmp_path / "verdict.json"
+        assert main(["analyze", str(problem), "--fault-plan", str(plan),
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan: 1 events" in out
+        assert "degraded-guaranteed" in out
+        assert "AT RISK" not in out
+        payload = json.loads(out_path.read_text())
+        assert payload["faults"]["ok"] is True
+        assert payload["faults"]["counts"]["degraded-guaranteed"] == 1
+
+    def test_at_risk_exits_one(self, capsys, tmp_path):
+        from repro.faults.plan import CUT, FaultEvent
+        from repro.schedulability import ChannelDemand, TopologySpec
+
+        demands = [ChannelDemand(label="c", source=(0, 0),
+                                 destinations=((1, 1),), i_min=16,
+                                 deadline=100)]
+        problem = self._problem_path(tmp_path, TopologySpec(2, 2),
+                                     demands)
+        plan = self._plan_path(tmp_path, [
+            FaultEvent(cycle=100, kind=CUT, node=(0, 0), direction=0),
+            FaultEvent(cycle=100, kind=CUT, node=(0, 0), direction=2)])
+        assert main(["analyze", str(problem),
+                     "--fault-plan", str(plan)]) == 1
+        out = capsys.readouterr().out
+        assert "AT RISK: c (no-reroute-path)" in out
+
+    def test_malformed_plan_exits_two(self, capsys, tmp_path):
+        problem = self._problem_path(tmp_path)
+        bad = tmp_path / "plan.json"
+        bad.write_text("{nope")
+        assert main(["analyze", str(problem),
+                     "--fault-plan", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "invalid fault plan JSON" in err
+        assert "Traceback" not in err
+
+    def test_missing_plan_exits_two(self, capsys, tmp_path):
+        problem = self._problem_path(tmp_path)
+        assert main(["analyze", str(problem), "--fault-plan",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_gates_the_chaos_run(self, capsys, tmp_path):
+        from repro.faults.plan import CUT, FaultEvent
+
+        problem = self._problem_path(tmp_path)
+        plan = self._plan_path(tmp_path, [
+            FaultEvent(cycle=600, kind=CUT, node=(1, 1), direction=0)])
+        out_path = tmp_path / "verdict.json"
+        assert main(["analyze", str(problem), "--fault-plan", str(plan),
+                     "--validate", "--ticks", "120",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "observed" in out
+        assert "BOUND VIOLATED" not in out
+        assert "PREDICTION MISMATCH" not in out
+        payload = json.loads(out_path.read_text())
+        assert payload["fault_tightness"]["ok"] is True
+        assert payload["fault_tightness"]["total_misses"] == 0
+
+
+class TestChaosPlanFile:
+    """``chaos --plan-file``: explicit plans replace seed-derived ones."""
+
+    CHAOS = ["chaos", "--width", "4", "--height", "4",
+             "--cycles", "6000", "--seed", "9"]
+
+    def _plan_path(self, tmp_path):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.random(77, 4, 4, cuts=1, flaps=1, corruptions=1,
+                                drops=0, babblers=1, window=(400, 3000))
+        return plan.save(tmp_path / "plan.json")
+
+    def test_plan_file_run_is_deterministic(self, capsys, tmp_path):
+        plan = self._plan_path(tmp_path)
+        assert main([*self.CHAOS, "--plan-file", str(plan),
+                     "--repeat"]) == 0
+        out = capsys.readouterr().out
+        assert "repeat run identical" in out
+
+    def test_plan_file_changes_the_run(self, capsys, tmp_path):
+        assert main(self.CHAOS) == 0
+        derived = capsys.readouterr().out
+        plan = self._plan_path(tmp_path)
+        assert main([*self.CHAOS, "--plan-file", str(plan)]) == 0
+        replayed = capsys.readouterr().out
+        sig = [line for line in derived.splitlines()
+               if line.startswith("signature:")]
+        assert sig and sig[0] not in replayed
+
+    def test_malformed_plan_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"events": 3}')
+        assert main([*self.CHAOS, "--plan-file", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestServiceFaultPlan:
+    """``service --fault-plan``: fault-aware intake screening."""
+
+    SVC = ["service", "--requests", "40", "--seed", "1234"]
+
+    def _plan_path(self, tmp_path, **kwargs):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.random(3, 4, 4, **kwargs)
+        return plan.save(tmp_path / "plan.json")
+
+    def test_benign_plan_rejects_nothing(self, capsys, tmp_path):
+        plan = self._plan_path(tmp_path, cuts=1, flaps=0, corruptions=0,
+                               drops=0, babblers=0,
+                               window=(4000, 8000))
+        report = tmp_path / "slo.jsonl"
+        assert main([*self.SVC, "--fault-plan", str(plan),
+                     "--report", str(report)]) == 0
+        record = json.loads(report.read_text().splitlines()[-1])
+        assert record["rejected"] == 0
+
+    def test_harsh_plan_screens_at_risk_requests(self, capsys, tmp_path):
+        plan = self._plan_path(tmp_path, cuts=6, flaps=1, corruptions=0,
+                               drops=2, babblers=0, window=(40, 200))
+        report = tmp_path / "slo.jsonl"
+        assert main([*self.SVC, "--fault-plan", str(plan),
+                     "--report", str(report)]) == 0
+        record = json.loads(report.read_text().splitlines()[-1])
+        assert record["rejected"] > 0
+        assert any(reason.startswith("fault-at-risk-")
+                   for reason in record["reject_reasons"])
+
+    def test_malformed_plan_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "plan.json"
+        bad.write_text("[]")
+        assert main([*self.SVC, "--fault-plan", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
